@@ -1,0 +1,202 @@
+// Shared benchmark scaffolding: the paper's workload (an RPC sending and
+// receiving an array of integers — §5 "The test program"), the four
+// marshaling flavors, timing helpers and table printers.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/costmodel.h"
+#include "common/rng.h"
+#include "common/vclock.h"
+#include "core/stubspec.h"
+#include "idl/interp.h"
+#include "pe/corpus.h"
+#include "pe/interp.h"
+#include "rpc/rpc_msg.h"
+#include "xdr/primitives.h"
+#include "xdr/xdrmem.h"
+
+namespace tempo::bench {
+
+inline constexpr std::uint32_t kProg = 0x20000555;
+inline constexpr std::uint32_t kVers = 1;
+inline constexpr std::uint32_t kProc = 7;
+inline constexpr std::uint32_t kMaxArray = 2048;
+
+// The paper's array sizes (Table 1/2 rows).
+inline const std::vector<std::uint32_t>& paper_sizes() {
+  static const std::vector<std::uint32_t> sizes = {20,  100, 250,
+                                                   500, 1000, 2000};
+  return sizes;
+}
+
+inline idl::ProcDef echo_proc() {
+  idl::ProcDef proc;
+  proc.name = "ECHO";
+  proc.number = kProc;
+  proc.arg_type = idl::t_array_var(idl::t_int(), kMaxArray);
+  proc.res_type = idl::t_array_var(idl::t_int(), kMaxArray);
+  return proc;
+}
+
+inline core::SpecializedInterface make_iface(std::uint32_t n,
+                                             std::uint32_t unroll = 0) {
+  core::SpecConfig cfg;
+  cfg.arg_counts = {n};
+  cfg.res_counts = {n};
+  cfg.unroll_factor = unroll;
+  auto iface = core::SpecializedInterface::build(echo_proc(), kProg, kVers,
+                                                 cfg);
+  if (!iface.is_ok()) {
+    std::fprintf(stderr, "specialization failed: %s\n",
+                 iface.status().to_string().c_str());
+    std::abort();
+  }
+  return std::move(*iface);
+}
+
+// ---- the "original Sun RPC" flavor: layered C++ encode ------------------
+
+// Marshals a full call message (header + int array) through the generic
+// micro-layer path, exactly what rpc::UdpClient::call does.
+inline std::size_t generic_encode_call(std::vector<std::int32_t>& args,
+                                       std::uint32_t xid,
+                                       MutableByteSpan out) {
+  xdr::XdrMem x(out, xdr::XdrOp::kEncode);
+  rpc::CallHeader hdr;
+  hdr.xid = xid;
+  hdr.prog = kProg;
+  hdr.vers = kVers;
+  hdr.proc = kProc;
+  bool ok = rpc::xdr_call_header(x, hdr) &&
+            xdr::xdr_array<std::int32_t>(x, args, kMaxArray, &xdr::xdr_int);
+  if (!ok) std::abort();
+  return x.getpos();
+}
+
+// Table-driven flavor (Hoschka & Huitema's baseline): interpret the type
+// descriptor at run time.
+inline std::size_t table_driven_encode_call(const idl::Type& type,
+                                            const idl::Value& value,
+                                            std::uint32_t xid,
+                                            MutableByteSpan out) {
+  xdr::XdrMem x(out, xdr::XdrOp::kEncode);
+  rpc::CallHeader hdr;
+  hdr.xid = xid;
+  hdr.prog = kProg;
+  hdr.vers = kVers;
+  hdr.proc = kProc;
+  bool ok = rpc::xdr_call_header(x, hdr) && idl::encode_value(x, type, value);
+  if (!ok) std::abort();
+  return x.getpos();
+}
+
+// ---- timing helpers -------------------------------------------------------
+
+// Median-of-repeats wall time per call, in milliseconds.
+template <typename Fn>
+double time_ms_per_call(Fn&& fn, int min_iters = 200, int repeats = 7) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    Stopwatch sw;
+    for (int i = 0; i < min_iters; ++i) {
+      fn();
+    }
+    samples.push_back(sw.elapsed_ms() / min_iters);
+  }
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(
+                                         samples.size() / 2),
+                   samples.end());
+  return samples[samples.size() / 2];
+}
+
+// Cost-model events for one generic encode (IR corpus run).
+inline CostEvents generic_encode_events(
+    const core::SpecializedInterface& iface,
+    std::vector<std::uint32_t>& slots, std::uint32_t n) {
+  CostEvents ev;
+  Bytes buf(65000);
+  pe::InterpInput in;
+  in.scalars[pe::kXidVar] = 1;
+  in.scalars["cnt0"] = n;
+  in.refs["argsp"] = 0;
+  in.xdrs = {0, 65000, 0};
+  in.user = slots;
+  in.out = MutableByteSpan(buf.data(), buf.size());
+  in.cost = &ev;
+  auto r = run_ir(iface.corpus().program, iface.corpus().encode_call, in);
+  if (!r.is_ok() || *r != pe::kRcOk) std::abort();
+  ev.executed_op_bytes = 0;  // compiled code, small and hot
+  return ev;
+}
+
+// Cost-model events for one residual-plan encode.
+inline CostEvents plan_encode_events(const pe::Plan& plan,
+                                     std::vector<std::uint32_t>& slots) {
+  CostEvents ev;
+  Bytes buf(plan.out_size);
+  if (run_plan_encode(plan, slots, 1,
+                      MutableByteSpan(buf.data(), buf.size()),
+                      &ev) != pe::ExecStatus::kOk) {
+    std::abort();
+  }
+  return ev;
+}
+
+inline double sim_generic_encode_ms(const core::SpecializedInterface& iface,
+                                    std::vector<std::uint32_t>& slots,
+                                    std::uint32_t n,
+                                    const CostParams& params) {
+  return cost_to_ns(generic_encode_events(iface, slots, n), params) / 1e6;
+}
+
+inline double sim_plan_encode_ms(const pe::Plan& plan,
+                                 std::vector<std::uint32_t>& slots,
+                                 const CostParams& params) {
+  return cost_to_ns(plan_encode_events(plan, slots), params) / 1e6;
+}
+
+// ---- output ---------------------------------------------------------------
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+struct SpeedupRow {
+  std::uint32_t n;
+  double original_ms;
+  double specialized_ms;
+};
+
+inline void print_speedup_table(const char* platform,
+                                const std::vector<SpeedupRow>& rows) {
+  std::printf("%-12s %12s %12s %8s   (%s)\n", "Array Size", "Original",
+              "Specialized", "Speedup", platform);
+  for (const auto& r : rows) {
+    std::printf("%-12u %12.4f %12.4f %8.2f\n", r.n, r.original_ms,
+                r.specialized_ms,
+                r.specialized_ms > 0 ? r.original_ms / r.specialized_ms : 0);
+  }
+}
+
+// Figure-style series: one "name: (x,y) ..." line per curve, ready for
+// plotting.
+inline void print_series(const std::string& name,
+                         const std::vector<SpeedupRow>& rows, bool speedup) {
+  std::printf("series %-58s", name.c_str());
+  for (const auto& r : rows) {
+    std::printf(" (%u, %.4f)", r.n,
+                speedup ? r.original_ms / r.specialized_ms
+                        : r.original_ms);
+  }
+  std::printf("\n");
+}
+
+}  // namespace tempo::bench

@@ -1,0 +1,19 @@
+#include "common/bytes.h"
+
+namespace tempo {
+
+std::string hex_dump(ByteSpan bytes, std::size_t max_bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  const std::size_t n = bytes.size() < max_bytes ? bytes.size() : max_bytes;
+  out.reserve(n * 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) out.push_back(' ');
+    out.push_back(kHex[bytes[i] >> 4]);
+    out.push_back(kHex[bytes[i] & 0xF]);
+  }
+  if (bytes.size() > max_bytes) out += " ...";
+  return out;
+}
+
+}  // namespace tempo

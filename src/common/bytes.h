@@ -1,0 +1,22 @@
+// Byte-buffer vocabulary types and debugging helpers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tempo {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+using MutableByteSpan = std::span<std::uint8_t>;
+
+// Render a buffer as "ab cd ef ..." for diagnostics and golden tests.
+std::string hex_dump(ByteSpan bytes, std::size_t max_bytes = 256);
+
+// XDR rounds every item up to a 4-byte boundary (RFC 4506 §3).
+constexpr std::size_t xdr_pad4(std::size_t n) { return (n + 3u) & ~std::size_t{3}; }
+
+}  // namespace tempo

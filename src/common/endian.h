@@ -1,0 +1,63 @@
+// Byte-order helpers for the XDR wire format (big-endian, RFC 4506).
+//
+// The original Sun RPC reaches byte order through the htonl()/ntohl()
+// macros; this header is the C++20 equivalent micro-layer.  All loads and
+// stores go through std::memcpy so they are well-defined for any alignment.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace tempo {
+
+constexpr bool kHostIsLittleEndian = (std::endian::native == std::endian::little);
+
+constexpr std::uint16_t byte_swap16(std::uint16_t v) {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+constexpr std::uint32_t byte_swap32(std::uint32_t v) {
+  return ((v & 0x000000FFu) << 24) | ((v & 0x0000FF00u) << 8) |
+         ((v & 0x00FF0000u) >> 8) | ((v & 0xFF000000u) >> 24);
+}
+
+constexpr std::uint64_t byte_swap64(std::uint64_t v) {
+  return (static_cast<std::uint64_t>(byte_swap32(static_cast<std::uint32_t>(v))) << 32) |
+         byte_swap32(static_cast<std::uint32_t>(v >> 32));
+}
+
+// Host <-> network (big-endian) conversion, the htonl()/ntohl() analog.
+constexpr std::uint32_t host_to_be32(std::uint32_t v) {
+  return kHostIsLittleEndian ? byte_swap32(v) : v;
+}
+constexpr std::uint32_t be32_to_host(std::uint32_t v) { return host_to_be32(v); }
+constexpr std::uint64_t host_to_be64(std::uint64_t v) {
+  return kHostIsLittleEndian ? byte_swap64(v) : v;
+}
+constexpr std::uint64_t be64_to_host(std::uint64_t v) { return host_to_be64(v); }
+
+// Unaligned big-endian loads/stores into raw byte memory.
+inline void store_be32(void* dst, std::uint32_t v) {
+  const std::uint32_t be = host_to_be32(v);
+  std::memcpy(dst, &be, sizeof(be));
+}
+
+inline std::uint32_t load_be32(const void* src) {
+  std::uint32_t be;
+  std::memcpy(&be, src, sizeof(be));
+  return be32_to_host(be);
+}
+
+inline void store_be64(void* dst, std::uint64_t v) {
+  const std::uint64_t be = host_to_be64(v);
+  std::memcpy(dst, &be, sizeof(be));
+}
+
+inline std::uint64_t load_be64(const void* src) {
+  std::uint64_t be;
+  std::memcpy(&be, src, sizeof(be));
+  return be64_to_host(be);
+}
+
+}  // namespace tempo

@@ -1,0 +1,119 @@
+// Minimal Status / Result<T> error-propagation vocabulary.
+//
+// The original Sun RPC signals failure with bool_t return codes threaded
+// through every micro-layer; that convention is kept verbatim inside the
+// XDR layer (it is exactly what the specializer eliminates).  Everything
+// above the XDR layer uses Status/Result instead, per the Core Guidelines
+// advice to make errors explicit in the type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace tempo {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,       // buffer overflow / underflow
+  kParseError,       // malformed wire data or IDL source
+  kUnavailable,      // transport failure
+  kTimeout,
+  kNotFound,         // unknown program / version / procedure
+  kPermissionDenied, // auth rejection
+  kInternal,
+};
+
+std::string_view status_code_name(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status out_of_range(std::string msg) {
+  return {StatusCode::kOutOfRange, std::move(msg)};
+}
+inline Status parse_error(std::string msg) {
+  return {StatusCode::kParseError, std::move(msg)};
+}
+inline Status unavailable(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+inline Status timeout_error(std::string msg) {
+  return {StatusCode::kTimeout, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status permission_denied(std::string msg) {
+  return {StatusCode::kPermissionDenied, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}
+  Result(Status status) : rep_(std::move(status)) {}
+
+  bool is_ok() const { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(rep_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+#define TEMPO_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::tempo::Status _st = (expr);                   \
+    if (!_st.is_ok()) return _st;                   \
+  } while (0)
+
+#define TEMPO_ASSIGN_OR_RETURN(lhs, expr)           \
+  auto lhs##_result = (expr);                       \
+  if (!lhs##_result.is_ok()) return lhs##_result.status(); \
+  auto& lhs = *lhs##_result
+
+}  // namespace tempo

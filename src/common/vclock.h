@@ -1,0 +1,46 @@
+// Virtual time for the simulated platform and the simulated network.
+//
+// The paper measures on two physical testbeds (Sun IPX 4/50 + ATM and
+// Pentium 166 + Fast Ethernet).  We cannot time-travel; the "ipx-sim"
+// platform profile instead accumulates virtual nanoseconds from a cost
+// model (see costmodel.h), and the simulated network advances a virtual
+// clock by latency + size/bandwidth.  Deterministic by construction.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace tempo {
+
+using VirtualNanos = std::int64_t;
+
+class VirtualClock {
+ public:
+  VirtualNanos now() const { return now_; }
+  void advance(VirtualNanos delta) { now_ += delta; }
+  void advance_to(VirtualNanos t) {
+    if (t > now_) now_ = t;
+  }
+  void reset() { now_ = 0; }
+
+ private:
+  VirtualNanos now_ = 0;
+};
+
+// Wall-clock stopwatch for the native platform profile.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  double elapsed_ns() const {
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  double elapsed_ms() const { return elapsed_ns() / 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tempo

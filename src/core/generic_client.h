@@ -1,0 +1,58 @@
+// Value-typed convenience wrapper over the generic UDP client: call a
+// remote procedure with idl::Value arguments/results, marshaled through
+// the stock layered path.  This is the "original Sun RPC" flavor used
+// as the baseline everywhere.
+#pragma once
+
+#include "idl/interp.h"
+#include "net/transport.h"
+#include "rpc/client.h"
+#include "rpc/svc.h"
+
+namespace tempo::core {
+
+class GenericValueClient {
+ public:
+  GenericValueClient(net::DatagramTransport& transport, net::Addr server,
+                     std::uint32_t prog, std::uint32_t vers,
+                     rpc::CallOptions opts = {})
+      : inner_(transport, server, prog, vers, opts) {}
+
+  Result<idl::Value> call(std::uint32_t proc, const idl::Type& arg_type,
+                          const idl::Value& arg, const idl::Type& res_type) {
+    idl::Value result;
+    Status st = inner_.call(
+        proc,
+        [&](xdr::XdrStream& x) { return idl::encode_value(x, arg_type, arg); },
+        [&](xdr::XdrStream& x) {
+          return idl::decode_value(x, res_type, result);
+        });
+    if (!st.is_ok()) return st;
+    return result;
+  }
+
+  rpc::UdpClient& raw() { return inner_; }
+
+ private:
+  rpc::UdpClient inner_;
+};
+
+// Registers a Value-level handler with a SvcRegistry (generic server).
+template <typename Fn>  // Fn: Result<idl::Value>(const idl::Value&)
+void register_value_handler(rpc::SvcRegistry& registry, std::uint32_t prog,
+                            std::uint32_t vers, std::uint32_t proc,
+                            idl::TypePtr arg_type, idl::TypePtr res_type,
+                            Fn fn) {
+  registry.register_proc(
+      prog, vers, proc,
+      [arg_type, res_type, fn = std::move(fn)](xdr::XdrStream& in,
+                                               xdr::XdrStream& out) {
+        idl::Value arg;
+        if (!idl::decode_value(in, *arg_type, arg)) return false;
+        auto res = fn(arg);
+        if (!res.is_ok()) return false;
+        return idl::encode_value(out, *res_type, *res);
+      });
+}
+
+}  // namespace tempo::core

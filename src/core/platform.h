@@ -1,0 +1,33 @@
+// Platform profiles for the experiments (DESIGN.md §3 substitutions).
+//
+//  * pc-native: real wall-clock on this host; network round trips use
+//    either loopback UDP or the simulated Fast-Ethernet link.
+//  * ipx-sim: virtual time from the cost model; the generic path is the
+//    IR corpus run by the interpreter, the specialized path is the plan
+//    executor with event counting, and round trips ride the simulated
+//    ATM link.
+#pragma once
+
+#include "common/costmodel.h"
+#include "net/simnet.h"
+
+namespace tempo::core {
+
+struct PlatformProfile {
+  const char* name;
+  bool native_timing;           // wall clock vs cost model
+  CostParams cost;              // used when !native_timing
+  net::LinkParams link;         // simulated network parameters
+};
+
+inline PlatformProfile pc_linux_profile() {
+  return PlatformProfile{"PC/Linux - Ethernet 100Mbits", true, CostParams{},
+                         net::LinkParams::ethernet_pc()};
+}
+
+inline PlatformProfile ipx_sunos_profile() {
+  return PlatformProfile{"IPX/SunOS - ATM 100Mbits", false,
+                         CostParams::ipx_sunos(), net::LinkParams::atm_ipx()};
+}
+
+}  // namespace tempo::core

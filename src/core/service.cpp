@@ -1,0 +1,90 @@
+#include "core/service.h"
+
+#include "idl/interp.h"
+#include "pe/layout.h"
+
+namespace tempo::core {
+
+using pe::ExecStatus;
+
+void SpecializedService::install(rpc::SvcRegistry& registry) {
+  registry.register_proc(
+      iface_.corpus().prog_num, iface_.corpus().vers_num,
+      iface_.corpus().proc_num,
+      [this](xdr::XdrStream& in, xdr::XdrStream& out) {
+        return handle(in, out);
+      });
+}
+
+bool SpecializedService::handle(xdr::XdrStream& in, xdr::XdrStream& out) {
+  const pe::Plan& dplan = iface_.decode_args_plan();
+  const pe::Plan& eplan = iface_.encode_results_plan();
+
+  // Fast path needs direct buffer access on both streams.
+  std::uint8_t* in_bytes =
+      dplan.expected_in ? in.inline_bytes(dplan.expected_in) : nullptr;
+  if (dplan.expected_in != 0 && in_bytes != nullptr) {
+    std::vector<std::uint32_t> args(
+        static_cast<std::size_t>(iface_.arg_slots()));
+    if (run_plan_decode(dplan, ByteSpan(in_bytes, dplan.expected_in),
+                        /*xid=*/0, args, nullptr) == ExecStatus::kOk) {
+      std::vector<std::uint32_t> results(
+          static_cast<std::size_t>(iface_.res_slots()));
+      if (!handler_(args, results)) return false;
+      std::uint8_t* out_bytes = out.inline_bytes(eplan.out_size);
+      if (out_bytes != nullptr) {
+        ++stats_.fast_path;
+        return run_plan_encode(eplan, results, /*xid=*/0,
+                               MutableByteSpan(out_bytes, eplan.out_size),
+                               nullptr) == ExecStatus::kOk;
+      }
+      // Buffer not inlinable for the reply: encode generically.
+      ++stats_.generic_path;
+      auto value = pe::unflatten_value(iface_.res_type(),
+                                       iface_.config().res_counts, results);
+      if (!value.is_ok()) return false;
+      return idl::encode_value(out, iface_.res_type(), *value);
+    }
+    // Guard miss: rewind is impossible on a stream, but the plan only
+    // *read* via the inline span — the stream cursor already advanced,
+    // so decode generically from the claimed bytes.
+    xdr::XdrMem redo(MutableByteSpan(in_bytes, dplan.expected_in),
+                     xdr::XdrOp::kDecode);
+    ++stats_.generic_path;
+    return handle_generic(redo, out);
+  }
+  ++stats_.generic_path;
+  return handle_generic(in, out);
+}
+
+bool SpecializedService::handle_generic(xdr::XdrStream& in,
+                                        xdr::XdrStream& out) {
+  idl::Value value;
+  if (!idl::decode_value(in, iface_.arg_type(), value)) return false;
+  pe::Slots args;
+  std::vector<std::uint32_t> counts;
+  if (!pe::collect_counts(iface_.arg_type(), value, counts).is_ok()) {
+    return false;
+  }
+  if (!pe::flatten_value(iface_.arg_type(), value, counts, args).is_ok()) {
+    return false;
+  }
+  // Shape differs from the specialization: the word handler contract is
+  // fixed-shape, so only matching requests can be served.
+  if (counts != iface_.config().arg_counts &&
+      !iface_.config().arg_counts.empty()) {
+    return false;
+  }
+  if (args.size() != static_cast<std::size_t>(iface_.arg_slots())) {
+    return false;
+  }
+  std::vector<std::uint32_t> results(
+      static_cast<std::size_t>(iface_.res_slots()));
+  if (!handler_(args, results)) return false;
+  auto rvalue = pe::unflatten_value(iface_.res_type(),
+                                    iface_.config().res_counts, results);
+  if (!rvalue.is_ok()) return false;
+  return idl::encode_value(out, iface_.res_type(), *rvalue);
+}
+
+}  // namespace tempo::core

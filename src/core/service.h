@@ -1,0 +1,52 @@
+// Server-side specialization: a SvcRegistry handler that decodes
+// arguments and encodes results through residual plans, with the generic
+// type-interpreter path as the guarded fallback.
+//
+// The plan fast path engages when the transport exposes its buffer
+// (XDR_INLINE succeeds — true for the UDP XdrMem path, not for TCP
+// record streams) and the request length matches the specialization;
+// otherwise the request is served by the generic path.  Either way the
+// application logic sees flattened words.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "core/stubspec.h"
+#include "rpc/svc.h"
+
+namespace tempo::core {
+
+// Application logic on flattened slots: read `args`, fill `results`
+// (pre-sized to iface.res_slots()).  Return false for a server fault.
+using WordHandler = std::function<bool(std::span<const std::uint32_t> args,
+                                       std::span<std::uint32_t> results)>;
+
+struct SpecServiceStats {
+  std::int64_t fast_path = 0;
+  std::int64_t generic_path = 0;
+};
+
+// Registers `handler` for the interface; requests are served through the
+// residual plans when possible.  The returned stats object is owned by
+// the registry entry (lives as long as the registry).
+class SpecializedService {
+ public:
+  SpecializedService(const SpecializedInterface& iface, WordHandler handler)
+      : iface_(iface), handler_(std::move(handler)) {}
+
+  void install(rpc::SvcRegistry& registry);
+
+  const SpecServiceStats& stats() const { return stats_; }
+
+ private:
+  bool handle(xdr::XdrStream& in, xdr::XdrStream& out);
+  bool handle_generic(xdr::XdrStream& in, xdr::XdrStream& out);
+
+  const SpecializedInterface& iface_;
+  WordHandler handler_;
+  SpecServiceStats stats_;
+};
+
+}  // namespace tempo::core

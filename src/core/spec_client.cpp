@@ -1,0 +1,125 @@
+#include "core/spec_client.h"
+
+#include <chrono>
+
+#include "idl/interp.h"
+#include "pe/layout.h"
+#include "rpc/rpc_msg.h"
+#include "xdr/xdrmem.h"
+
+namespace tempo::core {
+
+using pe::ExecStatus;
+
+SpecializedClient::SpecializedClient(net::DatagramTransport& transport,
+                                     net::Addr server,
+                                     const SpecializedInterface& iface,
+                                     rpc::CallOptions opts)
+    : transport_(transport),
+      server_(server),
+      iface_(iface),
+      opts_(opts),
+      send_buf_(iface.encode_call_plan().out_size),
+      recv_buf_(rpc::kMaxUdpMessage) {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  xid_ = static_cast<std::uint32_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t).count());
+}
+
+Status SpecializedClient::decode_generic(ByteSpan payload,
+                                         std::span<std::uint32_t> results,
+                                         bool* stale) {
+  // The generic layered reply path: parse the header with the stock
+  // codecs, then decode the result body via the type interpreter.
+  *stale = false;
+  Bytes copy(payload.begin(), payload.end());
+  xdr::XdrMem in(MutableByteSpan(copy.data(), copy.size()),
+                 xdr::XdrOp::kDecode);
+  rpc::ReplyHeader reply;
+  if (!rpc::xdr_reply_header(in, reply)) {
+    return parse_error("garbled reply");
+  }
+  if (reply.xid != xid_) {
+    *stale = true;  // late reply to an earlier call: keep waiting
+    return Status::ok();
+  }
+  TEMPO_RETURN_IF_ERROR(rpc::reply_header_to_status(reply));
+  idl::Value value;
+  if (!idl::decode_value(in, iface_.res_type(), value)) {
+    return parse_error("cannot decode results");
+  }
+  pe::Slots slots;
+  TEMPO_RETURN_IF_ERROR(pe::flatten_value(
+      iface_.res_type(), value, iface_.config().res_counts, slots));
+  if (slots.size() > results.size()) {
+    return out_of_range("result block too small");
+  }
+  std::copy(slots.begin(), slots.end(), results.begin());
+  return Status::ok();
+}
+
+Status SpecializedClient::call(std::span<const std::uint32_t> args,
+                               std::span<std::uint32_t> results) {
+  ++stats_.calls;
+  ++xid_;
+
+  // ---- residual encode (paper Fig. 5 equivalent) ----
+  const pe::Plan& eplan = iface_.encode_call_plan();
+  if (run_plan_encode(eplan, args, xid_,
+                      MutableByteSpan(send_buf_.data(), send_buf_.size()),
+                      nullptr) != ExecStatus::kOk) {
+    return internal_error("encode plan rejected inputs");
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opts_.total_timeout_ms);
+  TEMPO_RETURN_IF_ERROR(transport_.send_to(
+      server_, ByteSpan(send_buf_.data(), eplan.out_size)));
+
+  const pe::Plan& dplan = iface_.decode_reply_plan();
+  for (;;) {
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count();
+    if (remaining <= 0) return timeout_error("RPC call timed out");
+    const int wait_ms = static_cast<int>(
+        remaining < opts_.retry_timeout_ms ? remaining
+                                           : opts_.retry_timeout_ms);
+
+    auto got = transport_.recv_from(
+        nullptr, MutableByteSpan(recv_buf_.data(), recv_buf_.size()),
+        wait_ms);
+    if (!got.is_ok()) {
+      if (got.status().code() == StatusCode::kTimeout) {
+        ++stats_.retransmissions;
+        TEMPO_RETURN_IF_ERROR(transport_.send_to(
+            server_, ByteSpan(send_buf_.data(), eplan.out_size)));
+        continue;
+      }
+      return got.status();
+    }
+
+    // ---- residual decode with guarded fallback ----
+    const ByteSpan payload(recv_buf_.data(), *got);
+    switch (run_plan_decode(dplan, payload, xid_, results, nullptr)) {
+      case ExecStatus::kOk:
+        return Status::ok();
+      case ExecStatus::kRetryXid:
+        ++stats_.stale_replies;
+        continue;
+      case ExecStatus::kFallback: {
+        ++stats_.generic_fallbacks;
+        bool stale = false;
+        Status st = decode_generic(payload, results, &stale);
+        if (stale) {
+          ++stats_.stale_replies;
+          continue;
+        }
+        return st;
+      }
+    }
+  }
+}
+
+}  // namespace tempo::core

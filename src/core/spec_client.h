@@ -1,0 +1,57 @@
+// SpecializedClient — the optimized clntudp_call.
+//
+// Per call it: patches the XID and runs the residual encode plan
+// (straight-line stores, no dispatch, no per-item overflow checks), sends
+// the datagram, and runs the residual decode plan on the reply.  Guard
+// misses degrade gracefully (guarded specialization, paper §6.2):
+//   * XID guard miss  -> stale datagram, keep waiting,
+//   * length or header guard miss -> decode the reply through the
+//     *generic* layered path instead, so unexpected-but-legal replies
+//     (PROG_MISMATCH, AUTH_ERROR, ...) are still understood and turned
+//     into the right Status.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/stubspec.h"
+#include "net/transport.h"
+#include "rpc/client.h"
+
+namespace tempo::core {
+
+struct SpecClientStats {
+  std::int64_t calls = 0;
+  std::int64_t retransmissions = 0;
+  std::int64_t stale_replies = 0;
+  std::int64_t generic_fallbacks = 0;  // decode guard misses
+};
+
+class SpecializedClient {
+ public:
+  SpecializedClient(net::DatagramTransport& transport, net::Addr server,
+                    const SpecializedInterface& iface,
+                    rpc::CallOptions opts = {});
+
+  // One remote call on flattened words.  `args` must have exactly
+  // iface.arg_slots() entries and `results` iface.res_slots().
+  Status call(std::span<const std::uint32_t> args,
+              std::span<std::uint32_t> results);
+
+  const SpecClientStats& stats() const { return stats_; }
+
+ private:
+  Status decode_generic(ByteSpan payload, std::span<std::uint32_t> results,
+                        bool* stale);
+
+  net::DatagramTransport& transport_;
+  net::Addr server_;
+  const SpecializedInterface& iface_;
+  rpc::CallOptions opts_;
+  std::uint32_t xid_;
+  SpecClientStats stats_;
+  Bytes send_buf_;
+  Bytes recv_buf_;
+};
+
+}  // namespace tempo::core

@@ -1,0 +1,122 @@
+#include "core/stubspec.h"
+
+namespace tempo::core {
+
+namespace {
+
+std::map<std::string, std::int64_t> count_bindings(
+    const char* prefix, const std::vector<std::uint32_t>& counts) {
+  std::map<std::string, std::int64_t> out;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    out[prefix + std::to_string(i)] = counts[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SpecializedInterface> SpecializedInterface::build(
+    const idl::ProcDef& proc, std::uint32_t prog, std::uint32_t vers,
+    SpecConfig config) {
+  SpecializedInterface out;
+  out.config_ = config;
+
+  TEMPO_ASSIGN_OR_RETURN(corpus,
+                         pe::build_interface_corpus(proc, prog, vers));
+  if (corpus.arg_counts != config.arg_counts.size()) {
+    return Status(invalid_argument(
+        "interface needs " + std::to_string(corpus.arg_counts) +
+        " pinned argument counts, got " +
+        std::to_string(config.arg_counts.size())));
+  }
+  if (corpus.res_counts != config.res_counts.size()) {
+    return Status(invalid_argument(
+        "interface needs " + std::to_string(corpus.res_counts) +
+        " pinned result counts, got " +
+        std::to_string(config.res_counts.size())));
+  }
+
+  TEMPO_ASSIGN_OR_RETURN(
+      arg_slots, pe::type_slots(*proc.arg_type, config.arg_counts));
+  TEMPO_ASSIGN_OR_RETURN(
+      res_slots, pe::type_slots(*proc.res_type, config.res_counts));
+  out.arg_slots_ = arg_slots;
+  out.res_slots_ = res_slots;
+
+  const auto arg_binds = count_bindings("cnt", config.arg_counts);
+  const auto res_binds = count_bindings("rcnt", config.res_counts);
+
+  // Client encode: x_op=ENCODE, full buffer capacity, xid dynamic.
+  {
+    pe::SpecInput in;
+    in.static_scalars = arg_binds;
+    in.ref_params = {{"argsp", 0}};
+    in.dynamic_scalars = {pe::kXidVar};
+    in.xdrs = {/*x_op=*/0, /*x_handy=*/config.buffer_bytes, 0};
+    in.options.unroll_factor = config.unroll_factor;
+    TEMPO_ASSIGN_OR_RETURN(
+        plan, pe::specialize(corpus.program, corpus.encode_call, in));
+    out.encode_call_ = std::move(plan);
+  }
+  // Client reply decode: x_op=DECODE, handy armed by the inlen guard.
+  {
+    pe::SpecInput in;
+    in.static_scalars = res_binds;
+    in.ref_params = {{"resp", 0}};
+    in.dynamic_scalars = {pe::kXidVar, pe::kInlenVar};
+    in.xdrs = {/*x_op=*/1, /*x_handy=*/0, 0};
+    in.options.unroll_factor = config.unroll_factor;
+    TEMPO_ASSIGN_OR_RETURN(
+        plan, pe::specialize(corpus.program, corpus.decode_reply, in));
+    out.decode_reply_ = std::move(plan);
+  }
+  // Server args decode.
+  {
+    pe::SpecInput in;
+    in.static_scalars = arg_binds;
+    in.ref_params = {{"argsp", 0}};
+    in.dynamic_scalars = {pe::kInlenVar};
+    in.xdrs = {/*x_op=*/1, /*x_handy=*/0, 0};
+    in.options.unroll_factor = config.unroll_factor;
+    TEMPO_ASSIGN_OR_RETURN(
+        plan, pe::specialize(corpus.program, corpus.decode_args, in));
+    out.decode_args_ = std::move(plan);
+  }
+  // Server results encode.
+  {
+    pe::SpecInput in;
+    in.static_scalars = res_binds;
+    in.ref_params = {{"resp", 0}};
+    in.dynamic_scalars = {};
+    in.xdrs = {/*x_op=*/0, /*x_handy=*/config.buffer_bytes, 0};
+    in.options.unroll_factor = config.unroll_factor;
+    TEMPO_ASSIGN_OR_RETURN(
+        plan, pe::specialize(corpus.program, corpus.encode_results, in));
+    out.encode_results_ = std::move(plan);
+  }
+
+  out.corpus_ = std::move(corpus);
+  return out;
+}
+
+Result<std::string> SpecializedInterface::annotated_encode_listing() const {
+  pe::BtaDivision division;
+  division.dynamic_params = {pe::kXidVar};
+  division.ref_params = {"argsp"};
+  division.known_fields = {{"x_op", 0}};  // the encode context
+  TEMPO_ASSIGN_OR_RETURN(
+      bta, pe::analyze_binding_times(corpus_.program, corpus_.encode_call,
+                                     division));
+  return pe::annotated_to_string(bta);
+}
+
+std::size_t SpecializedInterface::specialized_code_bytes() const {
+  return encode_call_.code_bytes() + decode_reply_.code_bytes() +
+         decode_args_.code_bytes() + encode_results_.code_bytes();
+}
+
+std::size_t SpecializedInterface::generic_code_bytes() const {
+  return pe::ir_code_size(corpus_.program);
+}
+
+}  // namespace tempo::core

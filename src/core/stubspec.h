@@ -1,0 +1,78 @@
+// SpecializedInterface: the user-facing product of the pipeline —
+// "rpcgen, then Tempo" in one object.
+//
+// Construction runs the whole toolchain for one (program, version,
+// procedure) and one set of pinned array counts:
+//   1. build the generic micro-layer stubs in IR (pe/corpus),
+//   2. partially evaluate all four entry points under the static inputs
+//      (pe/specializer) into residual plans,
+//   3. keep the generic IR around for the annotated view and as the
+//      reference/fallback semantics.
+//
+// One instance corresponds to one row of the paper's Table 3: a
+// specialized client for one array size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "idl/types.h"
+#include "pe/bta.h"
+#include "pe/corpus.h"
+#include "pe/layout.h"
+#include "pe/plan.h"
+#include "pe/specializer.h"
+
+namespace tempo::core {
+
+struct SpecConfig {
+  std::vector<std::uint32_t> arg_counts;  // pinned var-array counts, preorder
+  std::vector<std::uint32_t> res_counts;
+  std::uint32_t unroll_factor = 0;        // 0 = full unroll (paper default)
+  std::uint32_t buffer_bytes = 65000;     // encode capacity (static input)
+};
+
+class SpecializedInterface {
+ public:
+  // Fails if the interface is not plan-eligible; callers keep the
+  // generic path then (guarded specialization).
+  static Result<SpecializedInterface> build(const idl::ProcDef& proc,
+                                            std::uint32_t prog,
+                                            std::uint32_t vers,
+                                            SpecConfig config);
+
+  const pe::Plan& encode_call_plan() const { return encode_call_; }
+  const pe::Plan& decode_reply_plan() const { return decode_reply_; }
+  const pe::Plan& decode_args_plan() const { return decode_args_; }
+  const pe::Plan& encode_results_plan() const { return encode_results_; }
+
+  const pe::InterfaceCorpus& corpus() const { return corpus_; }
+  const SpecConfig& config() const { return config_; }
+  const idl::Type& arg_type() const { return *corpus_.arg_type; }
+  const idl::Type& res_type() const { return *corpus_.res_type; }
+
+  std::int64_t arg_slots() const { return arg_slots_; }
+  std::int64_t res_slots() const { return res_slots_; }
+
+  // Tempo-style annotated listing of the generic encode path under this
+  // interface's binding-time division (§6.1 visualization).
+  Result<std::string> annotated_encode_listing() const;
+
+  // Total residual code bytes across the four plans (Table 3 analog).
+  std::size_t specialized_code_bytes() const;
+  // Generic code-model size (constant across array sizes, like the
+  // original 20004-byte client objects).
+  std::size_t generic_code_bytes() const;
+
+ private:
+  SpecializedInterface() = default;
+
+  pe::InterfaceCorpus corpus_;
+  SpecConfig config_;
+  pe::Plan encode_call_, decode_reply_, decode_args_, encode_results_;
+  std::int64_t arg_slots_ = 0, res_slots_ = 0;
+};
+
+}  // namespace tempo::core

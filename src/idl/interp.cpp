@@ -1,0 +1,238 @@
+#include "idl/interp.h"
+
+#include "xdr/primitives.h"
+
+namespace tempo::idl {
+
+using xdr::XdrStream;
+
+bool encode_value(XdrStream& xdrs, const Type& t, const Value& value) {
+  switch (t.kind) {
+    case Kind::kVoid:
+      return true;
+    case Kind::kInt:
+    case Kind::kEnum: {
+      std::int32_t x = value.as<std::int32_t>();
+      return xdr::xdr_int(xdrs, x);
+    }
+    case Kind::kUInt: {
+      std::uint32_t x = value.as<std::uint32_t>();
+      return xdr::xdr_u_int(xdrs, x);
+    }
+    case Kind::kHyper: {
+      std::int64_t x = value.as<std::int64_t>();
+      return xdr::xdr_hyper(xdrs, x);
+    }
+    case Kind::kUHyper: {
+      std::uint64_t x = value.as<std::uint64_t>();
+      return xdr::xdr_u_hyper(xdrs, x);
+    }
+    case Kind::kBool: {
+      bool x = value.as<bool>();
+      return xdr::xdr_bool(xdrs, x);
+    }
+    case Kind::kFloat: {
+      float x = value.as<float>();
+      return xdr::xdr_float(xdrs, x);
+    }
+    case Kind::kDouble: {
+      double x = value.as<double>();
+      return xdr::xdr_double(xdrs, x);
+    }
+    case Kind::kString: {
+      std::string s = value.as<std::string>();
+      return xdr::xdr_string(xdrs, s, t.bound);
+    }
+    case Kind::kOpaqueFixed: {
+      Bytes b = value.as<Bytes>();
+      if (b.size() != t.bound) return false;
+      return xdr::xdr_opaque(xdrs, MutableByteSpan(b.data(), b.size()));
+    }
+    case Kind::kOpaqueVar: {
+      Bytes b = value.as<Bytes>();
+      return xdr::xdr_bytes(xdrs, b, t.bound);
+    }
+    case Kind::kArrayFixed: {
+      const auto& l = value.as<ValueList>();
+      if (l.size() != t.bound) return false;
+      for (const auto& e : l) {
+        if (!encode_value(xdrs, *t.elem, e)) return false;
+      }
+      return true;
+    }
+    case Kind::kArrayVar: {
+      const auto& l = value.as<ValueList>();
+      if (l.size() > t.bound) return false;
+      std::uint32_t count = static_cast<std::uint32_t>(l.size());
+      if (!xdr::xdr_u_int(xdrs, count)) return false;
+      for (const auto& e : l) {
+        if (!encode_value(xdrs, *t.elem, e)) return false;
+      }
+      return true;
+    }
+    case Kind::kStruct: {
+      const auto& l = value.as<ValueList>();
+      if (l.size() != t.fields.size()) return false;
+      for (std::size_t i = 0; i < l.size(); ++i) {
+        if (!encode_value(xdrs, *t.fields[i].type, l[i])) return false;
+      }
+      return true;
+    }
+    case Kind::kOptional: {
+      const auto& o = value.as<OptionalValue>();
+      bool present = o.payload != nullptr;
+      if (!xdr::xdr_bool(xdrs, present)) return false;
+      return !present || encode_value(xdrs, *t.elem, *o.payload);
+    }
+    case Kind::kUnion: {
+      const auto& u = value.as<UnionValue>();
+      std::int32_t d = u.discriminant;
+      if (!xdr::xdr_int(xdrs, d)) return false;
+      for (const auto& arm : t.arms) {
+        if (arm.discriminant == u.discriminant) {
+          if (arm.field.type->kind == Kind::kVoid) return true;
+          return u.payload && encode_value(xdrs, *arm.field.type, *u.payload);
+        }
+      }
+      if (!t.default_arm) return false;
+      if (t.default_arm->type->kind == Kind::kVoid) return true;
+      return u.payload && encode_value(xdrs, *t.default_arm->type, *u.payload);
+    }
+  }
+  return false;
+}
+
+bool decode_value(XdrStream& xdrs, const Type& t, Value& out) {
+  switch (t.kind) {
+    case Kind::kVoid:
+      out.v = std::monostate{};
+      return true;
+    case Kind::kInt:
+    case Kind::kEnum: {
+      std::int32_t x = 0;
+      if (!xdr::xdr_int(xdrs, x)) return false;
+      out.v = x;
+      return true;
+    }
+    case Kind::kUInt: {
+      std::uint32_t x = 0;
+      if (!xdr::xdr_u_int(xdrs, x)) return false;
+      out.v = x;
+      return true;
+    }
+    case Kind::kHyper: {
+      std::int64_t x = 0;
+      if (!xdr::xdr_hyper(xdrs, x)) return false;
+      out.v = x;
+      return true;
+    }
+    case Kind::kUHyper: {
+      std::uint64_t x = 0;
+      if (!xdr::xdr_u_hyper(xdrs, x)) return false;
+      out.v = x;
+      return true;
+    }
+    case Kind::kBool: {
+      bool x = false;
+      if (!xdr::xdr_bool(xdrs, x)) return false;
+      out.v = x;
+      return true;
+    }
+    case Kind::kFloat: {
+      float x = 0;
+      if (!xdr::xdr_float(xdrs, x)) return false;
+      out.v = x;
+      return true;
+    }
+    case Kind::kDouble: {
+      double x = 0;
+      if (!xdr::xdr_double(xdrs, x)) return false;
+      out.v = x;
+      return true;
+    }
+    case Kind::kString: {
+      std::string s;
+      if (!xdr::xdr_string(xdrs, s, t.bound)) return false;
+      out.v = std::move(s);
+      return true;
+    }
+    case Kind::kOpaqueFixed: {
+      Bytes b(t.bound);
+      if (!xdr::xdr_opaque(xdrs, MutableByteSpan(b.data(), b.size()))) {
+        return false;
+      }
+      out.v = std::move(b);
+      return true;
+    }
+    case Kind::kOpaqueVar: {
+      Bytes b;
+      if (!xdr::xdr_bytes(xdrs, b, t.bound)) return false;
+      out.v = std::move(b);
+      return true;
+    }
+    case Kind::kArrayFixed: {
+      ValueList l(t.bound);
+      for (auto& e : l) {
+        if (!decode_value(xdrs, *t.elem, e)) return false;
+      }
+      out.v = std::move(l);
+      return true;
+    }
+    case Kind::kArrayVar: {
+      std::uint32_t count = 0;
+      if (!xdr::xdr_u_int(xdrs, count)) return false;
+      if (count > t.bound) return false;
+      ValueList l(count);
+      for (auto& e : l) {
+        if (!decode_value(xdrs, *t.elem, e)) return false;
+      }
+      out.v = std::move(l);
+      return true;
+    }
+    case Kind::kStruct: {
+      ValueList l(t.fields.size());
+      for (std::size_t i = 0; i < l.size(); ++i) {
+        if (!decode_value(xdrs, *t.fields[i].type, l[i])) return false;
+      }
+      out.v = std::move(l);
+      return true;
+    }
+    case Kind::kOptional: {
+      bool present = false;
+      if (!xdr::xdr_bool(xdrs, present)) return false;
+      OptionalValue o;
+      if (present) {
+        o.payload = std::make_shared<Value>();
+        if (!decode_value(xdrs, *t.elem, *o.payload)) return false;
+      }
+      out.v = std::move(o);
+      return true;
+    }
+    case Kind::kUnion: {
+      std::int32_t d = 0;
+      if (!xdr::xdr_int(xdrs, d)) return false;
+      UnionValue u;
+      u.discriminant = d;
+      const Type* arm_type = nullptr;
+      for (const auto& arm : t.arms) {
+        if (arm.discriminant == d) {
+          arm_type = arm.field.type.get();
+          break;
+        }
+      }
+      if (!arm_type) {
+        if (!t.default_arm) return false;
+        arm_type = t.default_arm->type.get();
+      }
+      if (arm_type->kind != Kind::kVoid) {
+        u.payload = std::make_shared<Value>();
+        if (!decode_value(xdrs, *arm_type, *u.payload)) return false;
+      }
+      out.v = std::move(u);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace tempo::idl

@@ -1,0 +1,24 @@
+// Table-driven generic marshaller: interprets a Type descriptor against
+// a Value at run time, dispatching per node.
+//
+// This is the related-work baseline the paper contrasts in §7
+// (Hoschka & Huitema's "table-driven implementation": a generic
+// interpreter selecting elementary codecs from a descriptor).  The
+// layered xdr_* functions are the "procedure-driven" flavor; the
+// specialized plans are what partial evaluation adds on top of both.
+#pragma once
+
+#include "idl/types.h"
+#include "idl/value.h"
+#include "xdr/xdr.h"
+
+namespace tempo::idl {
+
+// Encode `value` (shaped like `type`) into the stream; false on overflow
+// or shape mismatch.
+bool encode_value(xdr::XdrStream& xdrs, const Type& type, const Value& value);
+
+// Decode a value of `type` from the stream.
+bool decode_value(xdr::XdrStream& xdrs, const Type& type, Value& out);
+
+}  // namespace tempo::idl

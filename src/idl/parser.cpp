@@ -1,0 +1,568 @@
+#include "idl/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace tempo::idl {
+
+const ProgramDef* Module::find_program(std::string_view name) const {
+  for (const auto& p : programs) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// ---- lexer ------------------------------------------------------------
+
+enum class Tok : std::uint8_t {
+  kIdent,
+  kNumber,
+  kPunct,  // one of { } ( ) [ ] < > ; , = : *
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  std::int64_t number = 0;
+  int line = 0, col = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_space_and_comments();
+      if (pos_ >= src_.size()) break;
+      const char c = src_[pos_];
+      Token t;
+      t.line = line_;
+      t.col = col_;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        t.kind = Tok::kIdent;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '_')) {
+          t.text.push_back(src_[pos_]);
+          advance();
+        }
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < src_.size() &&
+                  std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+        t.kind = Tok::kNumber;
+        const bool neg = (c == '-');
+        if (neg) {
+          t.text.push_back(c);
+          advance();
+        }
+        int base = 10;
+        if (src_[pos_] == '0' && pos_ + 1 < src_.size() &&
+            (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'X')) {
+          base = 16;
+          t.text += "0x";
+          advance();
+          advance();
+        }
+        std::int64_t v = 0;
+        bool any = false;
+        while (pos_ < src_.size()) {
+          const char d = src_[pos_];
+          int dv;
+          if (d >= '0' && d <= '9') {
+            dv = d - '0';
+          } else if (base == 16 && d >= 'a' && d <= 'f') {
+            dv = d - 'a' + 10;
+          } else if (base == 16 && d >= 'A' && d <= 'F') {
+            dv = d - 'A' + 10;
+          } else {
+            break;
+          }
+          v = v * base + dv;
+          t.text.push_back(d);
+          advance();
+          any = true;
+        }
+        if (!any) {
+          return err(t, "malformed number");
+        }
+        t.number = neg ? -v : v;
+      } else if (std::string_view("{}()[]<>;,=:*").find(c) !=
+                 std::string_view::npos) {
+        t.kind = Tok::kPunct;
+        t.text.push_back(c);
+        advance();
+      } else {
+        t.text.push_back(c);
+        return err(t, std::string("unexpected character '") + c + "'");
+      }
+      out.push_back(std::move(t));
+    }
+    Token end;
+    end.line = line_;
+    end.col = col_;
+    out.push_back(end);
+    return out;
+  }
+
+ private:
+  void advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void skip_space_and_comments() {
+    for (;;) {
+      while (pos_ < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        advance();
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' &&
+          src_[pos_ + 1] == '*') {
+        while (pos_ + 1 < src_.size() &&
+               !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+          advance();
+        }
+        if (pos_ + 1 < src_.size()) {
+          advance();
+          advance();
+        } else {
+          pos_ = src_.size();
+        }
+        continue;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' &&
+          src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') advance();
+        continue;
+      }
+      // rpcgen passthrough lines start with '%' — skip them whole.
+      if (pos_ < src_.size() && src_[pos_] == '%' && col_ == 1) {
+        while (pos_ < src_.size() && src_[pos_] != '\n') advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  Status err(const Token& t, std::string what) {
+    return parse_error(std::to_string(t.line) + ":" + std::to_string(t.col) +
+                       ": " + std::move(what));
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1, col_ = 1;
+};
+
+// ---- parser -----------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<Module> run() {
+    while (!at_end()) {
+      TEMPO_RETURN_IF_ERROR(parse_definition());
+    }
+    return std::move(module_);
+  }
+
+ private:
+  const Token& cur() const { return toks_[i_]; }
+  bool at_end() const { return cur().kind == Tok::kEnd; }
+  void bump() {
+    if (!at_end()) ++i_;
+  }
+
+  Status err(std::string what) const {
+    return parse_error(std::to_string(cur().line) + ":" +
+                       std::to_string(cur().col) + ": " + std::move(what) +
+                       (cur().text.empty() ? "" : " near '" + cur().text + "'"));
+  }
+
+  bool is_ident(std::string_view kw) const {
+    return cur().kind == Tok::kIdent && cur().text == kw;
+  }
+  bool is_punct(char p) const {
+    return cur().kind == Tok::kPunct && cur().text[0] == p;
+  }
+
+  Status expect_punct(char p) {
+    if (!is_punct(p)) {
+      return err(std::string("expected '") + p + "'");
+    }
+    bump();
+    return Status::ok();
+  }
+
+  Result<std::string> expect_ident() {
+    if (cur().kind != Tok::kIdent) return Status(err("expected identifier"));
+    std::string name = cur().text;
+    bump();
+    return name;
+  }
+
+  // A literal number or a reference to a previously declared const.
+  Result<std::int64_t> expect_value() {
+    if (cur().kind == Tok::kNumber) {
+      std::int64_t v = cur().number;
+      bump();
+      return v;
+    }
+    if (cur().kind == Tok::kIdent) {
+      const auto it = module_.consts.find(cur().text);
+      if (it == module_.consts.end()) {
+        return Status(err("unknown constant '" + cur().text + "'"));
+      }
+      bump();
+      return it->second;
+    }
+    return Status(err("expected value"));
+  }
+
+  Status parse_definition() {
+    if (is_ident("const")) return parse_const();
+    if (is_ident("typedef")) return parse_typedef();
+    if (is_ident("enum")) return parse_enum_def();
+    if (is_ident("struct")) return parse_struct_def();
+    if (is_ident("union")) return parse_union_def();
+    if (is_ident("program")) return parse_program();
+    return err("expected definition");
+  }
+
+  Status parse_const() {
+    bump();  // const
+    TEMPO_ASSIGN_OR_RETURN(name, expect_ident());
+    TEMPO_RETURN_IF_ERROR(expect_punct('='));
+    TEMPO_ASSIGN_OR_RETURN(value, expect_value());
+    TEMPO_RETURN_IF_ERROR(expect_punct(';'));
+    module_.consts[name] = value;
+    return Status::ok();
+  }
+
+  Status parse_typedef() {
+    bump();  // typedef
+    TEMPO_ASSIGN_OR_RETURN(decl, parse_declaration());
+    TEMPO_RETURN_IF_ERROR(expect_punct(';'));
+    if (decl.name.empty()) return err("typedef requires a name");
+    module_.types[decl.name] = decl.type;
+    return Status::ok();
+  }
+
+  Status parse_enum_def() {
+    TEMPO_ASSIGN_OR_RETURN(type, parse_enum_body());
+    TEMPO_RETURN_IF_ERROR(expect_punct(';'));
+    module_.types[type->name] = type;
+    return Status::ok();
+  }
+
+  Result<TypePtr> parse_enum_body() {
+    bump();  // enum
+    TEMPO_ASSIGN_OR_RETURN(name, expect_ident());
+    TEMPO_RETURN_IF_ERROR(expect_punct('{'));
+    std::vector<EnumValue> values;
+    std::int32_t next = 0;
+    for (;;) {
+      TEMPO_ASSIGN_OR_RETURN(ename, expect_ident());
+      std::int32_t v = next;
+      if (is_punct('=')) {
+        bump();
+        TEMPO_ASSIGN_OR_RETURN(ev, expect_value());
+        v = static_cast<std::int32_t>(ev);
+      }
+      values.push_back(EnumValue{ename, v});
+      module_.consts[ename] = v;  // enumerators are usable as constants
+      next = v + 1;
+      if (is_punct(',')) {
+        bump();
+        continue;
+      }
+      break;
+    }
+    TEMPO_RETURN_IF_ERROR(expect_punct('}'));
+    return t_enum(name, std::move(values));
+  }
+
+  Status parse_struct_def() {
+    TEMPO_ASSIGN_OR_RETURN(type, parse_struct_body());
+    TEMPO_RETURN_IF_ERROR(expect_punct(';'));
+    module_.types[type->name] = type;
+    return Status::ok();
+  }
+
+  Result<TypePtr> parse_struct_body() {
+    bump();  // struct
+    TEMPO_ASSIGN_OR_RETURN(name, expect_ident());
+    TEMPO_RETURN_IF_ERROR(expect_punct('{'));
+    // Register the (still empty) struct up front so self-referential
+    // declarations like `entry *next;` resolve — XDR allows recursion
+    // through optional data.
+    auto node = std::make_shared<Type>();
+    node->kind = Kind::kStruct;
+    node->name = name;
+    const bool had_prior = module_.types.count(name) > 0;
+    TypePtr prior = had_prior ? module_.types[name] : nullptr;
+    module_.types[name] = node;
+
+    std::vector<Field> fields;
+    while (!is_punct('}')) {
+      auto decl = parse_declaration();
+      if (!decl.is_ok()) {
+        if (had_prior) {
+          module_.types[name] = prior;
+        } else {
+          module_.types.erase(name);
+        }
+        return decl.status();
+      }
+      TEMPO_RETURN_IF_ERROR(expect_punct(';'));
+      if (decl->type->kind != Kind::kVoid) {
+        fields.push_back(std::move(*decl));
+      }
+    }
+    bump();  // }
+    node->fields = std::move(fields);
+    return TypePtr(node);
+  }
+
+  Status parse_union_def() {
+    TEMPO_ASSIGN_OR_RETURN(type, parse_union_body());
+    TEMPO_RETURN_IF_ERROR(expect_punct(';'));
+    module_.types[type->name] = type;
+    return Status::ok();
+  }
+
+  Result<TypePtr> parse_union_body() {
+    bump();  // union
+    TEMPO_ASSIGN_OR_RETURN(name, expect_ident());
+    if (!is_ident("switch")) return Status(err("expected 'switch'"));
+    bump();
+    TEMPO_RETURN_IF_ERROR(expect_punct('('));
+    TEMPO_ASSIGN_OR_RETURN(disc, parse_declaration());
+    if (disc.type->kind != Kind::kInt && disc.type->kind != Kind::kUInt &&
+        disc.type->kind != Kind::kEnum && disc.type->kind != Kind::kBool) {
+      return Status(err("union discriminant must be int/enum/bool"));
+    }
+    TEMPO_RETURN_IF_ERROR(expect_punct(')'));
+    TEMPO_RETURN_IF_ERROR(expect_punct('{'));
+    std::vector<UnionArm> arms;
+    std::optional<Field> default_arm;
+    while (!is_punct('}')) {
+      if (is_ident("case")) {
+        bump();
+        TEMPO_ASSIGN_OR_RETURN(d, expect_value());
+        TEMPO_RETURN_IF_ERROR(expect_punct(':'));
+        TEMPO_ASSIGN_OR_RETURN(decl, parse_declaration());
+        TEMPO_RETURN_IF_ERROR(expect_punct(';'));
+        arms.push_back(UnionArm{static_cast<std::int32_t>(d), std::move(decl)});
+      } else if (is_ident("default")) {
+        bump();
+        TEMPO_RETURN_IF_ERROR(expect_punct(':'));
+        TEMPO_ASSIGN_OR_RETURN(decl, parse_declaration());
+        TEMPO_RETURN_IF_ERROR(expect_punct(';'));
+        default_arm = std::move(decl);
+      } else {
+        return Status(err("expected 'case' or 'default'"));
+      }
+    }
+    bump();  // }
+    return t_union(name, std::move(arms), std::move(default_arm));
+  }
+
+  // type-specifier (without declarator decorations)
+  Result<TypePtr> parse_type_spec() {
+    if (is_ident("void")) {
+      bump();
+      return t_void();
+    }
+    if (is_ident("int")) {
+      bump();
+      return t_int();
+    }
+    if (is_ident("unsigned")) {
+      bump();
+      if (is_ident("int")) {
+        bump();
+        return t_uint();
+      }
+      if (is_ident("hyper")) {
+        bump();
+        return t_uhyper();
+      }
+      return t_uint();  // bare "unsigned"
+    }
+    if (is_ident("hyper")) {
+      bump();
+      return t_hyper();
+    }
+    if (is_ident("float")) {
+      bump();
+      return t_float();
+    }
+    if (is_ident("double")) {
+      bump();
+      return t_double();
+    }
+    if (is_ident("bool")) {
+      bump();
+      return t_bool();
+    }
+    if (is_ident("enum")) return parse_enum_body();
+    if (is_ident("struct")) {
+      // Either an inline body or a reference: struct foo { ... } vs struct foo
+      if (toks_[i_ + 1].kind == Tok::kIdent &&
+          toks_[i_ + 2].kind == Tok::kPunct && toks_[i_ + 2].text[0] == '{') {
+        return parse_struct_body();
+      }
+      bump();
+      return lookup_named_type();
+    }
+    if (is_ident("union")) return parse_union_body();
+    return lookup_named_type();
+  }
+
+  Result<TypePtr> lookup_named_type() {
+    TEMPO_ASSIGN_OR_RETURN(name, expect_ident());
+    const auto it = module_.types.find(name);
+    if (it == module_.types.end()) {
+      return Status(parse_error("unknown type '" + name + "'"));
+    }
+    return it->second;
+  }
+
+  // declaration := type-spec declarator.  Returns a Field (name may be
+  // empty for "void").
+  Result<Field> parse_declaration() {
+    // string / opaque have declarator-coupled grammar.
+    if (is_ident("string")) {
+      bump();
+      TEMPO_ASSIGN_OR_RETURN(name, expect_ident());
+      TEMPO_RETURN_IF_ERROR(expect_punct('<'));
+      std::uint32_t bound = 0xFFFFFFFFu;
+      if (!is_punct('>')) {
+        TEMPO_ASSIGN_OR_RETURN(b, expect_value());
+        bound = static_cast<std::uint32_t>(b);
+      }
+      TEMPO_RETURN_IF_ERROR(expect_punct('>'));
+      return Field{name, t_string(bound)};
+    }
+    if (is_ident("opaque")) {
+      bump();
+      TEMPO_ASSIGN_OR_RETURN(name, expect_ident());
+      if (is_punct('[')) {
+        bump();
+        TEMPO_ASSIGN_OR_RETURN(n, expect_value());
+        TEMPO_RETURN_IF_ERROR(expect_punct(']'));
+        return Field{name, t_opaque_fixed(static_cast<std::uint32_t>(n))};
+      }
+      TEMPO_RETURN_IF_ERROR(expect_punct('<'));
+      std::uint32_t bound = 0xFFFFFFFFu;
+      if (!is_punct('>')) {
+        TEMPO_ASSIGN_OR_RETURN(b, expect_value());
+        bound = static_cast<std::uint32_t>(b);
+      }
+      TEMPO_RETURN_IF_ERROR(expect_punct('>'));
+      return Field{name, t_opaque_var(bound)};
+    }
+
+    TEMPO_ASSIGN_OR_RETURN(base, parse_type_spec());
+    if (base->kind == Kind::kVoid) return Field{"", base};
+
+    bool optional = false;
+    if (is_punct('*')) {
+      bump();
+      optional = true;
+    }
+    TEMPO_ASSIGN_OR_RETURN(name, expect_ident());
+
+    TypePtr type = base;
+    if (is_punct('[')) {
+      bump();
+      TEMPO_ASSIGN_OR_RETURN(n, expect_value());
+      TEMPO_RETURN_IF_ERROR(expect_punct(']'));
+      type = t_array_fixed(type, static_cast<std::uint32_t>(n));
+    } else if (is_punct('<')) {
+      bump();
+      std::uint32_t bound = 0xFFFFFFFFu;
+      if (!is_punct('>')) {
+        TEMPO_ASSIGN_OR_RETURN(b, expect_value());
+        bound = static_cast<std::uint32_t>(b);
+      }
+      TEMPO_RETURN_IF_ERROR(expect_punct('>'));
+      type = t_array_var(type, bound);
+    }
+    if (optional) type = t_optional(type);
+    return Field{name, type};
+  }
+
+  Status parse_program() {
+    bump();  // program
+    ProgramDef prog;
+    TEMPO_ASSIGN_OR_RETURN(pname, expect_ident());
+    prog.name = pname;
+    TEMPO_RETURN_IF_ERROR(expect_punct('{'));
+    while (is_ident("version")) {
+      bump();
+      VersionDef vers;
+      TEMPO_ASSIGN_OR_RETURN(vname, expect_ident());
+      vers.name = vname;
+      TEMPO_RETURN_IF_ERROR(expect_punct('{'));
+      while (!is_punct('}')) {
+        ProcDef proc;
+        TEMPO_ASSIGN_OR_RETURN(res, parse_type_spec());
+        proc.res_type = res;
+        TEMPO_ASSIGN_OR_RETURN(name, expect_ident());
+        proc.name = name;
+        TEMPO_RETURN_IF_ERROR(expect_punct('('));
+        TEMPO_ASSIGN_OR_RETURN(arg, parse_type_spec());
+        proc.arg_type = arg;
+        TEMPO_RETURN_IF_ERROR(expect_punct(')'));
+        TEMPO_RETURN_IF_ERROR(expect_punct('='));
+        TEMPO_ASSIGN_OR_RETURN(num, expect_value());
+        proc.number = static_cast<std::uint32_t>(num);
+        TEMPO_RETURN_IF_ERROR(expect_punct(';'));
+        vers.procs.push_back(std::move(proc));
+      }
+      bump();  // }
+      TEMPO_RETURN_IF_ERROR(expect_punct('='));
+      TEMPO_ASSIGN_OR_RETURN(vnum, expect_value());
+      vers.number = static_cast<std::uint32_t>(vnum);
+      TEMPO_RETURN_IF_ERROR(expect_punct(';'));
+      prog.versions.push_back(std::move(vers));
+    }
+    TEMPO_RETURN_IF_ERROR(expect_punct('}'));
+    TEMPO_RETURN_IF_ERROR(expect_punct('='));
+    TEMPO_ASSIGN_OR_RETURN(pnum, expect_value());
+    prog.number = static_cast<std::uint32_t>(pnum);
+    TEMPO_RETURN_IF_ERROR(expect_punct(';'));
+    module_.programs.push_back(std::move(prog));
+    return Status::ok();
+  }
+
+  std::vector<Token> toks_;
+  std::size_t i_ = 0;
+  Module module_;
+};
+
+}  // namespace
+
+Result<Module> parse_xdr_source(std::string_view source) {
+  Lexer lexer(source);
+  auto toks = lexer.run();
+  if (!toks.is_ok()) return toks.status();
+  Parser parser(std::move(*toks));
+  return parser.run();
+}
+
+}  // namespace tempo::idl

@@ -1,0 +1,30 @@
+// Parser for the XDR interface language (the .x files fed to rpcgen,
+// RFC 4506 §6 grammar plus the program/version/procedure extension of
+// RFC 1057 §11).  Supported subset: const, typedef, enum, struct, union,
+// program declarations; int/unsigned/hyper/float/double/bool/string/
+// opaque type specifiers; fixed [n] and variable <n> arrays; optional
+// ('*') data.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "idl/types.h"
+
+namespace tempo::idl {
+
+struct Module {
+  std::map<std::string, std::int64_t> consts;
+  std::map<std::string, TypePtr> types;
+  std::vector<ProgramDef> programs;
+
+  const ProgramDef* find_program(std::string_view name) const;
+};
+
+// Parses .x source text.  On error, the Status message carries
+// "line:col: what went wrong".
+Result<Module> parse_xdr_source(std::string_view source);
+
+}  // namespace tempo::idl

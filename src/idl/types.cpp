@@ -1,0 +1,199 @@
+#include "idl/types.h"
+
+#include "common/bytes.h"
+
+namespace tempo::idl {
+
+namespace {
+TypePtr leaf(Kind k) {
+  auto t = std::make_shared<Type>();
+  t->kind = k;
+  return t;
+}
+}  // namespace
+
+TypePtr t_void() { return leaf(Kind::kVoid); }
+TypePtr t_int() { return leaf(Kind::kInt); }
+TypePtr t_uint() { return leaf(Kind::kUInt); }
+TypePtr t_hyper() { return leaf(Kind::kHyper); }
+TypePtr t_uhyper() { return leaf(Kind::kUHyper); }
+TypePtr t_bool() { return leaf(Kind::kBool); }
+TypePtr t_float() { return leaf(Kind::kFloat); }
+TypePtr t_double() { return leaf(Kind::kDouble); }
+
+TypePtr t_string(std::uint32_t bound) {
+  auto t = std::make_shared<Type>();
+  t->kind = Kind::kString;
+  t->bound = bound;
+  return t;
+}
+
+TypePtr t_opaque_fixed(std::uint32_t n) {
+  auto t = std::make_shared<Type>();
+  t->kind = Kind::kOpaqueFixed;
+  t->bound = n;
+  return t;
+}
+
+TypePtr t_opaque_var(std::uint32_t bound) {
+  auto t = std::make_shared<Type>();
+  t->kind = Kind::kOpaqueVar;
+  t->bound = bound;
+  return t;
+}
+
+TypePtr t_array_fixed(TypePtr elem, std::uint32_t n) {
+  auto t = std::make_shared<Type>();
+  t->kind = Kind::kArrayFixed;
+  t->elem = std::move(elem);
+  t->bound = n;
+  return t;
+}
+
+TypePtr t_array_var(TypePtr elem, std::uint32_t bound) {
+  auto t = std::make_shared<Type>();
+  t->kind = Kind::kArrayVar;
+  t->elem = std::move(elem);
+  t->bound = bound;
+  return t;
+}
+
+TypePtr t_struct(std::string name, std::vector<Field> fields) {
+  auto t = std::make_shared<Type>();
+  t->kind = Kind::kStruct;
+  t->name = std::move(name);
+  t->fields = std::move(fields);
+  return t;
+}
+
+TypePtr t_enum(std::string name, std::vector<EnumValue> values) {
+  auto t = std::make_shared<Type>();
+  t->kind = Kind::kEnum;
+  t->name = std::move(name);
+  t->enumerators = std::move(values);
+  return t;
+}
+
+TypePtr t_optional(TypePtr payload) {
+  auto t = std::make_shared<Type>();
+  t->kind = Kind::kOptional;
+  t->elem = std::move(payload);
+  return t;
+}
+
+TypePtr t_union(std::string name, std::vector<UnionArm> arms,
+                std::optional<Field> default_arm) {
+  auto t = std::make_shared<Type>();
+  t->kind = Kind::kUnion;
+  t->name = std::move(name);
+  t->arms = std::move(arms);
+  t->default_arm = std::move(default_arm);
+  return t;
+}
+
+std::optional<std::size_t> static_wire_size(const Type& t) {
+  switch (t.kind) {
+    case Kind::kVoid:
+      return std::size_t{0};
+    case Kind::kInt:
+    case Kind::kUInt:
+    case Kind::kBool:
+    case Kind::kFloat:
+    case Kind::kEnum:
+      return std::size_t{4};
+    case Kind::kHyper:
+    case Kind::kUHyper:
+    case Kind::kDouble:
+      return std::size_t{8};
+    case Kind::kOpaqueFixed:
+      return xdr_pad4(t.bound);
+    case Kind::kArrayFixed: {
+      auto e = static_wire_size(*t.elem);
+      if (!e) return std::nullopt;
+      return *e * t.bound;
+    }
+    case Kind::kStruct: {
+      std::size_t total = 0;
+      for (const auto& f : t.fields) {
+        auto s = static_wire_size(*f.type);
+        if (!s) return std::nullopt;
+        total += *s;
+      }
+      return total;
+    }
+    case Kind::kString:
+    case Kind::kOpaqueVar:
+    case Kind::kArrayVar:
+    case Kind::kOptional:
+    case Kind::kUnion:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool is_word_regular(const Type& t) {
+  switch (t.kind) {
+    case Kind::kInt:
+    case Kind::kUInt:
+    case Kind::kBool:
+    case Kind::kEnum:
+    case Kind::kFloat:
+      return true;
+    case Kind::kHyper:
+    case Kind::kUHyper:
+    case Kind::kDouble:
+      return true;  // two words, still word-aligned copies
+    case Kind::kArrayFixed:
+      return is_word_regular(*t.elem);
+    case Kind::kStruct:
+      for (const auto& f : t.fields) {
+        if (!is_word_regular(*f.type)) return false;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string type_to_string(const Type& t) {
+  switch (t.kind) {
+    case Kind::kVoid: return "void";
+    case Kind::kInt: return "int";
+    case Kind::kUInt: return "unsigned int";
+    case Kind::kHyper: return "hyper";
+    case Kind::kUHyper: return "unsigned hyper";
+    case Kind::kBool: return "bool";
+    case Kind::kFloat: return "float";
+    case Kind::kDouble: return "double";
+    case Kind::kEnum: return "enum " + t.name;
+    case Kind::kString: return "string<" + std::to_string(t.bound) + ">";
+    case Kind::kOpaqueFixed:
+      return "opaque[" + std::to_string(t.bound) + "]";
+    case Kind::kOpaqueVar:
+      return "opaque<" + std::to_string(t.bound) + ">";
+    case Kind::kArrayFixed:
+      return type_to_string(*t.elem) + "[" + std::to_string(t.bound) + "]";
+    case Kind::kArrayVar:
+      return type_to_string(*t.elem) + "<" + std::to_string(t.bound) + ">";
+    case Kind::kStruct: return "struct " + t.name;
+    case Kind::kOptional: return type_to_string(*t.elem) + "*";
+    case Kind::kUnion: return "union " + t.name;
+  }
+  return "?";
+}
+
+const ProcDef* VersionDef::find_proc(std::uint32_t n) const {
+  for (const auto& p : procs) {
+    if (p.number == n) return &p;
+  }
+  return nullptr;
+}
+
+const VersionDef* ProgramDef::find_version(std::uint32_t n) const {
+  for (const auto& v : versions) {
+    if (v.number == n) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace tempo::idl

@@ -1,0 +1,132 @@
+// XDR-language type model — what rpcgen sees after parsing a .x file.
+//
+// Types drive three consumers:
+//  * the table-driven generic marshaller (interp.h) — the
+//    Hoschka-Huitema-style baseline that interprets this descriptor at
+//    run time,
+//  * the IR stub generator (pe/corpus.h) — the rpcgen analog emitting
+//    micro-layer code for the specializer to work on,
+//  * the wire-size analysis below — the binding-time fact ("is the
+//    encoded size a static function of the type?") the specializer
+//    exploits to fold buffer-overflow checks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tempo::idl {
+
+enum class Kind : std::uint8_t {
+  kVoid,
+  kInt,       // 32-bit signed
+  kUInt,      // 32-bit unsigned
+  kHyper,     // 64-bit signed
+  kUHyper,    // 64-bit unsigned
+  kBool,
+  kFloat,
+  kDouble,
+  kEnum,        // named constants, wire = i32
+  kString,      // variable, bounded by `bound`
+  kOpaqueFixed, // exactly `bound` bytes
+  kOpaqueVar,   // up to `bound` bytes
+  kArrayFixed,  // exactly `bound` elements of `elem`
+  kArrayVar,    // up to `bound` elements of `elem`
+  kStruct,
+  kOptional,    // XDR pointer / "optional data"
+  kUnion,       // discriminated by an int/enum
+};
+
+struct Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+struct Field {
+  std::string name;
+  TypePtr type;
+};
+
+struct UnionArm {
+  std::int32_t discriminant = 0;
+  Field field;  // field.type may be kVoid
+};
+
+struct EnumValue {
+  std::string name;
+  std::int32_t value = 0;
+};
+
+struct Type {
+  Kind kind = Kind::kVoid;
+  std::string name;                   // for named enum/struct/union/typedef
+  std::uint32_t bound = 0;            // array/opaque/string bound
+  TypePtr elem;                       // array element / optional payload
+  std::vector<Field> fields;          // struct members
+  std::vector<EnumValue> enumerators; // enum members
+  std::vector<UnionArm> arms;         // union cases
+  std::optional<Field> default_arm;   // union default (may be void)
+};
+
+// Leaf constructors.
+TypePtr t_void();
+TypePtr t_int();
+TypePtr t_uint();
+TypePtr t_hyper();
+TypePtr t_uhyper();
+TypePtr t_bool();
+TypePtr t_float();
+TypePtr t_double();
+TypePtr t_string(std::uint32_t bound);
+TypePtr t_opaque_fixed(std::uint32_t n);
+TypePtr t_opaque_var(std::uint32_t bound);
+TypePtr t_array_fixed(TypePtr elem, std::uint32_t n);
+TypePtr t_array_var(TypePtr elem, std::uint32_t bound);
+TypePtr t_struct(std::string name, std::vector<Field> fields);
+TypePtr t_enum(std::string name, std::vector<EnumValue> values);
+TypePtr t_optional(TypePtr payload);
+TypePtr t_union(std::string name, std::vector<UnionArm> arms,
+                std::optional<Field> default_arm);
+
+// Encoded size in bytes when it is a static function of the type alone
+// (no strings, variable arrays/opaques, optionals or unions anywhere).
+// This is the specializer's key static fact: when present, every buffer
+// overflow check in the marshaling of this type folds away.
+std::optional<std::size_t> static_wire_size(const Type& t);
+
+// True if the type contains only 4-byte integer-class scalars laid out
+// contiguously (int/uint/bool/enum and fixed arrays/structs of those) —
+// the plan emitter uses this to produce pure word-copy residual code.
+bool is_word_regular(const Type& t);
+
+std::string type_to_string(const Type& t);
+
+// ---- interface descriptors (program / version / procedure) -----------
+
+struct ProcDef {
+  std::string name;
+  std::uint32_t number = 0;
+  TypePtr arg_type;
+  TypePtr res_type;
+};
+
+struct VersionDef {
+  std::string name;
+  std::uint32_t number = 0;
+  std::vector<ProcDef> procs;
+
+  const ProcDef* find_proc(std::uint32_t number) const;
+};
+
+struct ProgramDef {
+  std::string name;
+  std::uint32_t number = 0;
+  std::vector<VersionDef> versions;
+
+  const VersionDef* find_version(std::uint32_t number) const;
+};
+
+}  // namespace tempo::idl

@@ -1,0 +1,326 @@
+#include "idl/value.h"
+
+namespace tempo::idl {
+
+bool value_equal(const Value& a, const Value& b) {
+  if (a.v.index() != b.v.index()) return false;
+  if (std::holds_alternative<ValueList>(a.v)) {
+    const auto& la = a.as<ValueList>();
+    const auto& lb = b.as<ValueList>();
+    if (la.size() != lb.size()) return false;
+    for (std::size_t i = 0; i < la.size(); ++i) {
+      if (!value_equal(la[i], lb[i])) return false;
+    }
+    return true;
+  }
+  if (std::holds_alternative<OptionalValue>(a.v)) {
+    const auto& oa = a.as<OptionalValue>();
+    const auto& ob = b.as<OptionalValue>();
+    if (!oa.payload != !ob.payload) return false;
+    return !oa.payload || value_equal(*oa.payload, *ob.payload);
+  }
+  if (std::holds_alternative<UnionValue>(a.v)) {
+    const auto& ua = a.as<UnionValue>();
+    const auto& ub = b.as<UnionValue>();
+    if (ua.discriminant != ub.discriminant) return false;
+    if (!ua.payload != !ub.payload) return false;
+    return !ua.payload || value_equal(*ua.payload, *ub.payload);
+  }
+  return std::visit(
+      [&](const auto& x) -> bool {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, ValueList> ||
+                      std::is_same_v<T, OptionalValue> ||
+                      std::is_same_v<T, UnionValue>) {
+          return false;  // handled above
+        } else {
+          return x == std::get<T>(b.v);
+        }
+      },
+      a.v);
+}
+
+std::string value_to_string(const Value& value) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "void"; }
+    std::string operator()(std::int32_t x) const { return std::to_string(x); }
+    std::string operator()(std::uint32_t x) const { return std::to_string(x); }
+    std::string operator()(std::int64_t x) const { return std::to_string(x); }
+    std::string operator()(std::uint64_t x) const { return std::to_string(x); }
+    std::string operator()(bool x) const { return x ? "true" : "false"; }
+    std::string operator()(float x) const { return std::to_string(x); }
+    std::string operator()(double x) const { return std::to_string(x); }
+    std::string operator()(const std::string& s) const { return '"' + s + '"'; }
+    std::string operator()(const Bytes& b) const {
+      return "opaque[" + std::to_string(b.size()) + "]";
+    }
+    std::string operator()(const ValueList& l) const {
+      std::string out = "{";
+      for (std::size_t i = 0; i < l.size(); ++i) {
+        if (i) out += ", ";
+        out += value_to_string(l[i]);
+      }
+      return out + "}";
+    }
+    std::string operator()(const OptionalValue& o) const {
+      return o.payload ? "&" + value_to_string(*o.payload) : "null";
+    }
+    std::string operator()(const UnionValue& u) const {
+      return "case " + std::to_string(u.discriminant) + ": " +
+             (u.payload ? value_to_string(*u.payload) : "void");
+    }
+  };
+  return std::visit(Visitor{}, value.v);
+}
+
+Value zero_value(const Type& t) {
+  Value out;
+  switch (t.kind) {
+    case Kind::kVoid:
+      break;
+    case Kind::kInt:
+      out.v = std::int32_t{0};
+      break;
+    case Kind::kEnum:
+      out.v = t.enumerators.empty() ? std::int32_t{0}
+                                    : t.enumerators.front().value;
+      break;
+    case Kind::kUInt:
+      out.v = std::uint32_t{0};
+      break;
+    case Kind::kHyper:
+      out.v = std::int64_t{0};
+      break;
+    case Kind::kUHyper:
+      out.v = std::uint64_t{0};
+      break;
+    case Kind::kBool:
+      out.v = false;
+      break;
+    case Kind::kFloat:
+      out.v = 0.0f;
+      break;
+    case Kind::kDouble:
+      out.v = 0.0;
+      break;
+    case Kind::kString:
+      out.v = std::string{};
+      break;
+    case Kind::kOpaqueFixed:
+      out.v = Bytes(t.bound, 0);
+      break;
+    case Kind::kOpaqueVar:
+      out.v = Bytes{};
+      break;
+    case Kind::kArrayFixed: {
+      ValueList l;
+      l.reserve(t.bound);
+      for (std::uint32_t i = 0; i < t.bound; ++i) {
+        l.push_back(zero_value(*t.elem));
+      }
+      out.v = std::move(l);
+      break;
+    }
+    case Kind::kArrayVar:
+      out.v = ValueList{};
+      break;
+    case Kind::kStruct: {
+      ValueList l;
+      l.reserve(t.fields.size());
+      for (const auto& f : t.fields) l.push_back(zero_value(*f.type));
+      out.v = std::move(l);
+      break;
+    }
+    case Kind::kOptional:
+      out.v = OptionalValue{};
+      break;
+    case Kind::kUnion: {
+      UnionValue u;
+      if (!t.arms.empty()) {
+        u.discriminant = t.arms.front().discriminant;
+        if (t.arms.front().field.type->kind != Kind::kVoid) {
+          u.payload =
+              std::make_shared<Value>(zero_value(*t.arms.front().field.type));
+        }
+      }
+      out.v = std::move(u);
+      break;
+    }
+  }
+  return out;
+}
+
+Value random_value(const Type& t, Rng& rng, std::uint32_t max_elems) {
+  Value out;
+  switch (t.kind) {
+    case Kind::kVoid:
+      break;
+    case Kind::kInt:
+      out.v = static_cast<std::int32_t>(rng.next_u32());
+      break;
+    case Kind::kEnum:
+      out.v = t.enumerators.empty()
+                  ? static_cast<std::int32_t>(rng.next_below(8))
+                  : t.enumerators[rng.next_below(t.enumerators.size())].value;
+      break;
+    case Kind::kUInt:
+      out.v = rng.next_u32();
+      break;
+    case Kind::kHyper:
+      out.v = static_cast<std::int64_t>(rng.next_u64());
+      break;
+    case Kind::kUHyper:
+      out.v = rng.next_u64();
+      break;
+    case Kind::kBool:
+      out.v = rng.next_bool();
+      break;
+    case Kind::kFloat:
+      out.v = static_cast<float>(rng.next_double()) * 1000.0f;
+      break;
+    case Kind::kDouble:
+      out.v = rng.next_double() * 1e6;
+      break;
+    case Kind::kString: {
+      const std::uint32_t cap = t.bound < max_elems ? t.bound : max_elems;
+      std::string s(rng.next_below(cap + 1), '\0');
+      for (auto& c : s) {
+        c = static_cast<char>('a' + rng.next_below(26));
+      }
+      out.v = std::move(s);
+      break;
+    }
+    case Kind::kOpaqueFixed: {
+      Bytes b(t.bound);
+      for (auto& x : b) x = static_cast<std::uint8_t>(rng.next_u32());
+      out.v = std::move(b);
+      break;
+    }
+    case Kind::kOpaqueVar: {
+      const std::uint32_t cap = t.bound < max_elems ? t.bound : max_elems;
+      Bytes b(rng.next_below(cap + 1));
+      for (auto& x : b) x = static_cast<std::uint8_t>(rng.next_u32());
+      out.v = std::move(b);
+      break;
+    }
+    case Kind::kArrayFixed: {
+      ValueList l;
+      l.reserve(t.bound);
+      for (std::uint32_t i = 0; i < t.bound; ++i) {
+        l.push_back(random_value(*t.elem, rng, max_elems));
+      }
+      out.v = std::move(l);
+      break;
+    }
+    case Kind::kArrayVar: {
+      const std::uint32_t cap = t.bound < max_elems ? t.bound : max_elems;
+      ValueList l(static_cast<std::size_t>(rng.next_below(cap + 1)));
+      for (auto& e : l) e = random_value(*t.elem, rng, max_elems);
+      out.v = std::move(l);
+      break;
+    }
+    case Kind::kStruct: {
+      ValueList l;
+      l.reserve(t.fields.size());
+      for (const auto& f : t.fields) {
+        l.push_back(random_value(*f.type, rng, max_elems));
+      }
+      out.v = std::move(l);
+      break;
+    }
+    case Kind::kOptional: {
+      OptionalValue o;
+      if (rng.next_bool()) {
+        o.payload = std::make_shared<Value>(random_value(*t.elem, rng, max_elems));
+      }
+      out.v = std::move(o);
+      break;
+    }
+    case Kind::kUnion: {
+      UnionValue u;
+      const std::size_t n_arms =
+          t.arms.size() + (t.default_arm.has_value() ? 1 : 0);
+      const std::size_t pick = rng.next_below(n_arms ? n_arms : 1);
+      if (pick < t.arms.size()) {
+        u.discriminant = t.arms[pick].discriminant;
+        if (t.arms[pick].field.type->kind != Kind::kVoid) {
+          u.payload = std::make_shared<Value>(
+              random_value(*t.arms[pick].field.type, rng, max_elems));
+        }
+      } else if (t.default_arm) {
+        // Pick a discriminant not covered by any case.
+        std::int32_t d = static_cast<std::int32_t>(rng.next_u32() | 0x40000000);
+        u.discriminant = d;
+        if (t.default_arm->type->kind != Kind::kVoid) {
+          u.payload = std::make_shared<Value>(
+              random_value(*t.default_arm->type, rng, max_elems));
+        }
+      }
+      out.v = std::move(u);
+      break;
+    }
+  }
+  return out;
+}
+
+std::size_t wire_size(const Type& t, const Value& v) {
+  switch (t.kind) {
+    case Kind::kVoid:
+      return 0;
+    case Kind::kInt:
+    case Kind::kUInt:
+    case Kind::kBool:
+    case Kind::kFloat:
+    case Kind::kEnum:
+      return 4;
+    case Kind::kHyper:
+    case Kind::kUHyper:
+    case Kind::kDouble:
+      return 8;
+    case Kind::kString:
+      return 4 + xdr_pad4(v.as<std::string>().size());
+    case Kind::kOpaqueFixed:
+      return xdr_pad4(t.bound);
+    case Kind::kOpaqueVar:
+      return 4 + xdr_pad4(v.as<Bytes>().size());
+    case Kind::kArrayFixed: {
+      std::size_t total = 0;
+      for (const auto& e : v.as<ValueList>()) total += wire_size(*t.elem, e);
+      return total;
+    }
+    case Kind::kArrayVar: {
+      std::size_t total = 4;
+      for (const auto& e : v.as<ValueList>()) total += wire_size(*t.elem, e);
+      return total;
+    }
+    case Kind::kStruct: {
+      std::size_t total = 0;
+      const auto& l = v.as<ValueList>();
+      for (std::size_t i = 0; i < t.fields.size(); ++i) {
+        total += wire_size(*t.fields[i].type, l[i]);
+      }
+      return total;
+    }
+    case Kind::kOptional: {
+      const auto& o = v.as<OptionalValue>();
+      return 4 + (o.payload ? wire_size(*t.elem, *o.payload) : 0);
+    }
+    case Kind::kUnion: {
+      const auto& u = v.as<UnionValue>();
+      std::size_t payload = 0;
+      for (const auto& arm : t.arms) {
+        if (arm.discriminant == u.discriminant) {
+          payload = u.payload ? wire_size(*arm.field.type, *u.payload) : 0;
+          return 4 + payload;
+        }
+      }
+      if (t.default_arm && u.payload) {
+        payload = wire_size(*t.default_arm->type, *u.payload);
+      }
+      return 4 + payload;
+    }
+  }
+  return 0;
+}
+
+}  // namespace tempo::idl

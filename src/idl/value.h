@@ -1,0 +1,69 @@
+// Dynamically-typed XDR values, used by the table-driven marshaller and
+// by the property tests to generate random instances of arbitrary types.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "idl/types.h"
+
+namespace tempo::idl {
+
+struct Value;
+using ValueList = std::vector<Value>;
+
+struct UnionValue {
+  std::int32_t discriminant = 0;
+  std::shared_ptr<Value> payload;  // null => void arm
+};
+
+struct OptionalValue {
+  std::shared_ptr<Value> payload;  // null => absent
+};
+
+struct Value {
+  std::variant<std::monostate,        // void
+               std::int32_t,          // int / enum
+               std::uint32_t,         // uint
+               std::int64_t,          // hyper
+               std::uint64_t,         // uhyper
+               bool,                  // bool
+               float, double,
+               std::string,           // string
+               Bytes,                 // opaque (fixed or var)
+               ValueList,             // array elements or struct fields
+               OptionalValue, UnionValue>
+      v;
+
+  template <typename T>
+  const T& as() const {
+    return std::get<T>(v);
+  }
+  template <typename T>
+  T& as() {
+    return std::get<T>(v);
+  }
+};
+
+bool value_equal(const Value& a, const Value& b);
+std::string value_to_string(const Value& value);
+
+// Default-constructed value of a type (zeros, empty containers, first
+// union arm).
+Value zero_value(const Type& t);
+
+// Random instance of `t`, sizes bounded by the type's bounds and
+// `max_elems` for unbounded growth control.
+Value random_value(const Type& t, Rng& rng, std::uint32_t max_elems = 8);
+
+// Wire size of a concrete (type, value) pair — always defined, unlike
+// static_wire_size.
+std::size_t wire_size(const Type& t, const Value& v);
+
+}  // namespace tempo::idl

@@ -1,0 +1,133 @@
+#include "net/simnet.h"
+
+namespace tempo::net {
+
+LinkParams LinkParams::atm_ipx() {
+  LinkParams p;
+  // ESA-200 ATM adapters on SBus move payload with programmed I/O: a
+  // large per-packet driver cost plus a hefty per-byte cost.  Calibrated
+  // so the Table 2 IPX column lands near the paper's 2.32 ms (20 ints)
+  // to 25 ms (2000 ints) range.
+  p.latency_us = 500.0;
+  p.bandwidth_mbps = 100.0;
+  p.per_packet_cpu_us = 250.0;
+  p.per_byte_cpu_us = 0.35;
+  return p;
+}
+
+LinkParams LinkParams::ethernet_pc() {
+  LinkParams p;
+  // DMA Fast-Ethernet on a P166: modest latency, small per-byte
+  // checksum/copy cost (Table 2 PC column: 0.69 ms to 7.6 ms).
+  p.latency_us = 100.0;
+  p.bandwidth_mbps = 100.0;
+  p.per_packet_cpu_us = 120.0;
+  p.per_byte_cpu_us = 0.12;
+  return p;
+}
+
+LinkParams LinkParams::lossy(double drop, double dup, double corrupt,
+                             std::uint64_t /*seed*/) {
+  LinkParams p;
+  p.drop_prob = drop;
+  p.dup_prob = dup;
+  p.corrupt_prob = corrupt;
+  return p;
+}
+
+SimEndpoint* SimNetwork::create_endpoint(std::uint16_t port) {
+  if (port == 0) {
+    while (endpoints_.count(next_port_)) ++next_port_;
+    port = next_port_++;
+  }
+  Addr addr{0x7F000001u, port};
+  auto ep = std::unique_ptr<SimEndpoint>(new SimEndpoint(this, addr));
+  SimEndpoint* raw = ep.get();
+  endpoints_[port] = std::move(ep);
+  return raw;
+}
+
+Status SimNetwork::enqueue(const Addr& src, const Addr& dst,
+                           ByteSpan payload) {
+  ++packets_sent_;
+  if (params_.drop_prob > 0 && rng_.next_bool(params_.drop_prob)) {
+    ++packets_dropped_;
+    return Status::ok();  // silently lost, like real UDP
+  }
+  Bytes data(payload.begin(), payload.end());
+  if (params_.corrupt_prob > 0 && !data.empty() &&
+      rng_.next_bool(params_.corrupt_prob)) {
+    data[rng_.next_below(data.size())] ^= 0xFF;
+  }
+  if (params_.truncate_prob > 0 && data.size() > 1 &&
+      rng_.next_bool(params_.truncate_prob)) {
+    data.resize(data.size() / 2);
+  }
+
+  const double wire_us =
+      params_.latency_us + params_.per_packet_cpu_us +
+      static_cast<double>(data.size()) *
+          (8.0 / params_.bandwidth_mbps + params_.per_byte_cpu_us);
+  const auto delay = static_cast<VirtualNanos>(wire_us * 1000.0);
+
+  const bool duplicate =
+      params_.dup_prob > 0 && rng_.next_bool(params_.dup_prob);
+  queue_.push(Event{clock_.now() + delay, next_seq_++, src, dst, data});
+  if (duplicate) {
+    queue_.push(
+        Event{clock_.now() + 2 * delay, next_seq_++, src, dst, std::move(data)});
+  }
+  return Status::ok();
+}
+
+bool SimNetwork::step(VirtualNanos until) {
+  if (queue_.empty() || queue_.top().at > until) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  clock_.advance_to(ev.at);
+  auto it = endpoints_.find(ev.dst.port);
+  if (it == endpoints_.end()) return true;  // no listener: datagram lost
+  SimEndpoint* ep = it->second.get();
+  if (ep->handler_) {
+    ep->handler_(ev.src, ByteSpan(ev.payload.data(), ev.payload.size()));
+  } else {
+    ep->mailbox_.emplace_back(ev.src, std::move(ev.payload));
+  }
+  return true;
+}
+
+void SimNetwork::pump(VirtualNanos until) {
+  while (step(until)) {
+  }
+}
+
+Status SimEndpoint::send_to(const Addr& dst, ByteSpan payload) {
+  return net_->enqueue(addr_, dst, payload);
+}
+
+Result<std::size_t> SimEndpoint::recv_from(Addr* src, MutableByteSpan out,
+                                           int timeout_ms) {
+  const VirtualNanos deadline =
+      timeout_ms < 0 ? SimNetwork::kForever
+                     : net_->now() + static_cast<VirtualNanos>(timeout_ms) *
+                                         1'000'000;
+  // Pump events (which may run server handlers inline) until something
+  // lands in our mailbox or virtual time passes the deadline.
+  while (mailbox_.empty()) {
+    if (!net_->step(deadline)) break;
+  }
+  if (mailbox_.empty()) {
+    net_->clock().advance_to(deadline == SimNetwork::kForever ? net_->now()
+                                                              : deadline);
+    return Status(timeout_error("sim recv_from"));
+  }
+  auto [from, data] = std::move(mailbox_.front());
+  mailbox_.pop_front();
+  if (src) *src = from;
+  const std::size_t n = data.size() < out.size() ? data.size() : out.size();
+  std::copy(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(n),
+            out.begin());
+  return n;
+}
+
+}  // namespace tempo::net

@@ -1,0 +1,127 @@
+// Deterministic in-process simulated network.
+//
+// Substitution note (DESIGN.md §3): the paper measures round trips over a
+// 100 Mb/s ATM link (IPX testbed) and a 100 Mb/s Fast-Ethernet link
+// (Pentium testbed).  We reproduce the *link* with a virtual-time model:
+// a datagram sent at virtual time t is deliverable at
+//     t + latency + size / bandwidth
+// and may be dropped, duplicated, corrupted or truncated according to a
+// seeded fault plan (used by the robustness tests).
+//
+// Execution model: single-threaded and event-driven.  Endpoints either
+// poll with recv_from() or register a handler (server style).  A recv on
+// one endpoint pumps the global event queue: earlier deliveries to
+// handler-endpoints run inline, which is how a simulated server "runs"
+// inside a client's recv.  Virtual time only ever moves forward.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vclock.h"
+#include "net/transport.h"
+
+namespace tempo::net {
+
+struct LinkParams {
+  double latency_us = 60.0;          // one-way propagation + stack cost
+  double bandwidth_mbps = 100.0;     // payload serialization rate
+  double per_packet_cpu_us = 0.0;    // fixed per-datagram host cost
+  double per_byte_cpu_us = 0.0;      // driver/PIO/checksum cost per byte
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double corrupt_prob = 0.0;   // flip one byte of the payload
+  double truncate_prob = 0.0;  // chop the payload roughly in half
+
+  // The paper's two links (DESIGN.md §3).  Latencies chosen so that the
+  // simulated round-trip floor sits near the paper's small-message
+  // numbers: ATM ESA-200 cards had notoriously high per-packet latency.
+  static LinkParams atm_ipx();        // "IPX/SunOS - ATM 100Mbits"
+  static LinkParams ethernet_pc();    // "PC/Linux - Ethernet 100Mbits"
+  static LinkParams lossy(double drop, double dup, double corrupt,
+                          std::uint64_t seed);
+};
+
+class SimNetwork;
+
+class SimEndpoint final : public DatagramTransport {
+ public:
+  using Handler = std::function<void(const Addr& src, ByteSpan payload)>;
+
+  Status send_to(const Addr& dst, ByteSpan payload) override;
+  Result<std::size_t> recv_from(Addr* src, MutableByteSpan out,
+                                int timeout_ms) override;
+  Addr local_addr() const override { return addr_; }
+
+  // Server style: packets for this endpoint are delivered by invoking
+  // `h` inline while some other endpoint pumps the network.
+  void set_handler(Handler h) { handler_ = std::move(h); }
+
+ private:
+  friend class SimNetwork;
+  SimEndpoint(SimNetwork* net, Addr addr) : net_(net), addr_(addr) {}
+
+  SimNetwork* net_;
+  Addr addr_;
+  Handler handler_;
+  std::deque<std::pair<Addr, Bytes>> mailbox_;
+};
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(LinkParams params = {}, std::uint64_t fault_seed = 1)
+      : params_(params), rng_(fault_seed) {}
+
+  // Endpoints must not outlive the network.
+  SimEndpoint* create_endpoint(std::uint16_t port = 0);
+
+  VirtualNanos now() const { return clock_.now(); }
+  VirtualClock& clock() { return clock_; }
+  const LinkParams& params() const { return params_; }
+  void set_params(const LinkParams& p) { params_ = p; }
+
+  // Deliver every event with timestamp <= `until` (kForever = drain all).
+  static constexpr VirtualNanos kForever = INT64_MAX;
+  void pump(VirtualNanos until = kForever);
+
+  std::int64_t packets_sent() const { return packets_sent_; }
+  std::int64_t packets_dropped() const { return packets_dropped_; }
+
+ private:
+  friend class SimEndpoint;
+
+  struct Event {
+    VirtualNanos at;
+    std::uint64_t seq;  // FIFO tie-break
+    Addr src, dst;
+    Bytes payload;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  Status enqueue(const Addr& src, const Addr& dst, ByteSpan payload);
+  // Pop+deliver the earliest event; false if queue empty or event later
+  // than `until`.
+  bool step(VirtualNanos until);
+
+  LinkParams params_;
+  Rng rng_;
+  VirtualClock clock_;
+  std::uint64_t next_seq_ = 0;
+  std::uint16_t next_port_ = 2000;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::map<std::uint16_t, std::unique_ptr<SimEndpoint>> endpoints_;
+  std::int64_t packets_sent_ = 0;
+  std::int64_t packets_dropped_ = 0;
+};
+
+}  // namespace tempo::net

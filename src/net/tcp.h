@@ -1,0 +1,53 @@
+// Real TCP stream transport over the host's loopback interface, used by
+// the RPC-over-TCP (record-marked) path.
+#pragma once
+
+#include <memory>
+
+#include "net/transport.h"
+
+namespace tempo::net {
+
+class TcpConn final : public StreamConn {
+ public:
+  // Takes ownership of a connected socket fd.
+  explicit TcpConn(int fd) : fd_(fd) {}
+  ~TcpConn() override { close(); }
+
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  // Connects to 127.0.0.1:port; null on failure.
+  static std::unique_ptr<TcpConn> connect(const Addr& dst,
+                                          int timeout_ms = 5000);
+
+  Status write_all(ByteSpan data) override;
+  Result<std::size_t> read_some(MutableByteSpan out, int timeout_ms) override;
+  void close() override;
+
+  bool ok() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port = 0);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+  Addr local_addr() const { return local_; }
+
+  // Waits up to timeout_ms for an inbound connection.
+  Result<std::unique_ptr<TcpConn>> accept(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  Addr local_;
+};
+
+}  // namespace tempo::net

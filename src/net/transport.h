@@ -1,0 +1,57 @@
+// Transport interfaces shared by the RPC engine.
+//
+// Two implementations exist for datagrams: real UDP over loopback
+// (udp.h) and the deterministic in-process simulated network (simnet.h)
+// used for the paper's platform profiles and for failure injection.
+// Byte streams (RPC-over-TCP) are provided by real sockets (tcp.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace tempo::net {
+
+// IPv4-style address; the simulated network uses the same shape so RPC
+// code is transport-agnostic.
+struct Addr {
+  std::uint32_t host = 0x7F000001u;  // 127.0.0.1
+  std::uint16_t port = 0;
+
+  friend bool operator==(const Addr& a, const Addr& b) {
+    return a.host == b.host && a.port == b.port;
+  }
+};
+
+std::string addr_to_string(const Addr& a);
+
+inline constexpr int kBlockForever = -1;
+
+class DatagramTransport {
+ public:
+  virtual ~DatagramTransport() = default;
+
+  virtual Status send_to(const Addr& dst, ByteSpan payload) = 0;
+
+  // Waits up to timeout_ms (kBlockForever blocks; 0 polls).  Returns the
+  // datagram size, or kTimeout / kUnavailable.
+  virtual Result<std::size_t> recv_from(Addr* src, MutableByteSpan out,
+                                        int timeout_ms) = 0;
+
+  virtual Addr local_addr() const = 0;
+};
+
+class StreamConn {
+ public:
+  virtual ~StreamConn() = default;
+
+  virtual Status write_all(ByteSpan data) = 0;
+  // Returns bytes read (>=1), or kTimeout / kUnavailable (peer closed).
+  virtual Result<std::size_t> read_some(MutableByteSpan out,
+                                        int timeout_ms) = 0;
+  virtual void close() = 0;
+};
+
+}  // namespace tempo::net

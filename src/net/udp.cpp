@@ -1,0 +1,86 @@
+#include "net/udp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tempo::net {
+
+std::string addr_to_string(const Addr& a) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", (a.host >> 24) & 0xFF,
+                (a.host >> 16) & 0xFF, (a.host >> 8) & 0xFF, a.host & 0xFF,
+                a.port);
+  return buf;
+}
+
+namespace {
+
+sockaddr_in to_sockaddr(const Addr& a) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(a.host);
+  sa.sin_port = htons(a.port);
+  return sa;
+}
+
+Addr from_sockaddr(const sockaddr_in& sa) {
+  return Addr{ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+}
+
+}  // namespace
+
+UdpSocket::UdpSocket(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) return;
+  Addr want{0x7F000001u, port};
+  sockaddr_in sa = to_sockaddr(want);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  sockaddr_in got{};
+  socklen_t len = sizeof(got);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&got), &len);
+  local_ = from_sockaddr(got);
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status UdpSocket::send_to(const Addr& dst, ByteSpan payload) {
+  if (fd_ < 0) return unavailable("socket not open");
+  sockaddr_in sa = to_sockaddr(dst);
+  const ssize_t n =
+      ::sendto(fd_, payload.data(), payload.size(), 0,
+               reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  if (n < 0 || static_cast<std::size_t>(n) != payload.size()) {
+    return unavailable(std::string("sendto: ") + std::strerror(errno));
+  }
+  return Status::ok();
+}
+
+Result<std::size_t> UdpSocket::recv_from(Addr* src, MutableByteSpan out,
+                                         int timeout_ms) {
+  if (fd_ < 0) return Status(unavailable("socket not open"));
+  pollfd pfd{fd_, POLLIN, 0};
+  const int pr = ::poll(&pfd, 1, timeout_ms);
+  if (pr == 0) return Status(timeout_error("recv_from"));
+  if (pr < 0) return Status(unavailable(std::strerror(errno)));
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  const ssize_t n = ::recvfrom(fd_, out.data(), out.size(), 0,
+                               reinterpret_cast<sockaddr*>(&sa), &len);
+  if (n < 0) return Status(unavailable(std::strerror(errno)));
+  if (src) *src = from_sockaddr(sa);
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace tempo::net

@@ -1,0 +1,29 @@
+// Real UDP datagram transport over the host's loopback interface.
+#pragma once
+
+#include "net/transport.h"
+
+namespace tempo::net {
+
+class UdpSocket final : public DatagramTransport {
+ public:
+  // Binds to 127.0.0.1:port (0 = ephemeral).  Check ok() before use.
+  explicit UdpSocket(std::uint16_t port = 0);
+  ~UdpSocket() override;
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+
+  Status send_to(const Addr& dst, ByteSpan payload) override;
+  Result<std::size_t> recv_from(Addr* src, MutableByteSpan out,
+                                int timeout_ms) override;
+  Addr local_addr() const override { return local_; }
+
+ private:
+  int fd_ = -1;
+  Addr local_;
+};
+
+}  // namespace tempo::net

@@ -1,0 +1,431 @@
+#include "pe/bta.h"
+
+#include <algorithm>
+
+namespace tempo::pe {
+
+namespace {
+
+// Abstract value: binding time plus, for configuration-like statics
+// (x_op, counts), the known constant.  Knowing the *value* of such
+// statics lets the analysis prune static dispatches to the taken branch
+// — which is exactly what the specializer will do — so the division
+// shown for the encode context is the encode division, not a join with
+// the decode path.
+struct AVal {
+  enum class BTK : std::uint8_t { kStat, kDyn, kRef } bt = BTK::kStat;
+  bool has_value = false;
+  std::int64_t value = 0;
+
+  static AVal stat() { return AVal{}; }
+  static AVal stat_val(std::int64_t v) { return AVal{BTK::kStat, true, v}; }
+  static AVal dyn() { return AVal{BTK::kDyn, false, 0}; }
+  static AVal ref() { return AVal{BTK::kRef, false, 0}; }
+
+  bool operator==(const AVal&) const = default;
+};
+
+using BTK = AVal::BTK;
+
+AVal aval_join(const AVal& a, const AVal& b) {
+  if (a == b) return a;
+  if (a.bt == b.bt && a.bt == BTK::kStat) return AVal::stat();  // drop value
+  if (a.bt == BTK::kDyn || b.bt == BTK::kDyn) return AVal::dyn();
+  if (a.bt == BTK::kRef && b.bt == BTK::kRef) return AVal::ref();
+  return AVal::dyn();
+}
+
+BT aval_bt(const AVal& v) {
+  return v.bt == BTK::kDyn ? BT::kDynamic : BT::kStatic;
+}
+
+using Env = std::map<std::string, AVal>;
+
+std::string sig_of(const AVal& v) {
+  switch (v.bt) {
+    case BTK::kStat:
+      return v.has_value ? "S" + std::to_string(v.value) : "S";
+    case BTK::kDyn:
+      return "D";
+    case BTK::kRef:
+      return "R";
+  }
+  return "?";
+}
+
+std::string env_sig(const std::vector<AVal>& params, const Env& fields) {
+  std::string sig;
+  for (const AVal& p : params) sig += sig_of(p) + ",";
+  sig += '|';
+  for (const auto& [k, v] : fields) sig += sig_of(v) + ",";
+  return sig;
+}
+
+std::int64_t fold_op(BinOp op, std::int64_t a, std::int64_t b) {
+  switch (op) {
+    case BinOp::kAdd: return a + b;
+    case BinOp::kSub: return a - b;
+    case BinOp::kMul: return a * b;
+    case BinOp::kLt: return a < b;
+    case BinOp::kLe: return a <= b;
+    case BinOp::kGt: return a > b;
+    case BinOp::kGe: return a >= b;
+    case BinOp::kEq: return a == b;
+    case BinOp::kNe: return a != b;
+    case BinOp::kAnd: return (a != 0) && (b != 0);
+    case BinOp::kOr: return (a != 0) || (b != 0);
+  }
+  return 0;
+}
+
+class Bta {
+ public:
+  Bta(const Program& program, const BtaDivision& division)
+      : program_(program), division_(division) {}
+
+  Result<BtaResult> run(const std::string& entry) {
+    const Function* fn = program_.find(entry);
+    if (!fn) return Status(not_found("no function " + entry));
+
+    Env fields;
+    fields["x_op"] = AVal::stat();
+    fields["x_handy"] = AVal::stat();
+    fields["x_private"] = AVal::stat();
+    fields["x_err"] = AVal::stat();
+    for (const auto& [name, value] : division_.known_fields) {
+      fields[name] = AVal::stat_val(value);
+    }
+    for (const auto& f : division_.dynamic_fields) fields[f] = AVal::dyn();
+
+    std::vector<AVal> params;
+    for (const auto& p : fn->params) {
+      if (division_.dynamic_params.count(p)) {
+        params.push_back(AVal::dyn());
+      } else if (division_.ref_params.count(p)) {
+        params.push_back(AVal::ref());
+      } else if (const auto it = division_.known_params.find(p);
+                 it != division_.known_params.end()) {
+        params.push_back(AVal::stat_val(it->second));
+      } else {
+        params.push_back(AVal::stat());
+      }
+    }
+
+    Summary s;
+    TEMPO_RETURN_IF_ERROR(analyze_function(*fn, params, fields, &s));
+    result_.entry_return = s.ret;
+    result_.entry_effects_dynamic = s.effects_dynamic;
+    return std::move(result_);
+  }
+
+ private:
+  struct Summary {
+    BT ret = BT::kStatic;
+    bool effects_dynamic = false;
+    Env fields_out;
+  };
+
+  struct Ctx {
+    Env env;
+    Env fields;
+    AnnotatedFunction* ann = nullptr;
+    BT ret = BT::kStatic;
+    bool effects_dynamic = false;
+  };
+
+  Status analyze_function(const Function& fn, const std::vector<AVal>& params,
+                          Env fields_in, Summary* out) {
+    const std::string key = fn.name + "/" + env_sig(params, fields_in);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      *out = it->second;
+      return Status::ok();
+    }
+    if (++depth_ > 64) {
+      --depth_;
+      return internal_error("BTA call depth exceeded");
+    }
+
+    AnnotatedFunction ann;
+    ann.name = fn.name;
+    ann.fn = &fn;
+    ann.context = env_sig(params, fields_in);
+
+    Ctx ctx;
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      ctx.env[fn.params[i]] = params[i];
+    }
+    ctx.fields = std::move(fields_in);
+    ctx.ann = &ann;
+    Status st = analyze_block(fn.body, ctx, BT::kStatic);
+    --depth_;
+    TEMPO_RETURN_IF_ERROR(st);
+
+    Summary s;
+    s.ret = ctx.ret;
+    s.effects_dynamic = ctx.effects_dynamic;
+    s.fields_out = ctx.fields;
+    cache_[key] = s;
+    result_.functions.push_back(std::move(ann));
+    *out = s;
+    return Status::ok();
+  }
+
+  Result<AVal> eval(const Expr& e, Ctx& ctx) {
+    switch (e.kind) {
+      case ExprKind::kConst:
+        return AVal::stat_val(e.imm);
+      case ExprKind::kVar: {
+        const auto it = ctx.env.find(e.var);
+        if (it == ctx.env.end()) {
+          return Status(invalid_argument("BTA: unbound variable " + e.var));
+        }
+        return it->second;
+      }
+      case ExprKind::kField: {
+        const auto it = ctx.fields.find(e.field);
+        if (it == ctx.fields.end()) {
+          return Status(invalid_argument("BTA: unknown field " + e.field));
+        }
+        return it->second;
+      }
+      case ExprKind::kBin: {
+        TEMPO_ASSIGN_OR_RETURN(a, eval(*e.a, ctx));
+        TEMPO_ASSIGN_OR_RETURN(b, eval(*e.b, ctx));
+        if (a.bt == BTK::kDyn || b.bt == BTK::kDyn) return AVal::dyn();
+        if (a.has_value && b.has_value) {
+          return AVal::stat_val(fold_op(e.op, a.value, b.value));
+        }
+        return AVal::stat();
+      }
+      case ExprKind::kDeref:
+        // Static address, dynamic pointee — partially-static user data.
+        return AVal::dyn();
+      case ExprKind::kIndex: {
+        TEMPO_ASSIGN_OR_RETURN(r, eval(*e.a, ctx));
+        TEMPO_ASSIGN_OR_RETURN(i, eval(*e.b, ctx));
+        if (r.bt == BTK::kRef && i.bt == BTK::kStat) return AVal::ref();
+        return AVal::dyn();
+      }
+      case ExprKind::kFieldRef: {
+        TEMPO_ASSIGN_OR_RETURN(r, eval(*e.a, ctx));
+        return r.bt == BTK::kRef ? AVal::ref() : AVal::dyn();
+      }
+      case ExprKind::kBufLoad:
+        return AVal::dyn();
+    }
+    return AVal::dyn();
+  }
+
+  void mark(Ctx& ctx, const Stmt& s, BT bt) {
+    auto [it, inserted] = ctx.ann->stmt_bt.try_emplace(&s, bt);
+    if (!inserted) it->second = bt_join(it->second, bt);
+    if (bt == BT::kDynamic) ctx.effects_dynamic = true;
+  }
+
+  void tally_if(const Stmt& s, BT bt) {
+    if (s.note.rfind("overflow", 0) == 0) {
+      (bt == BT::kStatic ? result_.static_overflow_checks
+                         : result_.dynamic_overflow_checks)++;
+    } else if (s.note.find("mode") != std::string::npos ||
+               s.note.find("dispatch") != std::string::npos) {
+      (bt == BT::kStatic ? result_.static_dispatches
+                         : result_.dynamic_dispatches)++;
+    } else if (s.note.find("status") != std::string::npos) {
+      (bt == BT::kStatic ? result_.static_status_checks
+                         : result_.dynamic_status_checks)++;
+    }
+  }
+
+  Status analyze_block(const Block& b, Ctx& ctx, BT ctrl) {
+    for (const auto& s : b) {
+      TEMPO_RETURN_IF_ERROR(analyze_stmt(*s, ctx, ctrl));
+    }
+    return Status::ok();
+  }
+
+  Status analyze_stmt(const Stmt& s, Ctx& ctx, BT ctrl) {
+    switch (s.kind) {
+      case StmtKind::kAssign: {
+        TEMPO_ASSIGN_OR_RETURN(v, eval(*s.e0, ctx));
+        if (ctrl == BT::kDynamic && v.bt == BTK::kStat) v = AVal::dyn();
+        ctx.env[s.var] = v;
+        mark(ctx, s, aval_bt(v));
+        return Status::ok();
+      }
+      case StmtKind::kFieldSet: {
+        TEMPO_ASSIGN_OR_RETURN(v, eval(*s.e0, ctx));
+        if (ctrl == BT::kDynamic && v.bt == BTK::kStat) v = AVal::dyn();
+        ctx.fields[s.field] = v;
+        mark(ctx, s, aval_bt(v));
+        return Status::ok();
+      }
+      case StmtKind::kStoreRef:
+      case StmtKind::kBufStore:
+      case StmtKind::kBufStoreBytes:
+      case StmtKind::kBufLoadBytes:
+        // Run-time data movement is always residual.
+        mark(ctx, s, BT::kDynamic);
+        return Status::ok();
+      case StmtKind::kIf: {
+        TEMPO_ASSIGN_OR_RETURN(c, eval(*s.e0, ctx));
+        BT cbt = aval_bt(c);
+        if (ctrl == BT::kDynamic) cbt = BT::kDynamic;
+        mark(ctx, s, cbt);
+        tally_if(s, cbt);
+        if (cbt == BT::kStatic && c.has_value) {
+          // The specializer takes exactly this branch.
+          return analyze_block(c.value != 0 ? s.body : s.else_body, ctx,
+                               ctrl);
+        }
+        const BT inner = cbt == BT::kStatic ? ctrl : BT::kDynamic;
+        Ctx then_ctx = ctx;
+        TEMPO_RETURN_IF_ERROR(analyze_block(s.body, then_ctx, inner));
+        Ctx else_ctx = ctx;
+        TEMPO_RETURN_IF_ERROR(analyze_block(s.else_body, else_ctx, inner));
+        join_into(ctx, then_ctx, else_ctx);
+        return Status::ok();
+      }
+      case StmtKind::kFor: {
+        TEMPO_ASSIGN_OR_RETURN(from, eval(*s.e0, ctx));
+        TEMPO_ASSIGN_OR_RETURN(to, eval(*s.e1, ctx));
+        BT bounds = bt_join(aval_bt(from), aval_bt(to));
+        if (ctrl == BT::kDynamic) bounds = BT::kDynamic;
+        mark(ctx, s, bounds);
+        // Loop variable: static iff the bounds are (value not tracked —
+        // the loop runs many times).
+        ctx.env[s.var] =
+            bounds == BT::kStatic ? AVal::stat() : AVal::dyn();
+        for (int pass = 0; pass < 4; ++pass) {
+          Env env_before = ctx.env;
+          Env fields_before = ctx.fields;
+          TEMPO_RETURN_IF_ERROR(analyze_block(s.body, ctx, bounds));
+          if (ctx.env == env_before && ctx.fields == fields_before) break;
+        }
+        return Status::ok();
+      }
+      case StmtKind::kCall: {
+        const Function* callee = program_.find(s.callee);
+        if (!callee) return not_found("BTA: no function " + s.callee);
+        std::vector<AVal> args;
+        for (const auto& a : s.args) {
+          TEMPO_ASSIGN_OR_RETURN(v, eval(*a, ctx));
+          args.push_back(v);
+        }
+        Summary sum;
+        TEMPO_RETURN_IF_ERROR(
+            analyze_function(*callee, args, ctx.fields, &sum));
+        ctx.fields = sum.fields_out;
+        BT ret = sum.ret;
+        if (ctrl == BT::kDynamic) ret = BT::kDynamic;
+        if (!s.var.empty()) {
+          ctx.env[s.var] =
+              ret == BT::kStatic ? AVal::stat() : AVal::dyn();
+        }
+        // The call's *effects* decide its color; a static return with
+        // dynamic effects is the static-returns refinement.
+        mark(ctx, s, sum.effects_dynamic ? BT::kDynamic : ret);
+        if (sum.effects_dynamic && ret == BT::kStatic) {
+          ctx.ann->static_return_calls.insert(&s);
+        }
+        if (sum.effects_dynamic) ctx.effects_dynamic = true;
+        return Status::ok();
+      }
+      case StmtKind::kReturn: {
+        BT bt = BT::kStatic;
+        if (s.e0) {
+          TEMPO_ASSIGN_OR_RETURN(v, eval(*s.e0, ctx));
+          bt = aval_bt(v);
+        }
+        if (ctrl == BT::kDynamic) {
+          // Whether this return is taken is decided at run time: the
+          // function's result joins to dynamic.
+          mark(ctx, s, BT::kDynamic);
+          ctx.ret = BT::kDynamic;
+        } else {
+          mark(ctx, s, bt);
+          ctx.ret = bt_join(ctx.ret, bt);
+        }
+        return Status::ok();
+      }
+    }
+    return internal_error("BTA: bad stmt");
+  }
+
+  void join_into(Ctx& dst, const Ctx& a, const Ctx& b) {
+    for (auto& [k, v] : dst.env) {
+      const auto ia = a.env.find(k);
+      const auto ib = b.env.find(k);
+      const AVal va = ia != a.env.end() ? ia->second : v;
+      const AVal vb = ib != b.env.end() ? ib->second : v;
+      v = aval_join(va, vb);
+    }
+    for (auto& [k, v] : dst.fields) {
+      const auto ia = a.fields.find(k);
+      const auto ib = b.fields.find(k);
+      const AVal va = ia != a.fields.end() ? ia->second : v;
+      const AVal vb = ib != b.fields.end() ? ib->second : v;
+      v = aval_join(va, vb);
+    }
+    dst.ret = bt_join(a.ret, b.ret);
+    dst.effects_dynamic = a.effects_dynamic || b.effects_dynamic;
+  }
+
+  const Program& program_;
+  const BtaDivision& division_;
+  std::map<std::string, Summary> cache_;
+  BtaResult result_;
+  int depth_ = 0;
+};
+
+// ---- annotated listing ---------------------------------------------------
+
+void print_stmt(const AnnotatedFunction& ann, const Stmt& s, int indent,
+                std::string& out) {
+  const auto it = ann.stmt_bt.find(&s);
+  const BT bt = it != ann.stmt_bt.end() ? it->second : BT::kStatic;
+  const char* tag = bt == BT::kStatic ? "S| " : "D| ";
+
+  std::string text = stmt_to_string(s, indent);
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    out += tag;
+    out.append(text, start, end - start);
+    if (s.kind == StmtKind::kCall && start == 0 &&
+        ann.static_return_calls.count(&s)) {
+      out += "  // dynamic effects, STATIC return";
+    }
+    out += '\n';
+    start = end + 1;
+  }
+}
+
+void print_block(const AnnotatedFunction& ann, const Block& b, int indent,
+                 std::string& out) {
+  for (const auto& s : b) print_stmt(ann, *s, indent, out);
+}
+
+}  // namespace
+
+Result<BtaResult> analyze_binding_times(const Program& program,
+                                        const std::string& entry,
+                                        const BtaDivision& division) {
+  Bta bta(program, division);
+  return bta.run(entry);
+}
+
+std::string annotated_to_string(const BtaResult& result) {
+  std::string out;
+  // Entry was pushed last (post-order); print in reverse for readability.
+  for (auto it = result.functions.rbegin(); it != result.functions.rend();
+       ++it) {
+    const AnnotatedFunction& ann = *it;
+    out += "=== " + ann.name + "  [context " + ann.context + "]\n";
+    print_block(ann, ann.fn->body, 1, out);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tempo::pe

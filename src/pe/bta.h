@@ -1,0 +1,92 @@
+// Offline binding-time analysis (BTA).
+//
+// Tempo is an *offline* specializer: before any concrete value is seen,
+// a BTA divides the program into static (specialization-time) and
+// dynamic (run-time) parts from a description of the inputs alone, and
+// the user inspects the division before specializing (paper §6.1
+// describes the two-color visualization).  This module reproduces that
+// division and the visualization:
+//
+//  * values are Static, Dynamic, or Ref (a static address whose pointee
+//    is dynamic — the partially-static structure refinement applied to
+//    user data),
+//  * the xdrs record is analyzed per field (partially-static structures),
+//  * the environment evolves per program point (flow sensitivity),
+//  * each call is analyzed in its caller's context and memoized per
+//    context signature (context sensitivity / polyvariance),
+//  * a function's return binding time is computed independently of
+//    whether its effects were dynamic (static returns).
+//
+// The online specializer (specializer.h) does not consume this result —
+// it discovers the same division on the fly — but the property tests
+// assert the two agree on the paper's claims (e.g. "every overflow check
+// is static in the encode context").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pe/ir.h"
+
+namespace tempo::pe {
+
+enum class BT : std::uint8_t { kStatic, kDynamic };
+
+inline BT bt_join(BT a, BT b) {
+  return (a == BT::kDynamic || b == BT::kDynamic) ? BT::kDynamic
+                                                  : BT::kStatic;
+}
+
+// Description of the entry point's inputs.
+struct BtaDivision {
+  std::set<std::string> dynamic_params;  // e.g. {"xid", "inlen"}
+  std::set<std::string> ref_params;      // argsp / resp (static address,
+                                         // dynamic content)
+  // Record fields not listed here default to static.
+  std::set<std::string> dynamic_fields;
+  // Configuration statics with *known* values (x_op, pinned counts):
+  // knowing the value lets the analysis prune static dispatches to the
+  // branch the specializer will take, so the division shown for the
+  // encode context really is the encode division.
+  std::map<std::string, std::int64_t> known_fields;
+  std::map<std::string, std::int64_t> known_params;
+};
+
+struct AnnotatedFunction {
+  std::string name;
+  std::string context;  // readable context signature
+  const Function* fn = nullptr;
+  std::map<const Stmt*, BT> stmt_bt;
+  // For call statements with dynamic effects but a static return value
+  // (the static-returns refinement), the pretty printer adds a note.
+  std::set<const Stmt*> static_return_calls;
+};
+
+struct BtaResult {
+  std::vector<AnnotatedFunction> functions;  // entry first, then callees
+  BT entry_return = BT::kStatic;
+  bool entry_effects_dynamic = false;
+
+  // Paper-claim checks used by tests:
+  // every If whose note starts with "overflow" that was analyzed static.
+  int static_overflow_checks = 0;
+  int dynamic_overflow_checks = 0;
+  int static_dispatches = 0;   // Ifs dispatching on x_op
+  int dynamic_dispatches = 0;
+  int static_status_checks = 0;  // "exit status check" Ifs
+  int dynamic_status_checks = 0;
+};
+
+Result<BtaResult> analyze_binding_times(const Program& program,
+                                        const std::string& entry,
+                                        const BtaDivision& division);
+
+// Two-color listing: "S|" prefix for static lines, "D|" for dynamic —
+// the terminal version of Tempo's color display (paper §6.1).
+std::string annotated_to_string(const BtaResult& result);
+
+}  // namespace tempo::pe

@@ -1,0 +1,708 @@
+#include "pe/corpus.h"
+
+#include "common/bytes.h"
+#include "pe/layout.h"
+
+namespace tempo::pe {
+
+using idl::Kind;
+using idl::Type;
+
+namespace {
+
+// x_op values in the IR world.
+constexpr std::int64_t kOpEncode = 0;
+constexpr std::int64_t kOpDecode = 1;
+
+// ---- the shared runtime micro-layers (type-independent) ----------------
+
+Function make_xdrmem_putlong() {
+  // bool_t xdrmem_putlong(XDR *xdrs, long *lp)  — paper Fig. 3.
+  Function fn;
+  fn.name = "xdrmem_putlong";
+  fn.params = {"xdrs", "lp"};
+  fn.body = {
+      s_field_set("xdrs", "x_handy",
+                  e_bin(BinOp::kSub, e_field("xdrs", "x_handy"), e_const(4)),
+                  "decrement space left in buffer"),
+      s_if(e_bin(BinOp::kLt, e_field("xdrs", "x_handy"), e_const(0)),
+           {s_return(e_const(0), "overflow")}, {}, "overflow check"),
+      s_buf_store(e_field("xdrs", "x_private"), e_deref(e_var("lp")),
+                  "htonl + copy to buffer"),
+      s_field_set("xdrs", "x_private",
+                  e_bin(BinOp::kAdd, e_field("xdrs", "x_private"), e_const(4)),
+                  "advance buffer cursor"),
+      s_return(e_const(1)),
+  };
+  return fn;
+}
+
+Function make_xdrmem_putlong_val() {
+  // Scalar-operand variant used for header words and array counts
+  // (the original passes &proc / &count; the value flavor is the same
+  // store without the pointer indirection).
+  Function fn;
+  fn.name = "xdrmem_putlong_val";
+  fn.params = {"xdrs", "v"};
+  fn.body = {
+      s_field_set("xdrs", "x_handy",
+                  e_bin(BinOp::kSub, e_field("xdrs", "x_handy"), e_const(4))),
+      s_if(e_bin(BinOp::kLt, e_field("xdrs", "x_handy"), e_const(0)),
+           {s_return(e_const(0), "overflow")}, {}, "overflow check"),
+      s_buf_store(e_field("xdrs", "x_private"), e_var("v"),
+                  "htonl + copy to buffer"),
+      s_field_set("xdrs", "x_private",
+                  e_bin(BinOp::kAdd, e_field("xdrs", "x_private"), e_const(4))),
+      s_return(e_const(1)),
+  };
+  return fn;
+}
+
+Function make_xdrmem_getlong() {
+  Function fn;
+  fn.name = "xdrmem_getlong";
+  fn.params = {"xdrs", "lp"};
+  fn.body = {
+      s_field_set("xdrs", "x_handy",
+                  e_bin(BinOp::kSub, e_field("xdrs", "x_handy"), e_const(4))),
+      s_if(e_bin(BinOp::kLt, e_field("xdrs", "x_handy"), e_const(0)),
+           {s_return(e_const(0), "underflow")}, {}, "overflow check"),
+      s_store_ref(e_var("lp"), e_buf_load(e_field("xdrs", "x_private")),
+                  "ntohl + copy from buffer"),
+      s_field_set("xdrs", "x_private",
+                  e_bin(BinOp::kAdd, e_field("xdrs", "x_private"), e_const(4))),
+      s_return(e_const(1)),
+  };
+  return fn;
+}
+
+Function make_xdrmem_getlong_val() {
+  // Returns the loaded word; records underflow in xdrs->x_err so the
+  // value can be consumed directly by header-validation tests.
+  Function fn;
+  fn.name = "xdrmem_getlong_val";
+  fn.params = {"xdrs"};
+  fn.body = {
+      s_field_set("xdrs", "x_handy",
+                  e_bin(BinOp::kSub, e_field("xdrs", "x_handy"), e_const(4))),
+      s_if(e_bin(BinOp::kLt, e_field("xdrs", "x_handy"), e_const(0)),
+           {s_field_set("xdrs", "x_err", e_const(1), "flag underflow"),
+            s_return(e_const(0))},
+           {}, "overflow check"),
+      s_assign("t", e_buf_load(e_field("xdrs", "x_private")),
+               "ntohl + copy from buffer"),
+      s_field_set("xdrs", "x_private",
+                  e_bin(BinOp::kAdd, e_field("xdrs", "x_private"), e_const(4))),
+      s_return(e_var("t")),
+  };
+  return fn;
+}
+
+Function make_xdr_long() {
+  // bool_t xdr_long(XDR *xdrs, long *lp) — paper Fig. 2, verbatim shape.
+  Function fn;
+  fn.name = "xdr_long";
+  fn.params = {"xdrs", "lp"};
+  fn.body = {
+      s_if(e_bin(BinOp::kEq, e_field("xdrs", "x_op"), e_const(kOpEncode)),
+           {s_call("r", "xdrmem_putlong", {e_var("xdrs"), e_var("lp")}),
+            s_return(e_var("r"))},
+           {}, "if in encoding mode"),
+      s_if(e_bin(BinOp::kEq, e_field("xdrs", "x_op"), e_const(kOpDecode)),
+           {s_call("r", "xdrmem_getlong", {e_var("xdrs"), e_var("lp")}),
+            s_return(e_var("r"))},
+           {}, "if in decoding mode"),
+      s_return(e_const(1), "XDR_FREE: nothing to do"),
+  };
+  return fn;
+}
+
+// xdr_int / xdr_u_int / xdr_enum / xdr_float: one more call layer over
+// xdr_long (the "machine dependent switch on integer size" of Fig. 1).
+Function make_forwarder(const char* name) {
+  Function fn;
+  fn.name = name;
+  fn.params = {"xdrs", "lp"};
+  fn.body = {
+      s_call("r", "xdr_long", {e_var("xdrs"), e_var("lp")},
+             "generic encoding or decoding"),
+      s_return(e_var("r")),
+  };
+  return fn;
+}
+
+Function make_xdr_bool() {
+  Function fn;
+  fn.name = "xdr_bool";
+  fn.params = {"xdrs", "lp"};
+  fn.body = {
+      s_if(e_bin(BinOp::kEq, e_field("xdrs", "x_op"), e_const(kOpEncode)),
+           {s_call("r", "xdrmem_putlong", {e_var("xdrs"), e_var("lp")}),
+            s_return(e_var("r"))},
+           {}, "if in encoding mode"),
+      s_if(e_bin(BinOp::kEq, e_field("xdrs", "x_op"), e_const(kOpDecode)),
+           {s_call("t", "xdrmem_getlong_val", {e_var("xdrs")}),
+            s_if(e_bin(BinOp::kGt, e_var("t"), e_const(1)),
+                 {s_return(e_const(0), "not a canonical bool")}, {},
+                 "RFC 4506 bool validation"),
+            s_store_ref(e_var("lp"), e_var("t")),
+            s_return(e_const(1))},
+           {}, "if in decoding mode"),
+      s_return(e_const(1)),
+  };
+  return fn;
+}
+
+Function make_xdr_hyper(const char* name) {
+  // Two wire words, most-significant first; slots laid out hi, lo.
+  Function fn;
+  fn.name = name;
+  fn.params = {"xdrs", "lp"};
+  fn.body = {
+      s_call("r", "xdr_long", {e_var("xdrs"), e_var("lp")}, "high word"),
+      s_if(e_bin(BinOp::kEq, e_var("r"), e_const(0)),
+           {s_return(e_const(0))}, {}, "propagate failure"),
+      s_call("r", "xdr_long",
+             {e_var("xdrs"), e_index(e_var("lp"), e_const(1))}, "low word"),
+      s_return(e_var("r")),
+  };
+  return fn;
+}
+
+Function make_xdr_opaque() {
+  // xdr_opaque(xdrs, lp, len, padded): fixed-length opaque with XDR pad.
+  Function fn;
+  fn.name = "xdr_opaque";
+  fn.params = {"xdrs", "lp", "len", "padded"};
+  fn.body = {
+      s_if(e_bin(BinOp::kEq, e_field("xdrs", "x_op"), e_const(kOpEncode)),
+           {s_field_set("xdrs", "x_handy",
+                        e_bin(BinOp::kSub, e_field("xdrs", "x_handy"),
+                              e_var("padded"))),
+            s_if(e_bin(BinOp::kLt, e_field("xdrs", "x_handy"), e_const(0)),
+                 {s_return(e_const(0))}, {}, "overflow check"),
+            s_buf_store_bytes(e_field("xdrs", "x_private"), e_var("lp"),
+                              e_var("len"), "bulk copy + zero pad"),
+            s_field_set("xdrs", "x_private",
+                        e_bin(BinOp::kAdd, e_field("xdrs", "x_private"),
+                              e_var("padded"))),
+            s_return(e_const(1))},
+           {}, "if in encoding mode"),
+      s_if(e_bin(BinOp::kEq, e_field("xdrs", "x_op"), e_const(kOpDecode)),
+           {s_field_set("xdrs", "x_handy",
+                        e_bin(BinOp::kSub, e_field("xdrs", "x_handy"),
+                              e_var("padded"))),
+            s_if(e_bin(BinOp::kLt, e_field("xdrs", "x_handy"), e_const(0)),
+                 {s_return(e_const(0))}, {}, "overflow check"),
+            s_buf_load_bytes(e_field("xdrs", "x_private"), e_var("lp"),
+                             e_var("len"), "bulk copy from buffer"),
+            s_field_set("xdrs", "x_private",
+                        e_bin(BinOp::kAdd, e_field("xdrs", "x_private"),
+                              e_var("padded"))),
+            s_return(e_const(1))},
+           {}, "if in decoding mode"),
+      s_return(e_const(1)),
+  };
+  return fn;
+}
+
+// ---- per-interface stub generation (what rpcgen emits) -----------------
+
+class StubBuilder {
+ public:
+  // Statements invoking a codec plus the count parameters it consumed
+  // (which must be forwarded by every enclosing function).
+  struct CodecCall {
+    Block stmts;
+    std::vector<std::string> counts;
+  };
+
+  StubBuilder(Program& program, std::string count_prefix)
+      : program_(program), count_prefix_(std::move(count_prefix)) {}
+
+  // Emits (if needed) the codec for `t` and returns the call invoking it
+  // on reference expression `ref`, followed by the exit-status check.
+  Result<CodecCall> emit_codec_call(const Type& t, ExprP ref) {
+    switch (t.kind) {
+      case Kind::kVoid:
+        return CodecCall{};
+      case Kind::kInt:
+        return scalar_call("xdr_int", std::move(ref));
+      case Kind::kEnum:
+        return scalar_call("xdr_enum", std::move(ref));
+      case Kind::kUInt:
+        return scalar_call("xdr_u_int", std::move(ref));
+      case Kind::kBool:
+        return scalar_call("xdr_bool", std::move(ref));
+      case Kind::kFloat:
+        return scalar_call("xdr_float", std::move(ref));
+      case Kind::kHyper:
+        return scalar_call("xdr_hyper", std::move(ref));
+      case Kind::kUHyper:
+        return scalar_call("xdr_u_hyper", std::move(ref));
+      case Kind::kDouble:
+        return scalar_call("xdr_double", std::move(ref));
+      case Kind::kOpaqueFixed: {
+        CodecCall out;
+        out.stmts.push_back(s_call(
+            "r", "xdr_opaque",
+            {e_var(kXdrsRecord), std::move(ref), e_const(t.bound),
+             e_const(static_cast<std::int64_t>(xdr_pad4(t.bound)))},
+            "fixed opaque"));
+        out.stmts.push_back(propagate());
+        return out;
+      }
+      case Kind::kStruct:
+        return emit_struct_call(t, std::move(ref));
+      case Kind::kArrayFixed:
+        return emit_fixed_array_call(t, std::move(ref));
+      case Kind::kArrayVar:
+        return emit_var_array_call(t, std::move(ref));
+      default:
+        return Status(invalid_argument("type not plan-eligible: " +
+                                       idl::type_to_string(t)));
+    }
+  }
+
+  std::uint32_t counts_used() const { return next_count_; }
+
+  std::vector<std::string> count_names() const {
+    std::vector<std::string> out;
+    for (std::uint32_t i = 0; i < next_count_; ++i) {
+      out.push_back(count_prefix_ + std::to_string(i));
+    }
+    return out;
+  }
+
+ private:
+  Result<CodecCall> scalar_call(const char* fn, ExprP ref) {
+    CodecCall out;
+    out.stmts.push_back(s_call("r", fn, {e_var(kXdrsRecord), std::move(ref)}));
+    out.stmts.push_back(propagate());
+    return out;
+  }
+
+  StmtP propagate() {
+    // `if (!xdr_x(...)) return FALSE;` — paper Fig. 4.
+    return s_if(e_bin(BinOp::kEq, e_var("r"), e_const(0)),
+                {s_return(e_const(0), "propagate failure")}, {},
+                "exit status check");
+  }
+
+  // Fixed slot width of a type that contains no variable arrays.
+  static Result<std::int64_t> fixed_slots(const Type& t) {
+    return type_slots(t, {});
+  }
+
+  Result<CodecCall> emit_struct_call(const Type& t, ExprP ref) {
+    const std::string name = "xdr_" + (t.name.empty() ? "anon" : t.name) +
+                             "_" + std::to_string(serial_++);
+    Function fn;
+    fn.name = name;
+    fn.params = {kXdrsRecord, "objp"};
+
+    std::vector<std::string> my_counts;
+    // Slot offset of the current field: a constant plus count-scaled
+    // terms for any preceding variable arrays.
+    ExprP offset = e_const(0);
+    std::int64_t const_off = 0;
+    bool offset_is_const = true;
+
+    for (const auto& f : t.fields) {
+      ExprP field_ref =
+          offset_is_const
+              ? (const_off == 0 ? ExprP(e_var("objp"))
+                                : e_index(e_var("objp"), e_const(const_off)))
+              : e_index(e_var("objp"), offset);
+      TEMPO_ASSIGN_OR_RETURN(call, emit_codec_call(*f.type, field_ref));
+      for (auto& s : call.stmts) fn.body.push_back(std::move(s));
+      for (const auto& c : call.counts) my_counts.push_back(c);
+
+      // Advance the offset past this field.
+      if (f.type->kind == Kind::kArrayVar) {
+        TEMPO_ASSIGN_OR_RETURN(es, fixed_slots(*f.type->elem));
+        ExprP grow =
+            e_bin(BinOp::kMul, e_var(call.counts.back()), e_const(es));
+        offset = offset_is_const
+                     ? e_bin(BinOp::kAdd, e_const(const_off), grow)
+                     : e_bin(BinOp::kAdd, offset, grow);
+        offset_is_const = false;
+      } else {
+        TEMPO_ASSIGN_OR_RETURN(fs, fixed_slots(*f.type));
+        const_off += fs;
+        if (!offset_is_const) {
+          offset = e_bin(BinOp::kAdd, offset, e_const(fs));
+        }
+      }
+    }
+    fn.body.push_back(s_return(e_const(1), "return success status"));
+    for (const auto& c : my_counts) fn.params.push_back(c);
+    program_.add(std::move(fn));
+
+    CodecCall out;
+    out.counts = my_counts;
+    std::vector<ExprP> args = {e_var(kXdrsRecord), std::move(ref)};
+    for (const auto& c : my_counts) args.push_back(e_var(c));
+    out.stmts.push_back(s_call("r", name, std::move(args),
+                               "struct " + t.name));
+    out.stmts.push_back(propagate());
+    return out;
+  }
+
+  Result<CodecCall> emit_fixed_array_call(const Type& t, ExprP ref) {
+    auto cp = count_params(*t.elem);
+    if (!cp.is_ok() || *cp != 0) {
+      return Status(invalid_argument(
+          "arrays of elements containing variable arrays are not "
+          "plan-eligible"));
+    }
+    TEMPO_ASSIGN_OR_RETURN(es, fixed_slots(*t.elem));
+    const std::string name = "xdr_vec_" + std::to_string(serial_++);
+    Function fn;
+    fn.name = name;
+    fn.params = {kXdrsRecord, "arrp"};
+    ExprP elem_ref =
+        e_index(e_var("arrp"), e_bin(BinOp::kMul, e_var("i"), e_const(es)));
+    TEMPO_ASSIGN_OR_RETURN(call, emit_codec_call(*t.elem, elem_ref));
+    fn.body.push_back(s_for("i", e_const(0), e_const(t.bound),
+                            std::move(call.stmts), "per-element loop"));
+    fn.body.push_back(s_return(e_const(1)));
+    program_.add(std::move(fn));
+
+    CodecCall out;
+    out.stmts.push_back(s_call("r", name, {e_var(kXdrsRecord), std::move(ref)},
+                               "fixed array"));
+    out.stmts.push_back(propagate());
+    return out;
+  }
+
+  Result<CodecCall> emit_var_array_call(const Type& t, ExprP ref) {
+    auto cp = count_params(*t.elem);
+    if (!cp.is_ok() || *cp != 0) {
+      return Status(invalid_argument(
+          "arrays of elements containing variable arrays are not "
+          "plan-eligible"));
+    }
+    TEMPO_ASSIGN_OR_RETURN(es, fixed_slots(*t.elem));
+    const std::string cnt = count_prefix_ + std::to_string(next_count_++);
+
+    const std::string name = "xdr_array_" + std::to_string(serial_++);
+    Function fn;
+    fn.name = name;
+    fn.params = {kXdrsRecord, "arrp", "cnt"};
+
+    // Bound check (static, folds away).
+    fn.body.push_back(s_if(
+        e_bin(BinOp::kGt, e_var("cnt"), e_const(t.bound)),
+        {s_return(e_const(0), "count exceeds bound")}, {}, "bound check"));
+    // Wire count: written on encode, verified on decode.
+    fn.body.push_back(s_if(
+        e_bin(BinOp::kEq, e_field(kXdrsRecord, "x_op"), e_const(kOpEncode)),
+        {s_call("r", "xdrmem_putlong_val",
+                {e_var(kXdrsRecord), e_var("cnt")}, "write element count"),
+         s_if(e_bin(BinOp::kEq, e_var("r"), e_const(0)),
+              {s_return(e_const(0))}, {}, "exit status check")},
+        {s_call("t", "xdrmem_getlong_val", {e_var(kXdrsRecord)},
+                "read element count"),
+         s_if(e_bin(BinOp::kNe, e_var("t"), e_var("cnt")),
+              {s_return(e_const(0), "unexpected element count")}, {},
+              "count guard")},
+        "dispatch on direction"));
+
+    ExprP elem_ref =
+        e_index(e_var("arrp"), e_bin(BinOp::kMul, e_var("i"), e_const(es)));
+    TEMPO_ASSIGN_OR_RETURN(call, emit_codec_call(*t.elem, elem_ref));
+    fn.body.push_back(s_for("i", e_const(0), e_var("cnt"),
+                            std::move(call.stmts), "per-element loop"));
+    fn.body.push_back(s_return(e_const(1)));
+    program_.add(std::move(fn));
+
+    CodecCall out;
+    out.counts = {cnt};
+    out.stmts.push_back(s_call("r", name,
+                               {e_var(kXdrsRecord), std::move(ref), e_var(cnt)},
+                               "variable array"));
+    out.stmts.push_back(propagate());
+    return out;
+  }
+
+  Program& program_;
+  std::string count_prefix_;
+  std::uint32_t next_count_ = 0;
+  int serial_ = 0;
+};
+
+// Wire size of `t` as an expression over count variables.
+Result<ExprP> wire_size_expr(const Type& t, const std::string& count_prefix,
+                             std::uint32_t& next_count) {
+  switch (t.kind) {
+    case Kind::kVoid:
+      return e_const(0);
+    case Kind::kInt:
+    case Kind::kUInt:
+    case Kind::kBool:
+    case Kind::kFloat:
+    case Kind::kEnum:
+      return e_const(4);
+    case Kind::kHyper:
+    case Kind::kUHyper:
+    case Kind::kDouble:
+      return e_const(8);
+    case Kind::kOpaqueFixed:
+      return e_const(static_cast<std::int64_t>(xdr_pad4(t.bound)));
+    case Kind::kStruct: {
+      ExprP sum = e_const(0);
+      for (const auto& f : t.fields) {
+        TEMPO_ASSIGN_OR_RETURN(fs,
+                               wire_size_expr(*f.type, count_prefix, next_count));
+        sum = e_bin(BinOp::kAdd, sum, fs);
+      }
+      return sum;
+    }
+    case Kind::kArrayFixed: {
+      TEMPO_ASSIGN_OR_RETURN(es,
+                             wire_size_expr(*t.elem, count_prefix, next_count));
+      return e_bin(BinOp::kMul, e_const(t.bound), es);
+    }
+    case Kind::kArrayVar: {
+      const std::string cnt = count_prefix + std::to_string(next_count++);
+      TEMPO_ASSIGN_OR_RETURN(es,
+                             wire_size_expr(*t.elem, count_prefix, next_count));
+      return e_bin(BinOp::kAdd, e_const(4),
+                   e_bin(BinOp::kMul, e_var(cnt), es));
+    }
+    default:
+      return Status(invalid_argument("type not plan-eligible: " +
+                                     idl::type_to_string(t)));
+  }
+}
+
+Block put_const_header_word(std::int64_t value, const std::string& what) {
+  return {
+      s_call("r", "xdrmem_putlong_val",
+             {e_var(kXdrsRecord), e_const(value)}, what),
+      s_if(e_bin(BinOp::kEq, e_var("r"), e_const(0)),
+           {s_return(e_const(0))}, {}, "exit status check"),
+  };
+}
+
+Block expect_header_word(std::int64_t value, const std::string& what,
+                         std::int64_t fail_code = kRcFail) {
+  return {
+      s_call("t", "xdrmem_getlong_val", {e_var(kXdrsRecord)}, what),
+      s_if(e_bin(BinOp::kNe, e_var("t"), e_const(value)),
+           {s_return(e_const(fail_code), "unexpected " + what)}, {},
+           "validate " + what),
+  };
+}
+
+void append(Block& dst, Block src) {
+  for (auto& s : src) dst.push_back(std::move(s));
+}
+
+}  // namespace
+
+Result<InterfaceCorpus> build_interface_corpus(const idl::ProcDef& proc,
+                                               std::uint32_t prog_num,
+                                               std::uint32_t vers_num) {
+  if (!plan_eligible(*proc.arg_type) || !plan_eligible(*proc.res_type)) {
+    return Status(invalid_argument(
+        "interface uses types outside the plan-eligible subset"));
+  }
+
+  InterfaceCorpus out;
+  out.prog_num = prog_num;
+  out.vers_num = vers_num;
+  out.proc_num = proc.number;
+  out.arg_type = proc.arg_type;
+  out.res_type = proc.res_type;
+
+  Program& p = out.program;
+  p.add(make_xdrmem_putlong());
+  p.add(make_xdrmem_putlong_val());
+  p.add(make_xdrmem_getlong());
+  p.add(make_xdrmem_getlong_val());
+  p.add(make_xdr_long());
+  p.add(make_forwarder("xdr_int"));
+  p.add(make_forwarder("xdr_u_int"));
+  p.add(make_forwarder("xdr_enum"));
+  p.add(make_forwarder("xdr_float"));
+  p.add(make_xdr_bool());
+  p.add(make_xdr_hyper("xdr_hyper"));
+  p.add(make_xdr_hyper("xdr_u_hyper"));
+  p.add(make_xdr_hyper("xdr_double"));
+  p.add(make_xdr_opaque());
+
+  // ---- argument codec + client encode driver ---------------------------
+  StubBuilder arg_stubs(p, "cnt");
+  Function encode_call;
+  encode_call.name = "encode_call";
+  encode_call.params = {kXdrsRecord, kXidVar, "argsp"};
+
+  // clntudp_call: the call-message header, word by word (Fig. 1 trace).
+  append(encode_call.body,
+         {s_call("r", "xdrmem_putlong_val",
+                 {e_var(kXdrsRecord), e_var(kXidVar)}, "write XID"),
+          s_if(e_bin(BinOp::kEq, e_var("r"), e_const(0)),
+               {s_return(e_const(0))}, {}, "exit status check")});
+  append(encode_call.body, put_const_header_word(0, "msg type CALL"));
+  append(encode_call.body, put_const_header_word(2, "RPC version"));
+  append(encode_call.body, put_const_header_word(prog_num, "program"));
+  append(encode_call.body, put_const_header_word(vers_num, "version"));
+  append(encode_call.body,
+         put_const_header_word(proc.number, "procedure identifier"));
+  append(encode_call.body, put_const_header_word(0, "cred flavor AUTH_NONE"));
+  append(encode_call.body, put_const_header_word(0, "cred length"));
+  append(encode_call.body, put_const_header_word(0, "verf flavor AUTH_NONE"));
+  append(encode_call.body, put_const_header_word(0, "verf length"));
+
+  if (proc.arg_type->kind != Kind::kVoid) {
+    TEMPO_ASSIGN_OR_RETURN(calls,
+                           arg_stubs.emit_codec_call(*proc.arg_type,
+                                                     e_var("argsp")));
+    append(encode_call.body, std::move(calls.stmts));
+  }
+  encode_call.body.push_back(s_return(e_const(1)));
+  out.arg_counts = arg_stubs.counts_used();
+  for (const auto& c : arg_stubs.count_names()) {
+    encode_call.params.push_back(c);
+  }
+  p.add(std::move(encode_call));
+  out.encode_call = "encode_call";
+
+  // ---- server-side argument decode driver ------------------------------
+  {
+    StubBuilder srv_stubs(p, "cnt");
+    Function decode_args;
+    decode_args.name = "decode_args";
+    decode_args.params = {kXdrsRecord, "argsp", kInlenVar};
+    std::uint32_t nc = 0;
+    TEMPO_ASSIGN_OR_RETURN(asize, wire_size_expr(*proc.arg_type, "cnt", nc));
+    // §6.2 expected-inlen guard: on the fast path, inlen becomes static.
+    decode_args.body.push_back(
+        s_if(e_bin(BinOp::kNe, e_var(kInlenVar), asize),
+             {s_return(e_const(kRcLenMismatch), "unexpected payload size")},
+             {}, "expected_inlen guard"));
+    decode_args.body.push_back(
+        s_field_set(kXdrsRecord, "x_handy", e_var(kInlenVar),
+                    "arm decode accounting"));
+    if (proc.arg_type->kind != Kind::kVoid) {
+      TEMPO_ASSIGN_OR_RETURN(calls,
+                             srv_stubs.emit_codec_call(*proc.arg_type,
+                                                       e_var("argsp")));
+      append(decode_args.body, std::move(calls.stmts));
+    }
+    decode_args.body.push_back(
+        s_if(e_bin(BinOp::kNe, e_field(kXdrsRecord, "x_err"), e_const(0)),
+             {s_return(e_const(0))}, {}, "propagate buffer underflow"));
+    decode_args.body.push_back(s_return(e_const(1)));
+    for (const auto& c : srv_stubs.count_names()) {
+      decode_args.params.push_back(c);
+    }
+    p.add(std::move(decode_args));
+    out.decode_args = "decode_args";
+  }
+
+  // ---- result codec + server encode driver ------------------------------
+  {
+    StubBuilder res_stubs(p, "rcnt");
+    Function encode_results;
+    encode_results.name = "encode_results";
+    encode_results.params = {kXdrsRecord, "resp"};
+    if (proc.res_type->kind != Kind::kVoid) {
+      TEMPO_ASSIGN_OR_RETURN(calls,
+                             res_stubs.emit_codec_call(*proc.res_type,
+                                                       e_var("resp")));
+      append(encode_results.body, std::move(calls.stmts));
+    }
+    encode_results.body.push_back(s_return(e_const(1)));
+    out.res_counts = res_stubs.counts_used();
+    for (const auto& c : res_stubs.count_names()) {
+      encode_results.params.push_back(c);
+    }
+    p.add(std::move(encode_results));
+    out.encode_results = "encode_results";
+  }
+
+  // ---- client reply decode driver ---------------------------------------
+  {
+    StubBuilder res_stubs(p, "rcnt");
+    Function decode_reply;
+    decode_reply.name = "decode_reply";
+    decode_reply.params = {kXdrsRecord, kXidVar, "resp", kInlenVar};
+    std::uint32_t nc = 0;
+    TEMPO_ASSIGN_OR_RETURN(rsize, wire_size_expr(*proc.res_type, "rcnt", nc));
+    decode_reply.body.push_back(s_if(
+        e_bin(BinOp::kNe, e_var(kInlenVar),
+              e_bin(BinOp::kAdd, e_const(kReplyHeaderBytes), rsize)),
+        {s_return(e_const(kRcLenMismatch), "unexpected reply size")}, {},
+        "expected_inlen guard (paper §6.2)"));
+    decode_reply.body.push_back(
+        s_field_set(kXdrsRecord, "x_handy", e_var(kInlenVar),
+                    "arm decode accounting"));
+    // Reply header validation.
+    append(decode_reply.body,
+           {s_call("t", "xdrmem_getlong_val", {e_var(kXdrsRecord)},
+                   "read XID"),
+            s_if(e_bin(BinOp::kNe, e_var("t"), e_var(kXidVar)),
+                 {s_return(e_const(kRcXidMismatch), "stale reply")}, {},
+                 "XID match")});
+    append(decode_reply.body, expect_header_word(1, "msg type REPLY"));
+    append(decode_reply.body, expect_header_word(0, "reply stat ACCEPTED"));
+    append(decode_reply.body, expect_header_word(0, "verf flavor AUTH_NONE"));
+    append(decode_reply.body, expect_header_word(0, "verf length"));
+    append(decode_reply.body, expect_header_word(0, "accept stat SUCCESS"));
+    if (proc.res_type->kind != Kind::kVoid) {
+      TEMPO_ASSIGN_OR_RETURN(calls,
+                             res_stubs.emit_codec_call(*proc.res_type,
+                                                       e_var("resp")));
+      append(decode_reply.body, std::move(calls.stmts));
+    }
+    decode_reply.body.push_back(
+        s_if(e_bin(BinOp::kNe, e_field(kXdrsRecord, "x_err"), e_const(0)),
+             {s_return(e_const(0))}, {}, "propagate buffer underflow"));
+    decode_reply.body.push_back(s_return(e_const(1)));
+    for (const auto& c : res_stubs.count_names()) {
+      decode_reply.params.push_back(c);
+    }
+    p.add(std::move(decode_reply));
+    out.decode_reply = "decode_reply";
+  }
+
+  return out;
+}
+
+namespace {
+
+std::size_t block_weight(const Block& b);
+
+std::size_t stmt_weight(const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::kIf:
+      return 8 + block_weight(s.body) + block_weight(s.else_body);
+    case StmtKind::kFor:
+      return 12 + block_weight(s.body);
+    case StmtKind::kCall:
+      return 16;  // arg setup + call + return
+    default:
+      return 8;
+  }
+}
+
+std::size_t block_weight(const Block& b) {
+  std::size_t total = 0;
+  for (const auto& s : b) total += stmt_weight(*s);
+  return total;
+}
+
+}  // namespace
+
+std::size_t ir_code_size(const Program& program) {
+  std::size_t total = 0;
+  for (const auto& [name, fn] : program.functions) {
+    total += 16 + block_weight(fn.body);  // prologue/epilogue + body
+  }
+  return total;
+}
+
+}  // namespace tempo::pe

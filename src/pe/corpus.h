@@ -1,0 +1,74 @@
+// Builds the generic Sun RPC marshaling code in IR form for a given
+// interface procedure — the input the partial evaluator works on.
+//
+// The emitted program mirrors the original micro-layer structure the
+// paper's Figure 1 traces:
+//
+//   encode_call                   (clntudp_call: header words + stub)
+//     xdrmem_putlong_val            (XDR_PUTLONG of proc id, versions...)
+//     xdr_<argtype>                 (the rpcgen-generated stub, Fig. 4)
+//       xdr_int / xdr_long          (per-field dispatch, Fig. 2)
+//         xdrmem_putlong            (overflow check + store, Fig. 3)
+//
+// plus the exit-status propagation after every call (`if (!r) return 0`)
+// that §3.3 shows being folded away.
+//
+// Return-code convention for driver entry points:
+//   1 = success, 0 = failure (protocol garbage -> fall back to generic),
+//   2 = length-guard miss (the §6.2 expected_inlen test -> fall back),
+//   3 = XID mismatch (stale reply -> keep waiting).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "idl/types.h"
+#include "pe/ir.h"
+
+namespace tempo::pe {
+
+// Names of reserved entry parameters.
+inline constexpr const char* kXdrsRecord = "xdrs";
+inline constexpr const char* kXidVar = "xid";
+inline constexpr const char* kInlenVar = "inlen";
+
+// Driver return codes (see above).
+inline constexpr std::int64_t kRcFail = 0;
+inline constexpr std::int64_t kRcOk = 1;
+inline constexpr std::int64_t kRcLenMismatch = 2;
+inline constexpr std::int64_t kRcXidMismatch = 3;
+
+// Wire sizes of the fixed message prefixes with AUTH_NONE credentials.
+inline constexpr std::int64_t kCallHeaderBytes = 40;   // 10 words
+inline constexpr std::int64_t kReplyHeaderBytes = 24;  // 6 words
+
+struct InterfaceCorpus {
+  Program program;
+
+  // Entry-point function names.
+  std::string encode_call;     // (xdrs, xid, argsp, cnt0..)   client
+  std::string decode_reply;    // (xdrs, xid, resp, inlen, rcnt0..)
+  std::string decode_args;     // (xdrs, argsp, inlen, cnt0..) server
+  std::string encode_results;  // (xdrs, resp, rcnt0..)
+
+  // Number of pinned variable-array counts per side; the corresponding
+  // parameters are named cnt0..cntN-1 / rcnt0..rcntM-1.
+  std::uint32_t arg_counts = 0;
+  std::uint32_t res_counts = 0;
+
+  std::uint32_t prog_num = 0, vers_num = 0, proc_num = 0;
+  idl::TypePtr arg_type, res_type;
+};
+
+// Fails when arg or result type is not plan-eligible (strings, unions,
+// optionals, variable opaques, or variable arrays nested under arrays).
+Result<InterfaceCorpus> build_interface_corpus(const idl::ProcDef& proc,
+                                               std::uint32_t prog_num,
+                                               std::uint32_t vers_num);
+
+// Rough object-code size model for generic IR (bytes), used as the
+// Table 3 "generic client code" size analog: statements weighted like
+// compiled RISC instructions.
+std::size_t ir_code_size(const Program& program);
+
+}  // namespace tempo::pe

@@ -1,0 +1,336 @@
+#include "pe/interp.h"
+
+#include <cstring>
+
+#include "common/endian.h"
+
+namespace tempo::pe {
+
+namespace {
+
+struct IVal {
+  enum class K : std::uint8_t { kInt, kRef, kRec } k = K::kInt;
+  std::int64_t v = 0;  // integer value or slot index
+};
+
+class Interp {
+ public:
+  Interp(const Program& program, const InterpInput& in)
+      : program_(program), in_(in) {
+    fields_["x_op"] = in.xdrs.x_op;
+    fields_["x_handy"] = in.xdrs.x_handy;
+    fields_["x_private"] = in.xdrs.x_private;
+    fields_["x_err"] = 0;
+  }
+
+  Result<std::int64_t> run(const std::string& entry) {
+    const Function* fn = program_.find(entry);
+    if (!fn) return Status(not_found("no function " + entry));
+    std::map<std::string, IVal> env;
+    for (const auto& p : fn->params) {
+      if (p == "xdrs") {
+        env[p] = IVal{IVal::K::kRec, 0};
+      } else if (auto it = in_.refs.find(p); it != in_.refs.end()) {
+        env[p] = IVal{IVal::K::kRef, it->second};
+      } else if (auto is = in_.scalars.find(p); is != in_.scalars.end()) {
+        env[p] = IVal{IVal::K::kInt, is->second};
+      } else {
+        return Status(invalid_argument("unbound entry parameter " + p));
+      }
+    }
+    return call_with_env(*fn, std::move(env));
+  }
+
+ private:
+  // ---- cost helpers ----------------------------------------------------
+  void cost_alu(std::int64_t n = 1) {
+    if (in_.cost) in_.cost->alu_ops += n;
+  }
+  void cost_call() {
+    if (in_.cost) ++in_.cost->calls;
+  }
+  void cost_branch(const std::string& note) {
+    if (!in_.cost) return;
+    if (note.rfind("overflow", 0) == 0) {
+      ++in_.cost->overflow_checks;
+    } else if (note.find("mode") != std::string::npos ||
+               note.find("dispatch") != std::string::npos) {
+      ++in_.cost->dispatches;
+    } else {
+      ++in_.cost->alu_ops;
+    }
+  }
+  void cost_buffer(std::int64_t bytes) {
+    if (in_.cost) in_.cost->buffer_bytes += bytes;
+  }
+
+  // ---- expression evaluation --------------------------------------------
+  Result<IVal> eval(const Expr& e, std::map<std::string, IVal>& env) {
+    switch (e.kind) {
+      case ExprKind::kConst:
+        return IVal{IVal::K::kInt, e.imm};
+      case ExprKind::kVar: {
+        const auto it = env.find(e.var);
+        if (it == env.end()) {
+          return Status(invalid_argument("unbound variable " + e.var));
+        }
+        return it->second;
+      }
+      case ExprKind::kField: {
+        const auto it = fields_.find(e.field);
+        if (it == fields_.end()) {
+          return Status(invalid_argument("unknown field " + e.field));
+        }
+        return IVal{IVal::K::kInt, it->second};
+      }
+      case ExprKind::kBin: {
+        TEMPO_ASSIGN_OR_RETURN(a, eval(*e.a, env));
+        TEMPO_ASSIGN_OR_RETURN(b, eval(*e.b, env));
+        cost_alu();
+        return IVal{IVal::K::kInt, apply(e.op, a.v, b.v)};
+      }
+      case ExprKind::kDeref: {
+        TEMPO_ASSIGN_OR_RETURN(r, eval(*e.a, env));
+        if (r.k != IVal::K::kRef) {
+          return Status(invalid_argument("deref of non-reference"));
+        }
+        if (r.v < 0 || static_cast<std::size_t>(r.v) >= in_.user.size()) {
+          return Status(out_of_range("slot read out of range"));
+        }
+        cost_buffer(4);  // argument words travel through the cache too
+        return IVal{IVal::K::kInt,
+                    static_cast<std::int64_t>(in_.user[static_cast<std::size_t>(r.v)])};
+      }
+      case ExprKind::kIndex: {
+        TEMPO_ASSIGN_OR_RETURN(r, eval(*e.a, env));
+        TEMPO_ASSIGN_OR_RETURN(i, eval(*e.b, env));
+        if (r.k != IVal::K::kRef) {
+          return Status(invalid_argument("index of non-reference"));
+        }
+        cost_alu();
+        return IVal{IVal::K::kRef, r.v + i.v};
+      }
+      case ExprKind::kFieldRef: {
+        TEMPO_ASSIGN_OR_RETURN(r, eval(*e.a, env));
+        if (r.k != IVal::K::kRef) {
+          return Status(invalid_argument("field-ref of non-reference"));
+        }
+        return IVal{IVal::K::kRef, r.v + e.imm};
+      }
+      case ExprKind::kBufLoad: {
+        TEMPO_ASSIGN_OR_RETURN(off, eval(*e.a, env));
+        if (off.v < 0 ||
+            static_cast<std::size_t>(off.v) + 4 > in_.in.size()) {
+          return Status(out_of_range("input buffer read out of range"));
+        }
+        cost_buffer(4);
+        cost_alu();  // ntohl
+        return IVal{IVal::K::kInt,
+                    static_cast<std::int64_t>(
+                        load_be32(in_.in.data() + off.v))};
+      }
+    }
+    return Status(internal_error("bad expr"));
+  }
+
+  static std::int64_t apply(BinOp op, std::int64_t a, std::int64_t b) {
+    switch (op) {
+      case BinOp::kAdd: return a + b;
+      case BinOp::kSub: return a - b;
+      case BinOp::kMul: return a * b;
+      case BinOp::kLt: return a < b;
+      case BinOp::kLe: return a <= b;
+      case BinOp::kGt: return a > b;
+      case BinOp::kGe: return a >= b;
+      case BinOp::kEq: return a == b;
+      case BinOp::kNe: return a != b;
+      case BinOp::kAnd: return (a != 0) && (b != 0);
+      case BinOp::kOr: return (a != 0) || (b != 0);
+    }
+    return 0;
+  }
+
+  // ---- statement execution -----------------------------------------------
+  // Runs a block; sets *returned and *ret_val when a Return executed.
+  Status exec_block(const Block& b, std::map<std::string, IVal>& env,
+                    bool* returned, std::int64_t* ret_val) {
+    for (const auto& s : b) {
+      TEMPO_RETURN_IF_ERROR(exec(*s, env, returned, ret_val));
+      if (*returned) return Status::ok();
+    }
+    return Status::ok();
+  }
+
+  Status exec(const Stmt& s, std::map<std::string, IVal>& env,
+              bool* returned, std::int64_t* ret_val) {
+    switch (s.kind) {
+      case StmtKind::kAssign: {
+        TEMPO_ASSIGN_OR_RETURN(v, eval(*s.e0, env));
+        env[s.var] = v;
+        cost_alu();
+        return Status::ok();
+      }
+      case StmtKind::kFieldSet: {
+        TEMPO_ASSIGN_OR_RETURN(v, eval(*s.e0, env));
+        if (v.k != IVal::K::kInt) {
+          return invalid_argument("record field must hold a scalar");
+        }
+        fields_[s.field] = v.v;
+        cost_alu();
+        return Status::ok();
+      }
+      case StmtKind::kStoreRef: {
+        TEMPO_ASSIGN_OR_RETURN(r, eval(*s.e0, env));
+        TEMPO_ASSIGN_OR_RETURN(v, eval(*s.e1, env));
+        if (r.k != IVal::K::kRef) {
+          return invalid_argument("store through non-reference");
+        }
+        if (r.v < 0 || static_cast<std::size_t>(r.v) >= in_.user.size()) {
+          return out_of_range("slot write out of range");
+        }
+        in_.user[static_cast<std::size_t>(r.v)] =
+            static_cast<std::uint32_t>(v.v);
+        cost_alu();
+        return Status::ok();
+      }
+      case StmtKind::kBufStore: {
+        TEMPO_ASSIGN_OR_RETURN(off, eval(*s.e0, env));
+        TEMPO_ASSIGN_OR_RETURN(v, eval(*s.e1, env));
+        if (off.v < 0 ||
+            static_cast<std::size_t>(off.v) + 4 > in_.out.size()) {
+          return out_of_range("output buffer write out of range");
+        }
+        store_be32(in_.out.data() + off.v, static_cast<std::uint32_t>(v.v));
+        cost_buffer(4);
+        cost_alu();  // htonl
+        return Status::ok();
+      }
+      case StmtKind::kBufStoreBytes: {
+        TEMPO_ASSIGN_OR_RETURN(off, eval(*s.e0, env));
+        TEMPO_ASSIGN_OR_RETURN(r, eval(*s.e1, env));
+        TEMPO_ASSIGN_OR_RETURN(len, eval(*s.e2, env));
+        if (r.k != IVal::K::kRef) {
+          return invalid_argument("byte store from non-reference");
+        }
+        const std::size_t padded = xdr_pad4(static_cast<std::size_t>(len.v));
+        if (off.v < 0 ||
+            static_cast<std::size_t>(off.v) + padded > in_.out.size()) {
+          return out_of_range("output buffer write out of range");
+        }
+        const std::size_t src_byte = static_cast<std::size_t>(r.v) * 4;
+        if (src_byte + len.v > in_.user.size() * 4) {
+          return out_of_range("slot byte read out of range");
+        }
+        const auto* ub = reinterpret_cast<const std::uint8_t*>(in_.user.data());
+        std::memcpy(in_.out.data() + off.v, ub + src_byte,
+                    static_cast<std::size_t>(len.v));
+        std::memset(in_.out.data() + off.v + len.v, 0,
+                    padded - static_cast<std::size_t>(len.v));
+        cost_buffer(static_cast<std::int64_t>(padded));
+        return Status::ok();
+      }
+      case StmtKind::kBufLoadBytes: {
+        TEMPO_ASSIGN_OR_RETURN(off, eval(*s.e0, env));
+        TEMPO_ASSIGN_OR_RETURN(r, eval(*s.e1, env));
+        TEMPO_ASSIGN_OR_RETURN(len, eval(*s.e2, env));
+        if (r.k != IVal::K::kRef) {
+          return invalid_argument("byte load into non-reference");
+        }
+        const std::size_t padded = xdr_pad4(static_cast<std::size_t>(len.v));
+        if (off.v < 0 ||
+            static_cast<std::size_t>(off.v) + padded > in_.in.size()) {
+          return out_of_range("input buffer read out of range");
+        }
+        const std::size_t dst_byte = static_cast<std::size_t>(r.v) * 4;
+        if (dst_byte + padded > in_.user.size() * 4) {
+          return out_of_range("slot byte write out of range");
+        }
+        auto* ub = reinterpret_cast<std::uint8_t*>(in_.user.data());
+        // Zero the trailing slot bytes first so padding stays canonical.
+        std::memset(ub + dst_byte, 0, padded);
+        std::memcpy(ub + dst_byte, in_.in.data() + off.v,
+                    static_cast<std::size_t>(len.v));
+        cost_buffer(static_cast<std::int64_t>(padded));
+        return Status::ok();
+      }
+      case StmtKind::kIf: {
+        TEMPO_ASSIGN_OR_RETURN(c, eval(*s.e0, env));
+        cost_branch(s.note);
+        return exec_block(c.v != 0 ? s.body : s.else_body, env, returned,
+                          ret_val);
+      }
+      case StmtKind::kFor: {
+        TEMPO_ASSIGN_OR_RETURN(from, eval(*s.e0, env));
+        TEMPO_ASSIGN_OR_RETURN(to, eval(*s.e1, env));
+        for (std::int64_t i = from.v; i < to.v; ++i) {
+          env[s.var] = IVal{IVal::K::kInt, i};
+          cost_alu(2);  // compare + increment
+          TEMPO_RETURN_IF_ERROR(exec_block(s.body, env, returned, ret_val));
+          if (*returned) return Status::ok();
+        }
+        return Status::ok();
+      }
+      case StmtKind::kCall: {
+        const Function* callee = program_.find(s.callee);
+        if (!callee) return not_found("no function " + s.callee);
+        if (callee->params.size() != s.args.size()) {
+          return invalid_argument("arity mismatch calling " + s.callee);
+        }
+        std::map<std::string, IVal> callee_env;
+        for (std::size_t i = 0; i < s.args.size(); ++i) {
+          TEMPO_ASSIGN_OR_RETURN(a, eval(*s.args[i], env));
+          callee_env[callee->params[i]] = a;
+        }
+        cost_call();
+        auto r = call_with_env(*callee, std::move(callee_env));
+        if (!r.is_ok()) return r.status();
+        if (!s.var.empty()) env[s.var] = IVal{IVal::K::kInt, *r};
+        return Status::ok();
+      }
+      case StmtKind::kReturn: {
+        if (s.e0) {
+          TEMPO_ASSIGN_OR_RETURN(v, eval(*s.e0, env));
+          *ret_val = v.v;
+        } else {
+          *ret_val = 0;
+        }
+        *returned = true;
+        return Status::ok();
+      }
+    }
+    return internal_error("bad stmt");
+  }
+
+  Result<std::int64_t> call_with_env(const Function& fn,
+                                     std::map<std::string, IVal> env) {
+    if (++depth_ > 64) {
+      --depth_;
+      return Status(internal_error("call depth exceeded"));
+    }
+    bool returned = false;
+    std::int64_t ret_val = 0;
+    Status st = exec_block(fn.body, env, &returned, &ret_val);
+    --depth_;
+    if (!st.is_ok()) return st;
+    if (!returned) {
+      return Status(internal_error("function " + fn.name +
+                                   " fell off the end"));
+    }
+    return ret_val;
+  }
+
+  const Program& program_;
+  const InterpInput& in_;
+  std::map<std::string, std::int64_t> fields_;  // the single xdrs record
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<std::int64_t> run_ir(const Program& program, const std::string& entry,
+                            const InterpInput& input) {
+  Interp interp(program, input);
+  return interp.run(entry);
+}
+
+}  // namespace tempo::pe

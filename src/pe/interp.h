@@ -1,0 +1,44 @@
+// Concrete IR interpreter.
+//
+// Runs the generic corpus code with fully concrete inputs.  Two roles:
+//  * reference semantics — the specializer soundness property tests
+//    compare plan output against this interpreter's output,
+//  * the "original Sun RPC executing on the simulated IPX" — while
+//    interpreting it reports CostEvents (calls, dispatch tests, overflow
+//    checks, ALU work, buffer traffic) which the cost model converts to
+//    virtual time for the Table 1/2 ipx-sim columns.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/costmodel.h"
+#include "common/status.h"
+#include "pe/ir.h"
+
+namespace tempo::pe {
+
+struct XdrsInit {
+  std::int64_t x_op = 0;      // 0 encode, 1 decode
+  std::int64_t x_handy = 0;   // buffer capacity (encode) — decode drivers load it from inlen
+  std::int64_t x_private = 0; // starting byte offset
+};
+
+struct InterpInput {
+  std::map<std::string, std::int64_t> scalars;  // xid, inlen, cnt0...
+  std::map<std::string, std::int64_t> refs;     // argsp / resp -> base slot
+  XdrsInit xdrs;
+  std::span<std::uint32_t> user;  // flattened argument/result slots
+  MutableByteSpan out;            // encode target
+  ByteSpan in;                    // decode source
+  CostEvents* cost = nullptr;     // optional event accounting
+};
+
+// Runs `entry`, returns its integer result (the kRc* driver codes).
+Result<std::int64_t> run_ir(const Program& program, const std::string& entry,
+                            const InterpInput& input);
+
+}  // namespace tempo::pe

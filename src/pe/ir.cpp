@@ -1,0 +1,275 @@
+#include "pe/ir.h"
+
+namespace tempo::pe {
+
+std::string binop_name(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kAnd: return "&&";
+    case BinOp::kOr: return "||";
+  }
+  return "?";
+}
+
+ExprP e_const(std::int64_t v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kConst;
+  e->imm = v;
+  return e;
+}
+
+ExprP e_var(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kVar;
+  e->var = std::move(name);
+  return e;
+}
+
+ExprP e_field(std::string record, std::string field) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kField;
+  e->var = std::move(record);
+  e->field = std::move(field);
+  return e;
+}
+
+ExprP e_bin(BinOp op, ExprP a, ExprP b) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBin;
+  e->op = op;
+  e->a = std::move(a);
+  e->b = std::move(b);
+  return e;
+}
+
+ExprP e_deref(ExprP ref) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kDeref;
+  e->a = std::move(ref);
+  return e;
+}
+
+ExprP e_index(ExprP ref, ExprP idx) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kIndex;
+  e->a = std::move(ref);
+  e->b = std::move(idx);
+  return e;
+}
+
+ExprP e_field_ref(ExprP ref, std::int64_t slots) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kFieldRef;
+  e->a = std::move(ref);
+  e->imm = slots;
+  return e;
+}
+
+ExprP e_buf_load(ExprP offset) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBufLoad;
+  e->a = std::move(offset);
+  return e;
+}
+
+namespace {
+std::shared_ptr<Stmt> make_stmt(StmtKind k, std::string note) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = k;
+  s->note = std::move(note);
+  return s;
+}
+}  // namespace
+
+StmtP s_assign(std::string var, ExprP value, std::string note) {
+  auto s = make_stmt(StmtKind::kAssign, std::move(note));
+  s->var = std::move(var);
+  s->e0 = std::move(value);
+  return s;
+}
+
+StmtP s_field_set(std::string record, std::string field, ExprP value,
+                  std::string note) {
+  auto s = make_stmt(StmtKind::kFieldSet, std::move(note));
+  s->var = std::move(record);
+  s->field = std::move(field);
+  s->e0 = std::move(value);
+  return s;
+}
+
+StmtP s_store_ref(ExprP ref, ExprP value, std::string note) {
+  auto s = make_stmt(StmtKind::kStoreRef, std::move(note));
+  s->e0 = std::move(ref);
+  s->e1 = std::move(value);
+  return s;
+}
+
+StmtP s_buf_store(ExprP offset, ExprP value, std::string note) {
+  auto s = make_stmt(StmtKind::kBufStore, std::move(note));
+  s->e0 = std::move(offset);
+  s->e1 = std::move(value);
+  return s;
+}
+
+StmtP s_buf_store_bytes(ExprP offset, ExprP ref, ExprP len,
+                        std::string note) {
+  auto s = make_stmt(StmtKind::kBufStoreBytes, std::move(note));
+  s->e0 = std::move(offset);
+  s->e1 = std::move(ref);
+  s->e2 = std::move(len);
+  return s;
+}
+
+StmtP s_buf_load_bytes(ExprP offset, ExprP ref, ExprP len, std::string note) {
+  auto s = make_stmt(StmtKind::kBufLoadBytes, std::move(note));
+  s->e0 = std::move(offset);
+  s->e1 = std::move(ref);
+  s->e2 = std::move(len);
+  return s;
+}
+
+StmtP s_if(ExprP cond, Block then_body, Block else_body, std::string note) {
+  auto s = make_stmt(StmtKind::kIf, std::move(note));
+  s->e0 = std::move(cond);
+  s->body = std::move(then_body);
+  s->else_body = std::move(else_body);
+  return s;
+}
+
+StmtP s_for(std::string var, ExprP from, ExprP to, Block body,
+            std::string note) {
+  auto s = make_stmt(StmtKind::kFor, std::move(note));
+  s->var = std::move(var);
+  s->e0 = std::move(from);
+  s->e1 = std::move(to);
+  s->body = std::move(body);
+  return s;
+}
+
+StmtP s_call(std::string dst, std::string callee, std::vector<ExprP> args,
+             std::string note) {
+  auto s = make_stmt(StmtKind::kCall, std::move(note));
+  s->var = std::move(dst);
+  s->callee = std::move(callee);
+  s->args = std::move(args);
+  return s;
+}
+
+StmtP s_return(ExprP value, std::string note) {
+  auto s = make_stmt(StmtKind::kReturn, std::move(note));
+  s->e0 = std::move(value);
+  return s;
+}
+
+std::string expr_to_string(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kConst:
+      return std::to_string(e.imm);
+    case ExprKind::kVar:
+      return e.var;
+    case ExprKind::kField:
+      return e.var + "->" + e.field;
+    case ExprKind::kBin:
+      return "(" + expr_to_string(*e.a) + " " + binop_name(e.op) + " " +
+             expr_to_string(*e.b) + ")";
+    case ExprKind::kDeref:
+      return "*" + expr_to_string(*e.a);
+    case ExprKind::kIndex:
+      return "&" + expr_to_string(*e.a) + "[" + expr_to_string(*e.b) + "]";
+    case ExprKind::kFieldRef:
+      return "&" + expr_to_string(*e.a) + ".slot" + std::to_string(e.imm);
+    case ExprKind::kBufLoad:
+      return "load_be32(in + " + expr_to_string(*e.a) + ")";
+  }
+  return "?";
+}
+
+namespace {
+std::string pad(int indent) { return std::string(static_cast<std::size_t>(indent) * 2, ' '); }
+
+std::string block_to_string(const Block& b, int indent) {
+  std::string out;
+  for (const auto& s : b) out += stmt_to_string(*s, indent);
+  return out;
+}
+}  // namespace
+
+std::string stmt_to_string(const Stmt& s, int indent) {
+  std::string line = pad(indent);
+  switch (s.kind) {
+    case StmtKind::kAssign:
+      line += s.var + " = " + expr_to_string(*s.e0) + ";";
+      break;
+    case StmtKind::kFieldSet:
+      line += s.var + "->" + s.field + " = " + expr_to_string(*s.e0) + ";";
+      break;
+    case StmtKind::kStoreRef:
+      line += "*" + expr_to_string(*s.e0) + " = " + expr_to_string(*s.e1) + ";";
+      break;
+    case StmtKind::kBufStore:
+      line += "out[" + expr_to_string(*s.e0) +
+              "] = be32(" + expr_to_string(*s.e1) + ");";
+      break;
+    case StmtKind::kBufStoreBytes:
+      line += "memcpy(out + " + expr_to_string(*s.e0) + ", " +
+              expr_to_string(*s.e1) + ", " + expr_to_string(*s.e2) + ");";
+      break;
+    case StmtKind::kBufLoadBytes:
+      line += "memcpy(" + expr_to_string(*s.e1) + ", in + " +
+              expr_to_string(*s.e0) + ", " + expr_to_string(*s.e2) + ");";
+      break;
+    case StmtKind::kIf: {
+      line += "if (" + expr_to_string(*s.e0) + ") {";
+      if (!s.note.empty()) line += "  // " + s.note;
+      line += "\n" + block_to_string(s.body, indent + 1) + pad(indent) + "}";
+      if (!s.else_body.empty()) {
+        line += " else {\n" + block_to_string(s.else_body, indent + 1) +
+                pad(indent) + "}";
+      }
+      return line + "\n";
+    }
+    case StmtKind::kFor: {
+      line += "for (" + s.var + " = " + expr_to_string(*s.e0) + "; " + s.var +
+              " < " + expr_to_string(*s.e1) + "; ++" + s.var + ") {";
+      if (!s.note.empty()) line += "  // " + s.note;
+      return line + "\n" + block_to_string(s.body, indent + 1) + pad(indent) +
+             "}\n";
+    }
+    case StmtKind::kCall: {
+      if (!s.var.empty()) line += s.var + " = ";
+      line += s.callee + "(";
+      for (std::size_t i = 0; i < s.args.size(); ++i) {
+        if (i) line += ", ";
+        line += expr_to_string(*s.args[i]);
+      }
+      line += ");";
+      break;
+    }
+    case StmtKind::kReturn:
+      line += s.e0 ? "return " + expr_to_string(*s.e0) + ";" : "return;";
+      break;
+  }
+  if (!s.note.empty()) line += "  // " + s.note;
+  return line + "\n";
+}
+
+std::string function_to_string(const Function& fn) {
+  std::string out = fn.name + "(";
+  for (std::size_t i = 0; i < fn.params.size(); ++i) {
+    if (i) out += ", ";
+    out += fn.params[i];
+  }
+  out += ") {\n";
+  for (const auto& s : fn.body) out += stmt_to_string(*s, 1);
+  return out + "}\n";
+}
+
+}  // namespace tempo::pe

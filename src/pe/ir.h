@@ -1,0 +1,139 @@
+// Intermediate representation for the partial evaluator.
+//
+// The IR is a tiny C-like imperative language, just expressive enough to
+// state the Sun RPC marshaling micro-layers the way the paper's figures
+// show them (xdr_long, xdrmem_putlong, xdr_pair, the clntudp_call
+// header writer).  corpus.h builds that code; interp.h runs it
+// concretely (the "original" semantics); specializer.h partially
+// evaluates it into residual plans; bta.h computes the offline
+// binding-time division for Tempo-style annotated views.
+//
+// Memory model:
+//  * scalar variables hold 64-bit integers,
+//  * `xdrs`-like records have named scalar fields (partially-static
+//    structures are per-field in every analysis),
+//  * references (the lp/objp pointers) designate user-data slots: a word
+//    in the argument/result block, or a byte range for opaque data,
+//  * the encode output buffer and decode input buffer are distinct
+//    intrinsic objects touched only via BufStore/BufLoad statements —
+//    mirroring x_private arithmetic in the original.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tempo::pe {
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAnd, kOr,
+};
+
+std::string binop_name(BinOp op);
+
+struct Expr;
+using ExprP = std::shared_ptr<const Expr>;
+
+enum class ExprKind : std::uint8_t {
+  kConst,     // integer literal
+  kVar,       // local / parameter
+  kField,     // record.field   (record named by `var`)
+  kBin,       // a op b
+  kDeref,     // *a         — value stored at reference a
+  kIndex,     // &a[b]      — reference displaced by b elements
+  kFieldRef,  // &a->slot   — reference displaced by a static slot count
+  kBufLoad,   // load_be32(input buffer, byte offset a)
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kConst;
+  std::int64_t imm = 0;   // kConst value; kFieldRef slot displacement
+  std::string var;        // kVar name; kField record name
+  std::string field;      // kField field name
+  BinOp op = BinOp::kAdd; // kBin
+  ExprP a, b;             // children
+};
+
+ExprP e_const(std::int64_t v);
+ExprP e_var(std::string name);
+ExprP e_field(std::string record, std::string field);
+ExprP e_bin(BinOp op, ExprP a, ExprP b);
+ExprP e_deref(ExprP ref);
+ExprP e_index(ExprP ref, ExprP idx);
+ExprP e_field_ref(ExprP ref, std::int64_t slots);
+ExprP e_buf_load(ExprP offset);
+
+struct Stmt;
+using StmtP = std::shared_ptr<const Stmt>;
+using Block = std::vector<StmtP>;
+
+enum class StmtKind : std::uint8_t {
+  kAssign,        // var = expr
+  kFieldSet,      // record.field = expr
+  kStoreRef,      // *ref = expr            (writes a user-data slot)
+  kBufStore,      // out[offset] = be32(expr)
+  kBufStoreBytes, // memcpy(out + offset, bytes(ref), len) + XDR pad
+  kBufLoadBytes,  // memcpy(bytes(ref), in + offset, len)
+  kIf,            // if (cond) { then } else { otherwise }
+  kFor,           // for (var = from; var < to; ++var) { body }
+  kCall,          // [dst =] callee(args...)
+  kReturn,        // return expr
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kReturn;
+  // kAssign/kFieldSet/kFor loop var; kCall destination (may be empty)
+  std::string var;
+  std::string field;           // kFieldSet
+  std::string callee;          // kCall
+  ExprP e0, e1, e2;            // operands (cond / offset / value / bounds)
+  Block body;                  // kIf then / kFor body
+  Block else_body;             // kIf else
+  std::vector<ExprP> args;     // kCall arguments
+  // Source tag for annotated dumps ("xdrmem_putlong: overflow check").
+  std::string note;
+};
+
+StmtP s_assign(std::string var, ExprP value, std::string note = "");
+StmtP s_field_set(std::string record, std::string field, ExprP value,
+                  std::string note = "");
+StmtP s_store_ref(ExprP ref, ExprP value, std::string note = "");
+StmtP s_buf_store(ExprP offset, ExprP value, std::string note = "");
+StmtP s_buf_store_bytes(ExprP offset, ExprP ref, ExprP len,
+                        std::string note = "");
+StmtP s_buf_load_bytes(ExprP offset, ExprP ref, ExprP len,
+                       std::string note = "");
+StmtP s_if(ExprP cond, Block then_body, Block else_body = {},
+           std::string note = "");
+StmtP s_for(std::string var, ExprP from, ExprP to, Block body,
+            std::string note = "");
+StmtP s_call(std::string dst, std::string callee, std::vector<ExprP> args,
+             std::string note = "");
+StmtP s_return(ExprP value, std::string note = "");
+
+struct Function {
+  std::string name;
+  std::vector<std::string> params;
+  Block body;
+};
+
+struct Program {
+  std::map<std::string, Function> functions;
+
+  const Function* find(const std::string& name) const {
+    const auto it = functions.find(name);
+    return it == functions.end() ? nullptr : &it->second;
+  }
+  void add(Function fn) { functions[fn.name] = std::move(fn); }
+};
+
+// C-like pretty printer (used by the annotator and the spec-tour example).
+std::string expr_to_string(const Expr& e);
+std::string stmt_to_string(const Stmt& s, int indent = 0);
+std::string function_to_string(const Function& fn);
+
+}  // namespace tempo::pe

@@ -1,0 +1,87 @@
+// Residual programs ("plans") — the specializer's output.
+//
+// A plan is the moral equivalent of the specialized C code in the
+// paper's Figure 5: a straight-line sequence of coarse-grained buffer
+// operations with every offset, constant and length folded in at
+// specialization time.  Loops survive only when the unroll policy keeps
+// them (Table 4's partial unrolling); everything else is unrolled.
+//
+// The three execution artifacts of the experiment map as:
+//   original  = the layered xdr_* C++ path (src/xdr) or the IR corpus
+//               run by the interpreter,
+//   Tempo's specialized C compiled by gcc = this plan run by the plan
+//               executor (native timing) or cost-counted (ipx-sim),
+//   plan size in bytes = the Table 3 "specialized code size" analog.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/costmodel.h"
+
+namespace tempo::pe {
+
+enum class POp : std::uint8_t {
+  // ---- encode ----
+  kPutConst,   // store_be32(out + off, imm)                (folded static data)
+  kPutWord,    // store_be32(out + off, words[a])           (dynamic argument)
+  kPutXid,     // store_be32(out + off, xid)
+  kPutBytes,   // memcpy(out + off, arg_bytes + a, b) + zero pad to pad4(b)
+  // ---- decode ----
+  kGetWord,    // words[a] = load_be32(in + off)
+  kSetWordConst,  // words[a] = imm  (statically known result)
+  kGetBytes,   // memcpy(res_bytes + a, in + off, b) + zero pad slot tail
+  kGuardConstEq,  // fail(kFallback) unless load_be32(in + off) == imm
+  kGuardXid,      // fail(kRetryXid) unless load_be32(in + off) == xid
+  kGuardBool,     // fail(kFallback) unless load_be32(in + off) <= 1
+  kGuardLen,      // fail(kFallback) unless in.size() == imm
+  // ---- control ----
+  kLoop,       // a = iterations, b = body length (next b instrs),
+               // imm = (byte-offset stride << 32) | word-index stride
+};
+
+struct PInstr {
+  POp op = POp::kPutConst;
+  std::uint32_t off = 0;  // buffer byte offset
+  std::uint32_t a = 0;    // word slot index / byte offset / loop iters
+  std::uint32_t b = 0;    // byte length / loop body size
+  std::uint64_t imm = 0;  // constant / packed strides
+};
+
+enum class ExecStatus : std::uint8_t {
+  kOk = 0,
+  kFallback,  // a guard failed: run the generic path instead
+  kRetryXid,  // reply XID mismatch: stale datagram, keep waiting
+};
+
+struct Plan {
+  std::vector<PInstr> instrs;
+  bool is_encode = true;
+  std::uint32_t out_size = 0;      // encode: exact bytes produced
+  std::uint32_t expected_in = 0;   // decode: guarded input length
+  std::uint32_t words_needed = 0;  // arg/result slot count touched
+
+  std::size_t code_bytes() const { return instrs.size() * sizeof(PInstr); }
+
+  // Figure-5-style listing of the residual code.
+  std::string to_string() const;
+};
+
+// Executes an encode plan.  `out` must hold at least plan.out_size bytes
+// and `words` at least plan.words_needed slots; checked once up front
+// (that single check is all that remains of the per-item overflow
+// accounting).
+ExecStatus run_plan_encode(const Plan& plan,
+                           std::span<const std::uint32_t> words,
+                           std::uint32_t xid, MutableByteSpan out,
+                           CostEvents* cost = nullptr);
+
+// Executes a decode plan against a received payload.
+ExecStatus run_plan_decode(const Plan& plan, ByteSpan in, std::uint32_t xid,
+                           std::span<std::uint32_t> words,
+                           CostEvents* cost = nullptr);
+
+}  // namespace tempo::pe

@@ -1,0 +1,47 @@
+#include "rpc/auth.h"
+
+#include "xdr/xdrmem.h"
+
+namespace tempo::rpc {
+
+namespace {
+
+bool xdr_auth_sys(xdr::XdrStream& xdrs, AuthSysParams& p) {
+  if (!xdr::xdr_u_int(xdrs, p.stamp)) return false;
+  if (!xdr::xdr_string(xdrs, p.machine_name, 255)) return false;
+  if (!xdr::xdr_u_int(xdrs, p.uid)) return false;
+  if (!xdr::xdr_u_int(xdrs, p.gid)) return false;
+  std::uint32_t count = static_cast<std::uint32_t>(p.gids.size());
+  if (!xdr::xdr_u_int(xdrs, count)) return false;
+  if (xdrs.op() == xdr::XdrOp::kDecode) {
+    if (count > 16) return false;
+    p.gids.assign(count, 0);
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!xdr::xdr_u_int(xdrs, p.gids[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+OpaqueAuth make_auth_none() { return OpaqueAuth{}; }
+
+OpaqueAuth make_auth_sys(const AuthSysParams& params) {
+  Bytes buf(kMaxAuthBytes);
+  xdr::XdrMem xdrs(MutableByteSpan(buf.data(), buf.size()),
+                   xdr::XdrOp::kEncode);
+  AuthSysParams copy = params;
+  if (!xdr_auth_sys(xdrs, copy)) return make_auth_none();
+  buf.resize(xdrs.position());
+  return OpaqueAuth{AuthFlavor::kSys, std::move(buf)};
+}
+
+bool parse_auth_sys(ByteSpan body, AuthSysParams* out) {
+  Bytes copy(body.begin(), body.end());
+  xdr::XdrMem xdrs(MutableByteSpan(copy.data(), copy.size()),
+                   xdr::XdrOp::kDecode);
+  return xdr_auth_sys(xdrs, *out);
+}
+
+}  // namespace tempo::rpc

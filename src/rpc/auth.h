@@ -1,0 +1,26 @@
+// Credential builders: AUTH_NONE and AUTH_SYS (RFC 1057 appendix A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpc/rpc_msg.h"
+
+namespace tempo::rpc {
+
+struct AuthSysParams {
+  std::uint32_t stamp = 0;
+  std::string machine_name;  // <= 255 bytes
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  std::vector<std::uint32_t> gids;  // <= 16 entries
+};
+
+OpaqueAuth make_auth_none();
+// Returns a credential whose body is the XDR encoding of `params`.
+OpaqueAuth make_auth_sys(const AuthSysParams& params);
+// Parses an AUTH_SYS credential body; false if malformed.
+bool parse_auth_sys(ByteSpan body, AuthSysParams* out);
+
+}  // namespace tempo::rpc

@@ -1,0 +1,184 @@
+#include "rpc/client.h"
+
+#include <chrono>
+
+namespace tempo::rpc {
+
+using xdr::XdrMem;
+using xdr::XdrOp;
+using xdr::XdrRec;
+
+namespace {
+
+std::uint32_t initial_xid() {
+  // Seed from the clock so concurrent clients rarely collide, like the
+  // gettimeofday seeding in clntudp_create.
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint32_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t).count());
+}
+
+}  // namespace
+
+Status reply_header_to_status(const ReplyHeader& hdr) {
+  if (hdr.stat == ReplyStat::kDenied) {
+    if (hdr.reject_stat == RejectStat::kRpcMismatch) {
+      return unavailable("server rejected: RPC version mismatch");
+    }
+    return permission_denied("server rejected: authentication error");
+  }
+  switch (hdr.accept_stat) {
+    case AcceptStat::kSuccess:
+      return Status::ok();
+    case AcceptStat::kProgUnavail:
+      return not_found("program unavailable");
+    case AcceptStat::kProgMismatch:
+      return not_found("program version mismatch");
+    case AcceptStat::kProcUnavail:
+      return not_found("procedure unavailable");
+    case AcceptStat::kGarbageArgs:
+      return invalid_argument("server could not decode arguments");
+    case AcceptStat::kSystemErr:
+      return internal_error("server system error");
+  }
+  return internal_error("unknown accept_stat");
+}
+
+UdpClient::UdpClient(net::DatagramTransport& transport, net::Addr server,
+                     std::uint32_t prog, std::uint32_t vers,
+                     CallOptions opts)
+    : transport_(transport),
+      server_(server),
+      prog_(prog),
+      vers_(vers),
+      opts_(opts),
+      xid_(initial_xid()),
+      send_buf_(kMaxUdpMessage),
+      recv_buf_(kMaxUdpMessage) {}
+
+Status UdpClient::call(std::uint32_t proc, const ArgEncoder& encode_args,
+                       const ResDecoder& decode_results) {
+  ++stats_.calls;
+  ++xid_;
+
+  // ---- marshal call message (generic layered path) ----
+  XdrMem out(MutableByteSpan(send_buf_.data(), send_buf_.size()),
+             XdrOp::kEncode);
+  CallHeader hdr;
+  hdr.xid = xid_;
+  hdr.prog = prog_;
+  hdr.vers = vers_;
+  hdr.proc = proc;
+  hdr.cred = opts_.cred;
+  hdr.verf = opts_.verf;
+  if (!xdr_call_header(out, hdr)) {
+    return internal_error("cannot encode call header");
+  }
+  if (encode_args && !encode_args(out)) {
+    return internal_error("cannot encode arguments");
+  }
+  const std::size_t request_len = out.position();
+
+  // ---- send + await matching reply, with retransmission ----
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opts_.total_timeout_ms);
+  TEMPO_RETURN_IF_ERROR(
+      transport_.send_to(server_, ByteSpan(send_buf_.data(), request_len)));
+
+  for (;;) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               deadline - std::chrono::steady_clock::now())
+                               .count();
+    if (remaining <= 0) return timeout_error("RPC call timed out");
+    const int wait_ms = static_cast<int>(
+        remaining < opts_.retry_timeout_ms ? remaining
+                                           : opts_.retry_timeout_ms);
+
+    auto got = transport_.recv_from(
+        nullptr, MutableByteSpan(recv_buf_.data(), recv_buf_.size()),
+        wait_ms);
+    if (!got.is_ok()) {
+      if (got.status().code() == StatusCode::kTimeout) {
+        ++stats_.retransmissions;
+        TEMPO_RETURN_IF_ERROR(transport_.send_to(
+            server_, ByteSpan(send_buf_.data(), request_len)));
+        continue;
+      }
+      return got.status();
+    }
+
+    XdrMem in(MutableByteSpan(recv_buf_.data(), *got), XdrOp::kDecode);
+    ReplyHeader reply;
+    if (!xdr_reply_header(in, reply)) continue;  // garbled datagram
+    if (reply.xid != xid_) {
+      ++stats_.stale_replies;  // late reply to an earlier (retransmitted) call
+      continue;
+    }
+    TEMPO_RETURN_IF_ERROR(reply_header_to_status(reply));
+    if (decode_results && !decode_results(in)) {
+      return parse_error("cannot decode results");
+    }
+    return Status::ok();
+  }
+}
+
+TcpClient::TcpClient(net::Addr server, std::uint32_t prog,
+                     std::uint32_t vers, CallOptions opts)
+    : conn_(net::TcpConn::connect(server)),
+      prog_(prog),
+      vers_(vers),
+      opts_(opts),
+      xid_(initial_xid()) {}
+
+Status TcpClient::call(std::uint32_t proc, const ArgEncoder& encode_args,
+                       const ResDecoder& decode_results) {
+  if (!conn_) return unavailable("not connected");
+  ++xid_;
+
+  bool write_failed = false;
+  XdrRec out(XdrOp::kEncode,
+             [&](ByteSpan data) {
+               if (!conn_->write_all(data).is_ok()) {
+                 write_failed = true;
+                 return false;
+               }
+               return true;
+             },
+             nullptr);
+
+  CallHeader hdr;
+  hdr.xid = xid_;
+  hdr.prog = prog_;
+  hdr.vers = vers_;
+  hdr.proc = proc;
+  hdr.cred = opts_.cred;
+  hdr.verf = opts_.verf;
+  if (!xdr_call_header(out, hdr) || (encode_args && !encode_args(out)) ||
+      !out.end_of_record()) {
+    return write_failed ? unavailable("connection write failed")
+                        : internal_error("cannot encode call");
+  }
+
+  XdrRec in(XdrOp::kDecode, nullptr, [&](MutableByteSpan buf) -> std::size_t {
+    auto r = conn_->read_some(buf, opts_.total_timeout_ms);
+    return r.is_ok() ? *r : 0;
+  });
+
+  for (;;) {  // skip replies to stale XIDs (shouldn't happen on our conn)
+    ReplyHeader reply;
+    if (!xdr_reply_header(in, reply)) {
+      return unavailable("connection broken or reply garbled");
+    }
+    if (reply.xid != xid_) {
+      if (!in.skip_record()) return unavailable("connection broken");
+      continue;
+    }
+    TEMPO_RETURN_IF_ERROR(reply_header_to_status(reply));
+    if (decode_results && !decode_results(in)) {
+      return parse_error("cannot decode results");
+    }
+    return Status::ok();
+  }
+}
+
+}  // namespace tempo::rpc

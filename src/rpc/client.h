@@ -1,0 +1,95 @@
+// RPC clients — ports of Sun's clnt_udp.c / clnt_tcp.c call paths.
+//
+// UdpClient::call() is the generic clntudp_call(): marshal the call
+// header and arguments through the layered XDR path, send, then wait
+// with per-try timeout and retransmission until a reply with a matching
+// XID arrives.  TcpClient::call() is clnttcp_call() over a record-marked
+// stream (no retransmission; TCP is reliable).
+//
+// The specialized client (core/spec_client.h) replaces the marshaling
+// steps with residual plans but keeps this module's wire behaviour —
+// that is the paper's whole point: same protocol, specialized code.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/status.h"
+#include "net/tcp.h"
+#include "net/transport.h"
+#include "rpc/rpc_msg.h"
+#include "xdr/xdrmem.h"
+#include "xdr/xdrrec.h"
+
+namespace tempo::rpc {
+
+// xdrproc_t analogs bound to the caller's argument/result objects.
+using ArgEncoder = std::function<bool(xdr::XdrStream&)>;
+using ResDecoder = std::function<bool(xdr::XdrStream&)>;
+
+struct CallOptions {
+  int retry_timeout_ms = 300;   // per-try wait before retransmission
+  int total_timeout_ms = 3000;  // overall deadline
+  OpaqueAuth cred;              // AUTH_NONE by default
+  OpaqueAuth verf;
+};
+
+// Maximum UDP payload we ever send/expect (UDPMSGSIZE analog, sized for
+// the paper's 2000-int arrays with room to spare).
+inline constexpr std::size_t kMaxUdpMessage = 65000;
+
+struct ClientStats {
+  std::int64_t calls = 0;
+  std::int64_t retransmissions = 0;
+  std::int64_t stale_replies = 0;  // XID mismatches discarded
+};
+
+class UdpClient {
+ public:
+  UdpClient(net::DatagramTransport& transport, net::Addr server,
+            std::uint32_t prog, std::uint32_t vers, CallOptions opts = {});
+
+  // One remote call through the generic layered path.
+  Status call(std::uint32_t proc, const ArgEncoder& encode_args,
+              const ResDecoder& decode_results);
+
+  const ClientStats& stats() const { return stats_; }
+  std::uint32_t last_xid() const { return xid_; }
+
+ private:
+  net::DatagramTransport& transport_;
+  net::Addr server_;
+  std::uint32_t prog_, vers_;
+  CallOptions opts_;
+  std::uint32_t xid_;
+  ClientStats stats_;
+  Bytes send_buf_;
+  Bytes recv_buf_;
+};
+
+class TcpClient {
+ public:
+  // Connects on construction; check ok().
+  TcpClient(net::Addr server, std::uint32_t prog, std::uint32_t vers,
+            CallOptions opts = {});
+
+  bool ok() const { return conn_ != nullptr; }
+
+  Status call(std::uint32_t proc, const ArgEncoder& encode_args,
+              const ResDecoder& decode_results);
+
+  std::uint32_t last_xid() const { return xid_; }
+
+ private:
+  std::unique_ptr<net::TcpConn> conn_;
+  std::uint32_t prog_, vers_;
+  CallOptions opts_;
+  std::uint32_t xid_;
+};
+
+// Shared reply-header triage: maps an already-decoded ReplyHeader to a
+// Status (OK means accepted/success and results follow).
+Status reply_header_to_status(const ReplyHeader& hdr);
+
+}  // namespace tempo::rpc

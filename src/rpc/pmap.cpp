@@ -1,0 +1,112 @@
+#include "rpc/pmap.h"
+
+namespace tempo::rpc {
+
+using xdr::XdrStream;
+
+bool xdr_mapping(XdrStream& xdrs, Mapping& m) {
+  return xdr::xdr_u_int(xdrs, m.prog) && xdr::xdr_u_int(xdrs, m.vers) &&
+         xdr::xdr_u_int(xdrs, m.prot) && xdr::xdr_u_int(xdrs, m.port);
+}
+
+void PortMapper::install(SvcRegistry& registry) {
+  registry.register_proc(
+      kPmapProg, kPmapVers, static_cast<std::uint32_t>(PmapProc::kNull),
+      [](XdrStream&, XdrStream&) { return true; });
+
+  registry.register_proc(
+      kPmapProg, kPmapVers, static_cast<std::uint32_t>(PmapProc::kSet),
+      [this](XdrStream& in, XdrStream& out) {
+        Mapping m;
+        if (!xdr_mapping(in, m)) return false;
+        bool ok = set(m);
+        return xdr::xdr_bool(out, ok);
+      });
+
+  registry.register_proc(
+      kPmapProg, kPmapVers, static_cast<std::uint32_t>(PmapProc::kUnset),
+      [this](XdrStream& in, XdrStream& out) {
+        Mapping m;
+        if (!xdr_mapping(in, m)) return false;
+        bool ok = unset(m.prog, m.vers);
+        return xdr::xdr_bool(out, ok);
+      });
+
+  registry.register_proc(
+      kPmapProg, kPmapVers, static_cast<std::uint32_t>(PmapProc::kGetPort),
+      [this](XdrStream& in, XdrStream& out) {
+        Mapping m;
+        if (!xdr_mapping(in, m)) return false;
+        std::uint32_t port = getport(m.prog, m.vers, m.prot);
+        return xdr::xdr_u_int(out, port);
+      });
+}
+
+bool PortMapper::set(const Mapping& m) {
+  // RFC 1057: SET fails if a mapping already exists for the tuple.
+  return table_.emplace(Key{m.prog, m.vers, m.prot}, m.port).second;
+}
+
+bool PortMapper::unset(std::uint32_t prog, std::uint32_t vers) {
+  bool any = false;
+  for (auto prot : {kIpprotoUdp, kIpprotoTcp}) {
+    any |= table_.erase(Key{prog, vers, prot}) > 0;
+  }
+  return any;
+}
+
+std::uint32_t PortMapper::getport(std::uint32_t prog, std::uint32_t vers,
+                                  std::uint32_t prot) const {
+  const auto it = table_.find(Key{prog, vers, prot});
+  return it == table_.end() ? 0 : it->second;
+}
+
+namespace {
+
+Result<bool> pmap_bool_call(net::DatagramTransport& transport,
+                            net::Addr pmap_addr, PmapProc proc,
+                            Mapping m) {
+  UdpClient client(transport, pmap_addr, kPmapProg, kPmapVers);
+  bool result = false;
+  Status st = client.call(
+      static_cast<std::uint32_t>(proc),
+      [&](XdrStream& x) { return xdr_mapping(x, m); },
+      [&](XdrStream& x) { return xdr::xdr_bool(x, result); });
+  if (!st.is_ok()) return st;
+  return result;
+}
+
+}  // namespace
+
+Result<bool> pmap_set(net::DatagramTransport& transport, net::Addr pmap_addr,
+                      const Mapping& m) {
+  return pmap_bool_call(transport, pmap_addr, PmapProc::kSet, m);
+}
+
+Result<bool> pmap_unset(net::DatagramTransport& transport,
+                        net::Addr pmap_addr, std::uint32_t prog,
+                        std::uint32_t vers) {
+  Mapping m;
+  m.prog = prog;
+  m.vers = vers;
+  return pmap_bool_call(transport, pmap_addr, PmapProc::kUnset, m);
+}
+
+Result<std::uint32_t> pmap_getport(net::DatagramTransport& transport,
+                                   net::Addr pmap_addr, std::uint32_t prog,
+                                   std::uint32_t vers, std::uint32_t prot) {
+  UdpClient client(transport, pmap_addr, kPmapProg, kPmapVers);
+  Mapping m;
+  m.prog = prog;
+  m.vers = vers;
+  m.prot = prot;
+  std::uint32_t port = 0;
+  Status st = client.call(
+      static_cast<std::uint32_t>(PmapProc::kGetPort),
+      [&](XdrStream& x) { return xdr_mapping(x, m); },
+      [&](XdrStream& x) { return xdr::xdr_u_int(x, port); });
+  if (!st.is_ok()) return st;
+  return port;
+}
+
+}  // namespace tempo::rpc

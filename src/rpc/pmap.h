@@ -1,0 +1,68 @@
+// Port mapper (RFC 1057 appendix A) — program 100000, version 2.
+//
+// Implemented as a genuine RPC service on top of this library's own
+// engine (the same dogfooding the original rpcbind does): servers SET
+// their (prog, vers, proto) -> port mapping, clients GETPORT it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "rpc/client.h"
+#include "rpc/svc.h"
+
+namespace tempo::rpc {
+
+inline constexpr std::uint32_t kPmapProg = 100000;
+inline constexpr std::uint32_t kPmapVers = 2;
+inline constexpr std::uint32_t kPmapPort = 111;
+
+enum class PmapProc : std::uint32_t {
+  kNull = 0,
+  kSet = 1,
+  kUnset = 2,
+  kGetPort = 3,
+};
+
+inline constexpr std::uint32_t kIpprotoTcp = 6;
+inline constexpr std::uint32_t kIpprotoUdp = 17;
+
+struct Mapping {
+  std::uint32_t prog = 0;
+  std::uint32_t vers = 0;
+  std::uint32_t prot = kIpprotoUdp;
+  std::uint32_t port = 0;
+};
+
+bool xdr_mapping(xdr::XdrStream& xdrs, Mapping& m);
+
+// Server side: owns the mapping table and registers the four procedures
+// with a SvcRegistry.
+class PortMapper {
+ public:
+  void install(SvcRegistry& registry);
+
+  bool set(const Mapping& m);
+  bool unset(std::uint32_t prog, std::uint32_t vers);
+  std::uint32_t getport(std::uint32_t prog, std::uint32_t vers,
+                        std::uint32_t prot) const;
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  using Key = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>;
+  std::map<Key, std::uint32_t> table_;
+};
+
+// Client-side helpers speaking the portmap protocol over a transport.
+Result<bool> pmap_set(net::DatagramTransport& transport, net::Addr pmap_addr,
+                      const Mapping& m);
+Result<bool> pmap_unset(net::DatagramTransport& transport,
+                        net::Addr pmap_addr, std::uint32_t prog,
+                        std::uint32_t vers);
+// Returns 0 if the program is not registered.
+Result<std::uint32_t> pmap_getport(net::DatagramTransport& transport,
+                                   net::Addr pmap_addr, std::uint32_t prog,
+                                   std::uint32_t vers, std::uint32_t prot);
+
+}  // namespace tempo::rpc

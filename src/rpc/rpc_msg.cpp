@@ -1,0 +1,55 @@
+#include "rpc/rpc_msg.h"
+
+namespace tempo::rpc {
+
+using xdr::XdrOp;
+using xdr::XdrStream;
+
+bool xdr_opaque_auth(XdrStream& xdrs, OpaqueAuth& auth) {
+  if (!xdr::xdr_enum(xdrs, auth.flavor)) return false;
+  return xdr::xdr_bytes(xdrs, auth.body, kMaxAuthBytes);
+}
+
+bool xdr_call_header(XdrStream& xdrs, CallHeader& hdr) {
+  MsgType mtype = MsgType::kCall;
+  if (!xdr::xdr_u_int(xdrs, hdr.xid)) return false;
+  if (!xdr::xdr_enum(xdrs, mtype)) return false;
+  if (mtype != MsgType::kCall) return false;
+  if (!xdr::xdr_u_int(xdrs, hdr.rpcvers)) return false;
+  if (!xdr::xdr_u_int(xdrs, hdr.prog)) return false;
+  if (!xdr::xdr_u_int(xdrs, hdr.vers)) return false;
+  if (!xdr::xdr_u_int(xdrs, hdr.proc)) return false;
+  if (!xdr_opaque_auth(xdrs, hdr.cred)) return false;
+  if (!xdr_opaque_auth(xdrs, hdr.verf)) return false;
+  return true;
+}
+
+bool xdr_reply_header(XdrStream& xdrs, ReplyHeader& hdr) {
+  MsgType mtype = MsgType::kReply;
+  if (!xdr::xdr_u_int(xdrs, hdr.xid)) return false;
+  if (!xdr::xdr_enum(xdrs, mtype)) return false;
+  if (mtype != MsgType::kReply) return false;
+  if (!xdr::xdr_enum(xdrs, hdr.stat)) return false;
+  switch (hdr.stat) {
+    case ReplyStat::kAccepted:
+      if (!xdr_opaque_auth(xdrs, hdr.verf)) return false;
+      if (!xdr::xdr_enum(xdrs, hdr.accept_stat)) return false;
+      if (hdr.accept_stat == AcceptStat::kProgMismatch) {
+        if (!xdr::xdr_u_int(xdrs, hdr.mismatch_low)) return false;
+        if (!xdr::xdr_u_int(xdrs, hdr.mismatch_high)) return false;
+      }
+      return true;
+    case ReplyStat::kDenied:
+      if (!xdr::xdr_enum(xdrs, hdr.reject_stat)) return false;
+      if (hdr.reject_stat == RejectStat::kRpcMismatch) {
+        if (!xdr::xdr_u_int(xdrs, hdr.rpc_mismatch_low)) return false;
+        if (!xdr::xdr_u_int(xdrs, hdr.rpc_mismatch_high)) return false;
+      } else {
+        if (!xdr::xdr_enum(xdrs, hdr.auth_stat)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+}  // namespace tempo::rpc

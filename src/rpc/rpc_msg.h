@@ -1,0 +1,82 @@
+// ONC RPC message model and codecs (RFC 1057 §8-§9 wire format).
+//
+// The header codecs below are written in the same micro-layer style as
+// the rest of the stack: struct-directed functions calling the xdr_*
+// primitives.  They are part of the generic ("original") path that the
+// specializer later collapses into residual plans.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "xdr/primitives.h"
+#include "xdr/xdr.h"
+
+namespace tempo::rpc {
+
+inline constexpr std::uint32_t kRpcVersion = 2;
+
+enum class MsgType : std::int32_t { kCall = 0, kReply = 1 };
+enum class ReplyStat : std::int32_t { kAccepted = 0, kDenied = 1 };
+enum class AcceptStat : std::int32_t {
+  kSuccess = 0,
+  kProgUnavail = 1,
+  kProgMismatch = 2,
+  kProcUnavail = 3,
+  kGarbageArgs = 4,
+  kSystemErr = 5,
+};
+enum class RejectStat : std::int32_t { kRpcMismatch = 0, kAuthError = 1 };
+enum class AuthStat : std::int32_t {
+  kOk = 0,
+  kBadCred = 1,
+  kRejectedCred = 2,
+  kBadVerf = 3,
+  kRejectedVerf = 4,
+  kTooWeak = 5,
+};
+enum class AuthFlavor : std::int32_t { kNone = 0, kSys = 1, kShort = 2 };
+
+inline constexpr std::uint32_t kMaxAuthBytes = 400;  // RFC 1057 §9
+
+struct OpaqueAuth {
+  AuthFlavor flavor = AuthFlavor::kNone;
+  Bytes body;
+};
+
+// Everything in a call message up to (not including) the arguments.
+struct CallHeader {
+  std::uint32_t xid = 0;
+  std::uint32_t rpcvers = kRpcVersion;
+  std::uint32_t prog = 0;
+  std::uint32_t vers = 0;
+  std::uint32_t proc = 0;
+  OpaqueAuth cred;
+  OpaqueAuth verf;
+};
+
+// Everything in a reply message up to (not including) the results.
+struct ReplyHeader {
+  std::uint32_t xid = 0;
+  ReplyStat stat = ReplyStat::kAccepted;
+
+  // when stat == kAccepted
+  OpaqueAuth verf;
+  AcceptStat accept_stat = AcceptStat::kSuccess;
+  std::uint32_t mismatch_low = 0;   // PROG_MISMATCH bounds
+  std::uint32_t mismatch_high = 0;
+
+  // when stat == kDenied
+  RejectStat reject_stat = RejectStat::kRpcMismatch;
+  std::uint32_t rpc_mismatch_low = 0;  // RPC_MISMATCH bounds
+  std::uint32_t rpc_mismatch_high = 0;
+  AuthStat auth_stat = AuthStat::kOk;  // AUTH_ERROR cause
+};
+
+bool xdr_opaque_auth(xdr::XdrStream& xdrs, OpaqueAuth& auth);
+// Encodes/decodes the full call prefix including msg_type.
+bool xdr_call_header(xdr::XdrStream& xdrs, CallHeader& hdr);
+// Encodes/decodes the full reply prefix including msg_type.
+bool xdr_reply_header(xdr::XdrStream& xdrs, ReplyHeader& hdr);
+
+}  // namespace tempo::rpc

@@ -1,0 +1,114 @@
+// RPC server side — port of Sun's svc.c / svc_udp.c / svc_tcp.c.
+//
+// SvcRegistry holds the dispatch table ((prog, vers, proc) -> handler)
+// and implements the transport-independent request->reply transform,
+// including every protocol error reply (RPC_MISMATCH, AUTH_ERROR,
+// PROG_UNAVAIL, PROG_MISMATCH, PROC_UNAVAIL, GARBAGE_ARGS).
+// UdpServer / TcpServer bind it to transports; SimEndpoint handlers bind
+// it to the simulated network.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <tuple>
+
+#include "common/status.h"
+#include "net/simnet.h"
+#include "net/tcp.h"
+#include "net/transport.h"
+#include "rpc/rpc_msg.h"
+#include "xdr/xdrmem.h"
+
+namespace tempo::rpc {
+
+// Decodes arguments from `args_in` and encodes results into `res_out`.
+// Returning false yields a GARBAGE_ARGS reply.
+using SvcHandler =
+    std::function<bool(xdr::XdrStream& args_in, xdr::XdrStream& res_out)>;
+
+// Optional credential gate; non-kOk yields an AUTH_ERROR rejection.
+using AuthChecker = std::function<AuthStat(const OpaqueAuth& cred)>;
+
+struct SvcStats {
+  std::int64_t requests = 0;
+  std::int64_t success = 0;
+  std::int64_t protocol_errors = 0;  // any non-SUCCESS reply
+  std::int64_t undecodable = 0;      // header garbled: no reply possible
+};
+
+class SvcRegistry {
+ public:
+  void register_proc(std::uint32_t prog, std::uint32_t vers,
+                     std::uint32_t proc, SvcHandler handler);
+  void unregister_program(std::uint32_t prog);
+  void set_auth_checker(AuthChecker checker) { auth_ = std::move(checker); }
+
+  // Core transform: reads one call message from `in`, writes the full
+  // reply message into `out`.  Returns false iff the request was so
+  // malformed that no reply can be produced (caller drops it).
+  bool dispatch(xdr::XdrStream& in, xdr::XdrMem& out);
+
+  // Convenience for datagram transports: request bytes -> reply bytes.
+  // Empty result means "drop".
+  Bytes handle_datagram(ByteSpan request);
+
+  const SvcStats& stats() const { return stats_; }
+
+  // When true (default, faithful to the original), the datagram path
+  // clears its receive scratch before each request — the bzero the paper
+  // names as a round-trip cost (§5 "Round-trip RPC").
+  void set_clear_input_buffer(bool on) { clear_input_ = on; }
+
+ private:
+  using Key = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>;
+  std::map<Key, SvcHandler> handlers_;
+  std::map<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>>
+      version_bounds_;  // prog -> [low, high]
+  AuthChecker auth_;
+  SvcStats stats_;
+  bool clear_input_ = true;
+  Bytes scratch_out_;
+};
+
+// Serves a DatagramTransport (real UDP socket or polled sim endpoint).
+class UdpServer {
+ public:
+  UdpServer(net::DatagramTransport& transport, SvcRegistry& registry)
+      : transport_(transport), registry_(registry) {}
+
+  // Serve at most one request; false on timeout.
+  bool poll_once(int timeout_ms);
+  // Loop until `stop` becomes true (run this on a thread).
+  void serve(const std::atomic<bool>& stop);
+
+ private:
+  net::DatagramTransport& transport_;
+  SvcRegistry& registry_;
+  Bytes recv_buf_ = Bytes(65000);
+};
+
+// Installs a SimEndpoint handler so requests dispatch inline while the
+// simulated network is pumped.  Reply send cost is charged to the link.
+void attach_sim_server(net::SimEndpoint* endpoint, SvcRegistry& registry);
+
+// Accepts loopback TCP connections and serves record-marked calls.
+class TcpServer {
+ public:
+  TcpServer(net::TcpListener& listener, SvcRegistry& registry)
+      : listener_(listener), registry_(registry) {}
+
+  // Accept one connection and serve calls on it until the peer closes
+  // or `stop` becomes true.  Returns number of calls served.
+  int serve_one_connection(const std::atomic<bool>& stop,
+                           int accept_timeout_ms = 2000);
+  // Loop accepting connections until stopped.
+  void serve(const std::atomic<bool>& stop);
+
+ private:
+  net::TcpListener& listener_;
+  SvcRegistry& registry_;
+};
+
+}  // namespace tempo::rpc

@@ -1,0 +1,158 @@
+#include "xdr/primitives.h"
+
+#include <bit>
+#include <cstring>
+
+namespace tempo::xdr {
+
+// Paper Fig. 2, verbatim structure: dispatch on x_op every call.
+bool xdr_long(XdrStream& xdrs, std::int32_t& v) {
+  if (xdrs.op() == XdrOp::kEncode) return xdrs.putlong(v);
+  if (xdrs.op() == XdrOp::kDecode) return xdrs.getlong(&v);
+  if (xdrs.op() == XdrOp::kFree) return true;
+  return false;
+}
+
+bool xdr_u_long(XdrStream& xdrs, std::uint32_t& v) {
+  std::int32_t raw = static_cast<std::int32_t>(v);
+  if (!xdr_long(xdrs, raw)) return false;
+  v = static_cast<std::uint32_t>(raw);
+  return true;
+}
+
+// The "machine dependent switch on integer size" of Fig. 1: with 32-bit
+// ints this is a plain forward to xdr_long — one more call layer.
+bool xdr_int(XdrStream& xdrs, std::int32_t& v) { return xdr_long(xdrs, v); }
+
+bool xdr_u_int(XdrStream& xdrs, std::uint32_t& v) {
+  return xdr_u_long(xdrs, v);
+}
+
+bool xdr_short(XdrStream& xdrs, std::int16_t& v) {
+  std::int32_t wide = v;
+  if (!xdr_long(xdrs, wide)) return false;
+  if (xdrs.op() == XdrOp::kDecode) {
+    if (wide < -32768 || wide > 32767) return false;
+    v = static_cast<std::int16_t>(wide);
+  }
+  return true;
+}
+
+bool xdr_u_short(XdrStream& xdrs, std::uint16_t& v) {
+  std::uint32_t wide = v;
+  if (!xdr_u_long(xdrs, wide)) return false;
+  if (xdrs.op() == XdrOp::kDecode) {
+    if (wide > 65535u) return false;
+    v = static_cast<std::uint16_t>(wide);
+  }
+  return true;
+}
+
+bool xdr_hyper(XdrStream& xdrs, std::int64_t& v) {
+  std::uint64_t u = static_cast<std::uint64_t>(v);
+  if (!xdr_u_hyper(xdrs, u)) return false;
+  v = static_cast<std::int64_t>(u);
+  return true;
+}
+
+bool xdr_u_hyper(XdrStream& xdrs, std::uint64_t& v) {
+  std::int32_t hi = static_cast<std::int32_t>(v >> 32);
+  std::int32_t lo = static_cast<std::int32_t>(v & 0xFFFFFFFFu);
+  if (!xdr_long(xdrs, hi)) return false;
+  if (!xdr_long(xdrs, lo)) return false;
+  if (xdrs.op() == XdrOp::kDecode) {
+    v = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(hi)) << 32) |
+        static_cast<std::uint32_t>(lo);
+  }
+  return true;
+}
+
+bool xdr_bool(XdrStream& xdrs, bool& v) {
+  std::int32_t raw = v ? 1 : 0;
+  if (!xdr_long(xdrs, raw)) return false;
+  if (xdrs.op() == XdrOp::kDecode) {
+    if (raw != 0 && raw != 1) return false;  // RFC 4506 §4.4
+    v = (raw == 1);
+  }
+  return true;
+}
+
+bool xdr_float(XdrStream& xdrs, float& v) {
+  static_assert(sizeof(float) == 4);
+  std::int32_t raw = std::bit_cast<std::int32_t>(v);
+  if (!xdr_long(xdrs, raw)) return false;
+  if (xdrs.op() == XdrOp::kDecode) v = std::bit_cast<float>(raw);
+  return true;
+}
+
+bool xdr_double(XdrStream& xdrs, double& v) {
+  static_assert(sizeof(double) == 8);
+  std::uint64_t raw = std::bit_cast<std::uint64_t>(v);
+  if (!xdr_u_hyper(xdrs, raw)) return false;
+  if (xdrs.op() == XdrOp::kDecode) v = std::bit_cast<double>(raw);
+  return true;
+}
+
+bool xdr_void(XdrStream&) { return true; }
+
+bool xdr_opaque(XdrStream& xdrs, MutableByteSpan data) {
+  if (data.empty()) return true;
+  const std::size_t padded = xdr_pad4(data.size());
+  const std::size_t pad = padded - data.size();
+  static constexpr std::uint8_t kZeros[kXdrUnit] = {0, 0, 0, 0};
+  switch (xdrs.op()) {
+    case XdrOp::kEncode:
+      if (!xdrs.putbytes(ByteSpan(data.data(), data.size()))) return false;
+      if (pad && !xdrs.putbytes(ByteSpan(kZeros, pad))) return false;
+      return true;
+    case XdrOp::kDecode: {
+      if (!xdrs.getbytes(data)) return false;
+      std::uint8_t sink[kXdrUnit];
+      if (pad && !xdrs.getbytes(MutableByteSpan(sink, pad))) return false;
+      return true;
+    }
+    case XdrOp::kFree:
+      return true;
+  }
+  return false;
+}
+
+bool xdr_bytes(XdrStream& xdrs, Bytes& data, std::uint32_t max_len) {
+  std::uint32_t len = static_cast<std::uint32_t>(data.size());
+  if (!xdr_u_int(xdrs, len)) return false;
+  switch (xdrs.op()) {
+    case XdrOp::kDecode:
+      if (len > max_len) return false;
+      data.resize(len);
+      break;
+    case XdrOp::kEncode:
+      if (len > max_len) return false;
+      break;
+    case XdrOp::kFree:
+      data.clear();
+      return true;
+  }
+  return xdr_opaque(xdrs, MutableByteSpan(data.data(), data.size()));
+}
+
+bool xdr_string(XdrStream& xdrs, std::string& s, std::uint32_t max_len) {
+  std::uint32_t len = static_cast<std::uint32_t>(s.size());
+  if (!xdr_u_int(xdrs, len)) return false;
+  switch (xdrs.op()) {
+    case XdrOp::kDecode:
+      if (len > max_len) return false;
+      s.resize(len);
+      break;
+    case XdrOp::kEncode:
+      if (len > max_len) return false;
+      break;
+    case XdrOp::kFree:
+      s.clear();
+      return true;
+  }
+  return xdr_opaque(
+      xdrs, MutableByteSpan(reinterpret_cast<std::uint8_t*>(s.data()),
+                            s.size()));
+}
+
+}  // namespace tempo::xdr

@@ -1,0 +1,129 @@
+// Primitive and composite XDR codecs — ports of Sun's xdr.c filters.
+//
+// Every function keeps the original's shape: a run-time switch on the
+// stream's x_op selecting encode / decode / free (paper Fig. 2).  That
+// dispatch — multiplied by one call per scalar across several
+// micro-layers — is the interpretive overhead the specializer removes.
+//
+// Convention: bool return (the bool_t of the original).  Decode failures
+// leave the output object in a valid but unspecified state, as the
+// original does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/bytes.h"
+#include "xdr/xdr.h"
+
+namespace tempo::xdr {
+
+// ---- scalars ----------------------------------------------------------
+
+// xdr_long: the canonical example (paper Fig. 2).  XDR "long" is exactly
+// 32 bits on the wire regardless of the host's long.
+bool xdr_long(XdrStream& xdrs, std::int32_t& v);
+bool xdr_u_long(XdrStream& xdrs, std::uint32_t& v);
+
+// xdr_int / xdr_u_int: on 32-bit-int hosts these forward to xdr_long —
+// the "machine dependent switch on integer size" of Fig. 1.
+bool xdr_int(XdrStream& xdrs, std::int32_t& v);
+bool xdr_u_int(XdrStream& xdrs, std::uint32_t& v);
+
+bool xdr_short(XdrStream& xdrs, std::int16_t& v);
+bool xdr_u_short(XdrStream& xdrs, std::uint16_t& v);
+
+// 64-bit quantities (two wire units, most significant first).
+bool xdr_hyper(XdrStream& xdrs, std::int64_t& v);
+bool xdr_u_hyper(XdrStream& xdrs, std::uint64_t& v);
+
+// XDR booleans are a full wire unit carrying 0 or 1.
+bool xdr_bool(XdrStream& xdrs, bool& v);
+
+// IEEE-754 single / double precision.
+bool xdr_float(XdrStream& xdrs, float& v);
+bool xdr_double(XdrStream& xdrs, double& v);
+
+// Enumerations travel as signed 32-bit values.
+template <typename E>
+  requires std::is_enum_v<E>
+bool xdr_enum(XdrStream& xdrs, E& v) {
+  std::int32_t raw = static_cast<std::int32_t>(v);
+  if (!xdr_long(xdrs, raw)) return false;
+  v = static_cast<E>(raw);
+  return true;
+}
+
+// xdr_void: no data; always succeeds (used for nullary procedures).
+bool xdr_void(XdrStream& xdrs);
+
+// ---- opaque data ------------------------------------------------------
+
+// Fixed-length opaque: raw bytes plus zero padding to a 4-byte boundary.
+bool xdr_opaque(XdrStream& xdrs, MutableByteSpan data);
+
+// Variable-length opaque: u32 length, bytes, padding.  Decode rejects
+// lengths above max_len (protocol defence, as in the original).
+bool xdr_bytes(XdrStream& xdrs, Bytes& data, std::uint32_t max_len);
+
+// Counted string: u32 length, bytes (no NUL on the wire), padding.
+bool xdr_string(XdrStream& xdrs, std::string& s, std::uint32_t max_len);
+
+// ---- composites -------------------------------------------------------
+
+// Element codec signature, the xdrproc_t analog.
+template <typename T>
+using XdrProc = bool (*)(XdrStream&, T&);
+
+// xdr_vector: fixed-length array (count known from the type, not the wire).
+template <typename T>
+bool xdr_vector(XdrStream& xdrs, T* elems, std::size_t count,
+                XdrProc<T> proc) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!proc(xdrs, elems[i])) return false;
+  }
+  return true;
+}
+
+// xdr_array: variable-length array (u32 count on the wire, bounded).
+template <typename T>
+bool xdr_array(XdrStream& xdrs, std::vector<T>& v, std::uint32_t max_len,
+               XdrProc<T> proc) {
+  std::uint32_t count = static_cast<std::uint32_t>(v.size());
+  if (!xdr_u_int(xdrs, count)) return false;
+  switch (xdrs.op()) {
+    case XdrOp::kDecode:
+      if (count > max_len) return false;
+      v.assign(count, T{});
+      break;
+    case XdrOp::kEncode:
+      if (count > max_len) return false;
+      break;
+    case XdrOp::kFree:
+      v.clear();
+      return true;
+  }
+  return xdr_vector(xdrs, v.data(), count, proc);
+}
+
+// xdr_pointer / optional-data: a bool discriminant then the payload.
+template <typename T>
+bool xdr_optional(XdrStream& xdrs, std::optional<T>& v, XdrProc<T> proc) {
+  bool present = v.has_value();
+  if (!xdr_bool(xdrs, present)) return false;
+  if (xdrs.op() == XdrOp::kFree) {
+    v.reset();
+    return true;
+  }
+  if (!present) {
+    if (xdrs.op() == XdrOp::kDecode) v.reset();
+    return true;
+  }
+  if (xdrs.op() == XdrOp::kDecode && !v.has_value()) v.emplace();
+  return proc(xdrs, *v);
+}
+
+}  // namespace tempo::xdr

@@ -1,0 +1,201 @@
+// Type-safe C++ layer over the XDR primitives.
+//
+// The C-style codecs in primitives.h mirror the original micro-layers;
+// this header is the modern face: a `Codec<T>` customization point, an
+// `Xdrable` concept, and `encode()/decode()` helpers so application
+// structs serialize with one member function.  Used by the examples and
+// available to library users; the specializer works below this level.
+//
+// Usage:
+//   struct Point {
+//     std::int32_t x = 0, y = 0;
+//     bool xdr(xdr::XdrStream& s) { return xdr::proc(s, x) && xdr::proc(s, y); }
+//   };
+//   ...
+//   Point p;
+//   xdr::encode(stream, p);   // or decode(stream, p)
+#pragma once
+
+#include <array>
+#include <concepts>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xdr/primitives.h"
+#include "xdr/xdr.h"
+
+namespace tempo::xdr {
+
+template <typename T>
+struct Codec;  // primary template: specialize for your type
+
+// ---- scalar specializations ---------------------------------------------
+
+template <>
+struct Codec<std::int32_t> {
+  static bool proc(XdrStream& s, std::int32_t& v) { return xdr_int(s, v); }
+};
+template <>
+struct Codec<std::uint32_t> {
+  static bool proc(XdrStream& s, std::uint32_t& v) { return xdr_u_int(s, v); }
+};
+template <>
+struct Codec<std::int64_t> {
+  static bool proc(XdrStream& s, std::int64_t& v) { return xdr_hyper(s, v); }
+};
+template <>
+struct Codec<std::uint64_t> {
+  static bool proc(XdrStream& s, std::uint64_t& v) {
+    return xdr_u_hyper(s, v);
+  }
+};
+template <>
+struct Codec<std::int16_t> {
+  static bool proc(XdrStream& s, std::int16_t& v) { return xdr_short(s, v); }
+};
+template <>
+struct Codec<std::uint16_t> {
+  static bool proc(XdrStream& s, std::uint16_t& v) {
+    return xdr_u_short(s, v);
+  }
+};
+template <>
+struct Codec<bool> {
+  static bool proc(XdrStream& s, bool& v) { return xdr_bool(s, v); }
+};
+template <>
+struct Codec<float> {
+  static bool proc(XdrStream& s, float& v) { return xdr_float(s, v); }
+};
+template <>
+struct Codec<double> {
+  static bool proc(XdrStream& s, double& v) { return xdr_double(s, v); }
+};
+
+// Enums ride their underlying 32-bit representation.
+template <typename E>
+  requires std::is_enum_v<E>
+struct Codec<E> {
+  static bool proc(XdrStream& s, E& v) { return xdr_enum(s, v); }
+};
+
+// ---- member-function protocol --------------------------------------------
+
+template <typename T>
+concept HasXdrMember = requires(T t, XdrStream& s) {
+  { t.xdr(s) } -> std::convertible_to<bool>;
+};
+
+template <HasXdrMember T>
+struct Codec<T> {
+  static bool proc(XdrStream& s, T& v) { return v.xdr(s); }
+};
+
+// Single entry point: resolves through Codec<T>.
+template <typename T>
+bool proc(XdrStream& s, T& v) {
+  return Codec<T>::proc(s, v);
+}
+
+template <typename T>
+concept Xdrable = requires(T t, XdrStream& s) {
+  { Codec<T>::proc(s, t) } -> std::convertible_to<bool>;
+};
+
+// ---- containers -----------------------------------------------------------
+
+// Bounded string (counted, padded).
+template <std::uint32_t MaxLen = 0xFFFFFFFFu>
+struct BoundedString {
+  std::string value;
+  bool xdr(XdrStream& s) { return xdr_string(s, value, MaxLen); }
+};
+
+template <>
+struct Codec<std::string> {
+  static bool proc(XdrStream& s, std::string& v) {
+    return xdr_string(s, v, 0xFFFFFFFFu);
+  }
+};
+
+// std::vector<T>: variable-length array, unbounded unless wrapped.
+template <Xdrable T>
+struct Codec<std::vector<T>> {
+  static bool proc(XdrStream& s, std::vector<T>& v) {
+    std::uint32_t count = static_cast<std::uint32_t>(v.size());
+    if (!xdr_u_int(s, count)) return false;
+    if (s.op() == XdrOp::kDecode) {
+      // Defensive cap: refuse absurd counts before allocating.
+      if (count > (1u << 24)) return false;
+      v.assign(count, T{});
+    } else if (s.op() == XdrOp::kFree) {
+      v.clear();
+      return true;
+    }
+    for (auto& e : v) {
+      if (!Codec<T>::proc(s, e)) return false;
+    }
+    return true;
+  }
+};
+
+// std::array<T, N>: fixed-length array (count not on the wire).
+template <Xdrable T, std::size_t N>
+struct Codec<std::array<T, N>> {
+  static bool proc(XdrStream& s, std::array<T, N>& v) {
+    for (auto& e : v) {
+      if (!Codec<T>::proc(s, e)) return false;
+    }
+    return true;
+  }
+};
+
+// std::optional<T>: XDR optional-data (bool discriminant + payload).
+template <Xdrable T>
+struct Codec<std::optional<T>> {
+  static bool proc(XdrStream& s, std::optional<T>& v) {
+    bool present = v.has_value();
+    if (!xdr_bool(s, present)) return false;
+    if (s.op() == XdrOp::kFree) {
+      v.reset();
+      return true;
+    }
+    if (!present) {
+      if (s.op() == XdrOp::kDecode) v.reset();
+      return true;
+    }
+    if (s.op() == XdrOp::kDecode && !v.has_value()) v.emplace();
+    return Codec<T>::proc(s, *v);
+  }
+};
+
+// Raw byte vectors: variable-length opaque.
+template <>
+struct Codec<Bytes> {
+  static bool proc(XdrStream& s, Bytes& v) {
+    return xdr_bytes(s, v, 0xFFFFFFFFu);
+  }
+};
+
+// ---- convenience drivers ---------------------------------------------------
+
+// Encodes `v`; the stream must be in encode mode.
+template <Xdrable T>
+bool encode(XdrStream& s, T& v) {
+  return s.op() == XdrOp::kEncode && proc(s, v);
+}
+
+template <Xdrable T>
+bool decode(XdrStream& s, T& v) {
+  return s.op() == XdrOp::kDecode && proc(s, v);
+}
+
+// Fold helper for structs: proc_all(s, a, b, c) == proc each in order.
+template <typename... Ts>
+bool proc_all(XdrStream& s, Ts&... fields) {
+  return (proc(s, fields) && ...);
+}
+
+}  // namespace tempo::xdr

@@ -1,0 +1,59 @@
+#include "xdr/xdrmem.h"
+
+#include <cstring>
+
+#include "common/endian.h"
+
+namespace tempo::xdr {
+
+// Mirrors xdrmem_putlong (paper Fig. 3): decrement x_handy, test for
+// overflow, byte-swap, store, bump x_private.
+bool XdrMem::putlong(std::int32_t v) {
+  if ((handy_ -= static_cast<std::int64_t>(kXdrUnit)) < 0) return false;
+  store_be32(private_, static_cast<std::uint32_t>(v));
+  private_ += kXdrUnit;
+  return true;
+}
+
+bool XdrMem::getlong(std::int32_t* v) {
+  if ((handy_ -= static_cast<std::int64_t>(kXdrUnit)) < 0) return false;
+  *v = static_cast<std::int32_t>(load_be32(private_));
+  private_ += kXdrUnit;
+  return true;
+}
+
+bool XdrMem::putbytes(ByteSpan data) {
+  if ((handy_ -= static_cast<std::int64_t>(data.size())) < 0) return false;
+  std::memcpy(private_, data.data(), data.size());
+  private_ += data.size();
+  return true;
+}
+
+bool XdrMem::getbytes(MutableByteSpan out) {
+  if ((handy_ -= static_cast<std::int64_t>(out.size())) < 0) return false;
+  std::memcpy(out.data(), private_, out.size());
+  private_ += out.size();
+  return true;
+}
+
+std::size_t XdrMem::getpos() const {
+  return static_cast<std::size_t>(private_ - base_);
+}
+
+bool XdrMem::setpos(std::size_t pos) {
+  if (pos > size_) return false;
+  private_ = base_ + pos;
+  handy_ = static_cast<std::int64_t>(size_ - pos);
+  return true;
+}
+
+std::uint8_t* XdrMem::inline_bytes(std::size_t n) {
+  if (n % kXdrUnit != 0) return nullptr;
+  if (handy_ < static_cast<std::int64_t>(n)) return nullptr;
+  std::uint8_t* p = private_;
+  handy_ -= static_cast<std::int64_t>(n);
+  private_ += n;
+  return p;
+}
+
+}  // namespace tempo::xdr

@@ -1,0 +1,46 @@
+// Memory-buffer XDR stream — port of Sun's xdrmem.c.
+//
+// This is the stream the paper's Figures 3 and 5 are about: every
+// putlong/getlong decrements `x_handy` and tests it for overflow before
+// touching the buffer.  The specializer folds that accounting away when
+// the message layout is static.
+#pragma once
+
+#include <cstdint>
+
+#include "xdr/xdr.h"
+
+namespace tempo::xdr {
+
+class XdrMem final : public XdrStream {
+ public:
+  // The stream neither owns nor resizes the buffer (exactly like
+  // xdrmem_create over a caller-supplied char*).
+  XdrMem(MutableByteSpan buffer, XdrOp op)
+      : XdrStream(op),
+        base_(buffer.data()),
+        private_(buffer.data()),
+        handy_(static_cast<std::int64_t>(buffer.size())),
+        size_(buffer.size()) {}
+
+  bool putlong(std::int32_t v) override;
+  bool getlong(std::int32_t* v) override;
+  bool putbytes(ByteSpan data) override;
+  bool getbytes(MutableByteSpan out) override;
+  std::size_t getpos() const override;
+  bool setpos(std::size_t pos) override;
+  std::uint8_t* inline_bytes(std::size_t n) override;
+
+  // Bytes consumed so far (== getpos for this stream).
+  std::size_t position() const { return getpos(); }
+  // Remaining capacity, the x_handy field.
+  std::int64_t handy() const { return handy_; }
+
+ private:
+  std::uint8_t* base_;
+  std::uint8_t* private_;  // x_private: next read/write location
+  std::int64_t handy_;     // x_handy: space left
+  std::size_t size_;
+};
+
+}  // namespace tempo::xdr

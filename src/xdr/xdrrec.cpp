@@ -1,0 +1,130 @@
+#include "xdr/xdrrec.h"
+
+#include <cstring>
+
+#include "common/endian.h"
+
+namespace tempo::xdr {
+
+XdrRec::XdrRec(XdrOp op, RecWriter writer, RecReader reader,
+               std::size_t frag_size)
+    : XdrStream(op), writer_(std::move(writer)), reader_(std::move(reader)) {
+  send_buf_.resize(frag_size < kXdrUnit ? kXdrUnit : frag_size);
+}
+
+bool XdrRec::flush_fragment(bool last) {
+  std::uint8_t header[kXdrUnit];
+  std::uint32_t word = static_cast<std::uint32_t>(send_used_);
+  if (last) word |= kLastFragFlag;
+  store_be32(header, word);
+  if (!writer_ || !writer_(ByteSpan(header, kXdrUnit))) return false;
+  if (send_used_ > 0 &&
+      !writer_(ByteSpan(send_buf_.data(), send_used_))) {
+    return false;
+  }
+  send_used_ = 0;
+  return true;
+}
+
+bool XdrRec::end_of_record(bool last) { return flush_fragment(last); }
+
+bool XdrRec::putbytes(ByteSpan data) {
+  while (!data.empty()) {
+    const std::size_t room = send_buf_.size() - send_used_;
+    if (room == 0) {
+      if (!flush_fragment(/*last=*/false)) return false;
+      continue;
+    }
+    const std::size_t n = data.size() < room ? data.size() : room;
+    std::memcpy(send_buf_.data() + send_used_, data.data(), n);
+    send_used_ += n;
+    data = data.subspan(n);
+  }
+  return true;
+}
+
+bool XdrRec::putlong(std::int32_t v) {
+  std::uint8_t word[kXdrUnit];
+  store_be32(word, static_cast<std::uint32_t>(v));
+  return putbytes(ByteSpan(word, kXdrUnit));
+}
+
+bool XdrRec::refill() {
+  while (frag_remaining_ == 0) {
+    if (last_frag_seen_ && !frag_header_pending_) return false;  // record exhausted
+    std::uint8_t header[kXdrUnit];
+    if (!read_exact(MutableByteSpan(header, kXdrUnit))) return false;
+    const std::uint32_t word = load_be32(header);
+    last_frag_seen_ = (word & kLastFragFlag) != 0;
+    frag_remaining_ = word & ~kLastFragFlag;
+    frag_header_pending_ = false;
+    if (frag_remaining_ == 0 && last_frag_seen_) return false;  // empty record tail
+  }
+  return true;
+}
+
+bool XdrRec::read_exact(MutableByteSpan out) {
+  std::size_t got = 0;
+  while (got < out.size()) {
+    if (!reader_) return false;
+    const std::size_t n = reader_(out.subspan(got));
+    if (n == 0) return false;
+    got += n;
+  }
+  return true;
+}
+
+bool XdrRec::getbytes(MutableByteSpan out) {
+  while (!out.empty()) {
+    if (!refill()) return false;
+    const std::size_t n =
+        out.size() < frag_remaining_ ? out.size() : frag_remaining_;
+    if (!read_exact(out.first(n))) return false;
+    frag_remaining_ -= static_cast<std::uint32_t>(n);
+    consumed_ += n;
+    out = out.subspan(n);
+  }
+  return true;
+}
+
+bool XdrRec::getlong(std::int32_t* v) {
+  std::uint8_t word[kXdrUnit];
+  if (!getbytes(MutableByteSpan(word, kXdrUnit))) return false;
+  *v = static_cast<std::int32_t>(load_be32(word));
+  return true;
+}
+
+bool XdrRec::skip_record() {
+  // Drain the remainder of the current record, fragment by fragment.
+  std::uint8_t sink[256];
+  for (;;) {
+    while (frag_remaining_ > 0) {
+      const std::size_t n = frag_remaining_ < sizeof(sink)
+                                ? frag_remaining_
+                                : sizeof(sink);
+      if (!read_exact(MutableByteSpan(sink, n))) return false;
+      frag_remaining_ -= static_cast<std::uint32_t>(n);
+    }
+    if (last_frag_seen_) break;
+    std::uint8_t header[kXdrUnit];
+    if (!read_exact(MutableByteSpan(header, kXdrUnit))) return false;
+    const std::uint32_t word = load_be32(header);
+    last_frag_seen_ = (word & kLastFragFlag) != 0;
+    frag_remaining_ = word & ~kLastFragFlag;
+  }
+  // Arm for the next record.
+  last_frag_seen_ = false;
+  frag_remaining_ = 0;
+  frag_header_pending_ = true;
+  return true;
+}
+
+std::size_t XdrRec::getpos() const {
+  return op() == XdrOp::kEncode ? send_used_ : consumed_;
+}
+
+bool XdrRec::setpos(std::size_t) { return false; }
+
+std::uint8_t* XdrRec::inline_bytes(std::size_t) { return nullptr; }
+
+}  // namespace tempo::xdr

@@ -1,0 +1,73 @@
+// Record-marked XDR stream — port of Sun's xdrrec.c (RFC 1057 §10).
+//
+// TCP is a byte stream, so RPC-over-TCP frames each message as a
+// sequence of *fragments*.  Each fragment starts with a 4-byte header:
+// bit 31 set means "last fragment of the record", bits 30..0 carry the
+// fragment length.  The encode side accumulates into a send buffer and
+// flushes a fragment when full or at end_of_record(); the decode side
+// pulls fragments on demand and enforces record boundaries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "xdr/xdr.h"
+
+namespace tempo::xdr {
+
+// Writes all of `data` to the byte sink; false on transport failure.
+using RecWriter = std::function<bool(ByteSpan)>;
+// Reads up to out.size() bytes; returns bytes read, 0 on EOF/failure.
+using RecReader = std::function<std::size_t(MutableByteSpan)>;
+
+class XdrRec final : public XdrStream {
+ public:
+  static constexpr std::size_t kDefaultFragSize = 4000;  // SENDSIZE analog
+  static constexpr std::uint32_t kLastFragFlag = 0x80000000u;
+
+  XdrRec(XdrOp op, RecWriter writer, RecReader reader,
+         std::size_t frag_size = kDefaultFragSize);
+
+  bool putlong(std::int32_t v) override;
+  bool getlong(std::int32_t* v) override;
+  bool putbytes(ByteSpan data) override;
+  bool getbytes(MutableByteSpan out) override;
+  std::size_t getpos() const override;
+  bool setpos(std::size_t pos) override;  // unsupported: record streams are sequential
+  std::uint8_t* inline_bytes(std::size_t n) override;
+
+  // --- encode side ----------------------------------------------------
+  // Flush the current fragment; `last` marks the end of the record
+  // (xdrrec_endofrecord).
+  bool end_of_record(bool last = true);
+
+  // --- decode side ----------------------------------------------------
+  // Discard the rest of the current record and position at the start of
+  // the next one (xdrrec_skiprecord).
+  bool skip_record();
+  // True once the last fragment of the current record is fully consumed.
+  bool at_end_of_record() const {
+    return last_frag_seen_ && frag_remaining_ == 0;
+  }
+
+ private:
+  bool flush_fragment(bool last);
+  // Ensure the decode side has an open fragment with >= 1 byte left.
+  bool refill();
+  bool read_exact(MutableByteSpan out);
+
+  RecWriter writer_;
+  RecReader reader_;
+
+  // Encode state.
+  Bytes send_buf_;
+  std::size_t send_used_ = 0;
+
+  // Decode state.
+  std::uint32_t frag_remaining_ = 0;
+  bool last_frag_seen_ = false;
+  bool frag_header_pending_ = true;  // next read must parse a header
+  std::size_t consumed_ = 0;         // total payload bytes consumed (getpos)
+};
+
+}  // namespace tempo::xdr

@@ -1,0 +1,253 @@
+// IDL tests: .x parser coverage (the rpcgen front end), type model
+// facts, and the table-driven marshaller (generic interpreter) property
+// tests against random values.
+#include <gtest/gtest.h>
+
+#include "idl/interp.h"
+#include "idl/parser.h"
+#include "idl/value.h"
+#include "xdr/primitives.h"
+#include "xdr/xdrmem.h"
+
+namespace tempo::idl {
+namespace {
+
+using xdr::XdrMem;
+using xdr::XdrOp;
+
+constexpr const char* kRminX = R"(
+/* The paper's running example. */
+struct pair {
+    int int1;
+    int int2;
+};
+
+program RMIN_PROG {
+    version RMIN_VERS {
+        int RMIN(pair) = 1;
+    } = 1;
+} = 0x20000099;
+)";
+
+TEST(Parser, RminInterface) {
+  auto mod = parse_xdr_source(kRminX);
+  ASSERT_TRUE(mod.is_ok()) << mod.status().to_string();
+  ASSERT_TRUE(mod->types.count("pair"));
+  const Type& pair = *mod->types.at("pair");
+  EXPECT_EQ(pair.kind, Kind::kStruct);
+  ASSERT_EQ(pair.fields.size(), 2u);
+  EXPECT_EQ(pair.fields[0].name, "int1");
+  EXPECT_EQ(pair.fields[1].type->kind, Kind::kInt);
+
+  const ProgramDef* prog = mod->find_program("RMIN_PROG");
+  ASSERT_NE(prog, nullptr);
+  EXPECT_EQ(prog->number, 0x20000099u);
+  const VersionDef* vers = prog->find_version(1);
+  ASSERT_NE(vers, nullptr);
+  const ProcDef* proc = vers->find_proc(1);
+  ASSERT_NE(proc, nullptr);
+  EXPECT_EQ(proc->name, "RMIN");
+  EXPECT_EQ(proc->arg_type->kind, Kind::kStruct);
+  EXPECT_EQ(proc->res_type->kind, Kind::kInt);
+}
+
+TEST(Parser, FullGrammarTour) {
+  constexpr const char* kSrc = R"(
+const MAX_ITEMS = 32;
+const MAGIC = 0xFF;
+
+enum color { RED = 1, GREEN, BLUE = 10 };
+
+typedef int row<MAX_ITEMS>;
+typedef opaque digest[16];
+typedef unsigned hyper big_t;
+
+struct entry {
+    string name<64>;
+    color tint;
+    row values;
+    digest sum;
+    big_t serial;
+    entry *next;
+    bool flags[4];
+    opaque blob<128>;
+    float ratio;
+    double precise;
+};
+
+union lookup_result switch (int status) {
+case 0:
+    entry match;
+case 1:
+    void;
+default:
+    string error<255>;
+};
+
+program DIR_PROG {
+    version DIR_V1 {
+        lookup_result LOOKUP(entry) = 1;
+        void PING(void) = 2;
+    } = 1;
+    version DIR_V2 {
+        lookup_result LOOKUP2(entry) = 1;
+    } = 2;
+} = 0x30303030;
+)";
+  auto mod = parse_xdr_source(kSrc);
+  ASSERT_TRUE(mod.is_ok()) << mod.status().to_string();
+
+  EXPECT_EQ(mod->consts.at("MAX_ITEMS"), 32);
+  EXPECT_EQ(mod->consts.at("MAGIC"), 0xFF);
+  EXPECT_EQ(mod->consts.at("GREEN"), 2);   // auto-increment
+  EXPECT_EQ(mod->consts.at("BLUE"), 10);
+
+  const Type& row = *mod->types.at("row");
+  EXPECT_EQ(row.kind, Kind::kArrayVar);
+  EXPECT_EQ(row.bound, 32u);
+  EXPECT_EQ(mod->types.at("digest")->kind, Kind::kOpaqueFixed);
+  EXPECT_EQ(mod->types.at("big_t")->kind, Kind::kUHyper);
+
+  const Type& entry = *mod->types.at("entry");
+  ASSERT_EQ(entry.fields.size(), 10u);
+  EXPECT_EQ(entry.fields[0].type->kind, Kind::kString);
+  EXPECT_EQ(entry.fields[1].type->kind, Kind::kEnum);
+  EXPECT_EQ(entry.fields[5].type->kind, Kind::kOptional);  // entry* next
+  EXPECT_EQ(entry.fields[6].type->kind, Kind::kArrayFixed);
+  EXPECT_EQ(entry.fields[7].type->kind, Kind::kOpaqueVar);
+
+  const Type& uni = *mod->types.at("lookup_result");
+  EXPECT_EQ(uni.kind, Kind::kUnion);
+  ASSERT_EQ(uni.arms.size(), 2u);
+  EXPECT_EQ(uni.arms[1].field.type->kind, Kind::kVoid);
+  ASSERT_TRUE(uni.default_arm.has_value());
+  EXPECT_EQ(uni.default_arm->type->kind, Kind::kString);
+
+  ASSERT_EQ(mod->programs.size(), 1u);
+  EXPECT_EQ(mod->programs[0].versions.size(), 2u);
+  EXPECT_EQ(mod->programs[0].versions[0].procs[1].name, "PING");
+  EXPECT_EQ(mod->programs[0].versions[0].procs[1].arg_type->kind,
+            Kind::kVoid);
+}
+
+TEST(Parser, ReportsErrorsWithPosition) {
+  auto r1 = parse_xdr_source("struct broken {");
+  EXPECT_FALSE(r1.is_ok());
+  auto r2 = parse_xdr_source("const X = ;");
+  EXPECT_FALSE(r2.is_ok());
+  EXPECT_NE(r2.status().message().find("1:"), std::string::npos);
+  auto r3 = parse_xdr_source("typedef unknown_t foo;");
+  EXPECT_FALSE(r3.is_ok());
+  auto r4 = parse_xdr_source("union u switch (float f) { case 0: int x; };");
+  EXPECT_FALSE(r4.is_ok());  // float discriminant
+  auto r5 = parse_xdr_source("const A = 1; const B = A; struct s { int x[B]; };");
+  EXPECT_TRUE(r5.is_ok()) << r5.status().to_string();
+}
+
+TEST(Parser, CommentsAndPassthrough) {
+  constexpr const char* kSrc = R"(
+// line comment
+/* block
+   comment */
+%#include <something.h>
+const X = 3;
+)";
+  auto mod = parse_xdr_source(kSrc);
+  ASSERT_TRUE(mod.is_ok()) << mod.status().to_string();
+  EXPECT_EQ(mod->consts.at("X"), 3);
+}
+
+TEST(Types, StaticWireSize) {
+  EXPECT_EQ(*static_wire_size(*t_int()), 4u);
+  EXPECT_EQ(*static_wire_size(*t_double()), 8u);
+  EXPECT_EQ(*static_wire_size(*t_opaque_fixed(5)), 8u);  // padded
+  auto s = t_struct("s", {{"a", t_int()}, {"b", t_hyper()}});
+  EXPECT_EQ(*static_wire_size(*s), 12u);
+  EXPECT_EQ(*static_wire_size(*t_array_fixed(t_int(), 10)), 40u);
+  EXPECT_FALSE(static_wire_size(*t_string(10)).has_value());
+  EXPECT_FALSE(static_wire_size(*t_array_var(t_int(), 10)).has_value());
+  EXPECT_FALSE(
+      static_wire_size(*t_struct("t", {{"v", t_array_var(t_int(), 4)}}))
+          .has_value());
+}
+
+// Property: random values of random-ish types round-trip through the
+// table-driven marshaller, and the encoded size equals wire_size().
+class InterpRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TypePtr random_type(Rng& rng, int depth) {
+  if (depth > 2) return t_int();
+  switch (rng.next_below(10)) {
+    case 0: return t_int();
+    case 1: return t_uint();
+    case 2: return t_hyper();
+    case 3: return t_double();
+    case 4: return t_string(24);
+    case 5: return t_opaque_fixed(1 + static_cast<std::uint32_t>(
+                                          rng.next_below(9)));
+    case 6: return t_array_var(random_type(rng, depth + 1), 8);
+    case 7:
+      return t_struct("s", {{"a", random_type(rng, depth + 1)},
+                            {"b", random_type(rng, depth + 1)}});
+    case 8: return t_optional(random_type(rng, depth + 1));
+    default: {
+      std::vector<UnionArm> arms;
+      arms.push_back(UnionArm{0, {"x", random_type(rng, depth + 1)}});
+      arms.push_back(UnionArm{1, {"", t_void()}});
+      return t_union("u", std::move(arms),
+                     Field{"d", random_type(rng, depth + 1)});
+    }
+  }
+}
+
+TEST_P(InterpRoundTrip, EncodeDecodeEquals) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 30; ++i) {
+    TypePtr t = random_type(rng, 0);
+    Value v = random_value(*t, rng, 6);
+
+    Bytes buf(16384);
+    XdrMem enc(MutableByteSpan(buf.data(), buf.size()), XdrOp::kEncode);
+    ASSERT_TRUE(encode_value(enc, *t, v)) << type_to_string(*t);
+    EXPECT_EQ(enc.getpos(), wire_size(*t, v)) << type_to_string(*t);
+
+    XdrMem dec(MutableByteSpan(buf.data(), enc.getpos()), XdrOp::kDecode);
+    Value out;
+    ASSERT_TRUE(decode_value(dec, *t, out)) << type_to_string(*t);
+    EXPECT_TRUE(value_equal(v, out))
+        << type_to_string(*t) << "\n " << value_to_string(v) << "\n "
+        << value_to_string(out);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterpRoundTrip,
+                         ::testing::Values(101, 202, 303, 404, 505, 606,
+                                           707, 808));
+
+TEST(Interp, DecodeRejectsTruncation) {
+  auto t = t_struct("s", {{"a", t_int()}, {"b", t_hyper()}});
+  Value v = zero_value(*t);
+  Bytes buf(64);
+  XdrMem enc(MutableByteSpan(buf.data(), buf.size()), XdrOp::kEncode);
+  ASSERT_TRUE(encode_value(enc, *t, v));
+  for (std::size_t cut = 0; cut < enc.getpos(); cut += 4) {
+    XdrMem dec(MutableByteSpan(buf.data(), cut), XdrOp::kDecode);
+    Value out;
+    EXPECT_FALSE(decode_value(dec, *t, out)) << "cut=" << cut;
+  }
+}
+
+TEST(Interp, UnionUnknownDiscriminantWithoutDefaultFails) {
+  std::vector<UnionArm> arms = {{0, {"x", t_int()}}};
+  auto t = t_union("u", std::move(arms), std::nullopt);
+  Bytes buf(16);
+  XdrMem enc(MutableByteSpan(buf.data(), buf.size()), XdrOp::kEncode);
+  std::int32_t bogus = 9;
+  ASSERT_TRUE(xdr::xdr_int(enc, bogus));
+  XdrMem dec(MutableByteSpan(buf.data(), 4), XdrOp::kDecode);
+  Value out;
+  EXPECT_FALSE(decode_value(dec, *t, out));
+}
+
+}  // namespace
+}  // namespace tempo::idl

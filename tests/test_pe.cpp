@@ -1,0 +1,439 @@
+// Partial-evaluator tests: corpus semantics, specialization soundness
+// (the plan must produce byte-identical output to the generic IR code),
+// guard behaviour, unroll policies, and the BTA paper-claims.
+#include <gtest/gtest.h>
+
+#include "common/endian.h"
+#include "idl/value.h"
+#include "pe/bta.h"
+#include "pe/corpus.h"
+#include "pe/interp.h"
+#include "pe/layout.h"
+#include "pe/plan.h"
+#include "pe/specializer.h"
+
+namespace tempo::pe {
+namespace {
+
+using idl::t_array_var;
+using idl::t_int;
+
+idl::ProcDef int_array_proc(std::uint32_t bound) {
+  idl::ProcDef proc;
+  proc.name = "ECHO";
+  proc.number = 7;
+  proc.arg_type = t_array_var(t_int(), bound);
+  proc.res_type = t_array_var(t_int(), bound);
+  return proc;
+}
+
+idl::ProcDef rmin_proc() {
+  // The paper's running example: int RMIN(pair{int1,int2}).
+  idl::ProcDef proc;
+  proc.name = "RMIN";
+  proc.number = 1;
+  proc.arg_type = idl::t_struct(
+      "pair", {{"int1", t_int()}, {"int2", t_int()}});
+  proc.res_type = t_int();
+  return proc;
+}
+
+// Runs the generic encode_call through the interpreter.
+Bytes interp_encode(const InterfaceCorpus& corpus,
+                    std::span<std::uint32_t> args, std::uint32_t xid,
+                    const std::vector<std::uint32_t>& counts,
+                    std::size_t buf_size = 65000) {
+  Bytes buf(buf_size, 0xAA);
+  InterpInput in;
+  in.scalars[kXidVar] = xid;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    in.scalars["cnt" + std::to_string(i)] = counts[i];
+  }
+  in.refs["argsp"] = 0;
+  in.xdrs = {/*x_op=*/0, static_cast<std::int64_t>(buf_size), 0};
+  in.user = args;
+  in.out = MutableByteSpan(buf.data(), buf.size());
+  auto r = run_ir(corpus.program, corpus.encode_call, in);
+  EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(*r, kRcOk);
+  return buf;
+}
+
+TEST(CorpusInterp, RminEncodeMatchesWireFormat) {
+  auto corpus = build_interface_corpus(rmin_proc(), 0x20000001, 1);
+  ASSERT_TRUE(corpus.is_ok()) << corpus.status().to_string();
+
+  std::vector<std::uint32_t> args = {41, 42};
+  Bytes buf = interp_encode(*corpus, args, /*xid=*/0xDEADBEEF, {});
+
+  // Header: xid, CALL, rpcvers, prog, vers, proc, 4x auth zeros.
+  EXPECT_EQ(load_be32(buf.data() + 0), 0xDEADBEEFu);
+  EXPECT_EQ(load_be32(buf.data() + 4), 0u);   // CALL
+  EXPECT_EQ(load_be32(buf.data() + 8), 2u);   // RPC version
+  EXPECT_EQ(load_be32(buf.data() + 12), 0x20000001u);
+  EXPECT_EQ(load_be32(buf.data() + 16), 1u);
+  EXPECT_EQ(load_be32(buf.data() + 20), 1u);  // proc RMIN
+  for (int i = 24; i < 40; i += 4) {
+    EXPECT_EQ(load_be32(buf.data() + i), 0u) << "auth word at " << i;
+  }
+  EXPECT_EQ(load_be32(buf.data() + 40), 41u);
+  EXPECT_EQ(load_be32(buf.data() + 44), 42u);
+}
+
+TEST(Specializer, RminEncodePlanMatchesInterp) {
+  auto corpus = build_interface_corpus(rmin_proc(), 0x20000001, 1);
+  ASSERT_TRUE(corpus.is_ok());
+
+  SpecInput sin;
+  sin.ref_params = {{"argsp", 0}};
+  sin.dynamic_scalars = {kXidVar};
+  sin.xdrs = {0, 65000, 0};
+  auto plan = specialize(corpus->program, corpus->encode_call, sin);
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  EXPECT_TRUE(plan->is_encode);
+  EXPECT_EQ(plan->out_size, 48u);  // 40-byte header + two ints
+
+  std::vector<std::uint32_t> args = {7, 99};
+  Bytes expect = interp_encode(*corpus, args, 123, {});
+  Bytes got(plan->out_size, 0);
+  ASSERT_EQ(run_plan_encode(*plan, args, 123,
+                            MutableByteSpan(got.data(), got.size())),
+            ExecStatus::kOk);
+  EXPECT_EQ(0, std::memcmp(got.data(), expect.data(), plan->out_size));
+}
+
+TEST(Specializer, EncodePlanFoldsEverythingStatic) {
+  // The residual rmin encode must be: 1 xid store + 9 const header
+  // stores + 2 word copies = 12 instructions, no guards, no loops
+  // (Fig. 5).
+  auto corpus = build_interface_corpus(rmin_proc(), 0x20000001, 1);
+  ASSERT_TRUE(corpus.is_ok());
+  SpecInput sin;
+  sin.ref_params = {{"argsp", 0}};
+  sin.dynamic_scalars = {kXidVar};
+  sin.xdrs = {0, 65000, 0};
+  auto plan = specialize(corpus->program, corpus->encode_call, sin);
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_EQ(plan->instrs.size(), 12u);
+  int puts = 0, consts = 0, xids = 0;
+  for (const auto& ins : plan->instrs) {
+    if (ins.op == POp::kPutWord) ++puts;
+    if (ins.op == POp::kPutConst) ++consts;
+    if (ins.op == POp::kPutXid) ++xids;
+  }
+  EXPECT_EQ(puts, 2);
+  EXPECT_EQ(consts, 9);
+  EXPECT_EQ(xids, 1);
+}
+
+// Property: for random word-regular interfaces and random arguments, the
+// residual plan and the generic interpreter produce identical bytes.
+TEST(Specializer, SoundnessOnRandomInterfaces) {
+  Rng rng(20260613);
+  for (int round = 0; round < 40; ++round) {
+    // Random plan-eligible argument type.
+    idl::TypePtr arg;
+    switch (rng.next_below(5)) {
+      case 0:
+        arg = idl::t_struct(
+            "s", {{"a", t_int()},
+                  {"b", idl::t_hyper()},
+                  {"c", idl::t_bool()},
+                  {"d", idl::t_opaque_fixed(
+                            1 + static_cast<std::uint32_t>(
+                                    rng.next_below(9)))}});
+        break;
+      case 1:
+        arg = t_array_var(t_int(), 64);
+        break;
+      case 2:
+        arg = idl::t_array_fixed(idl::t_double(),
+                                 1 + static_cast<std::uint32_t>(
+                                         rng.next_below(8)));
+        break;
+      case 3:
+        arg = idl::t_struct(
+            "t", {{"n", idl::t_uint()},
+                  {"v", t_array_var(idl::t_float(), 32)}});
+        break;
+      default:
+        arg = idl::t_array_fixed(
+            idl::t_struct("e", {{"x", t_int()}, {"y", t_int()}}),
+            1 + static_cast<std::uint32_t>(rng.next_below(6)));
+        break;
+    }
+    idl::ProcDef proc;
+    proc.name = "P";
+    proc.number = static_cast<std::uint32_t>(rng.next_below(100));
+    proc.arg_type = arg;
+    proc.res_type = idl::t_void();
+
+    auto corpus = build_interface_corpus(proc, 99, 1);
+    ASSERT_TRUE(corpus.is_ok()) << corpus.status().to_string();
+
+    // Random instance; its var-array counts become the pinned counts.
+    idl::Value value = idl::random_value(*arg, rng, 16);
+    std::vector<std::uint32_t> counts;
+    ASSERT_TRUE(collect_counts(*arg, value, counts).is_ok());
+    Slots slots;
+    ASSERT_TRUE(flatten_value(*arg, value, counts, slots).is_ok());
+
+    SpecInput sin;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      sin.static_scalars["cnt" + std::to_string(i)] = counts[i];
+    }
+    sin.ref_params = {{"argsp", 0}};
+    sin.dynamic_scalars = {kXidVar};
+    sin.xdrs = {0, 65000, 0};
+    sin.options.unroll_factor =
+        static_cast<std::uint32_t>(rng.next_below(3) * 2);  // 0, 2 or 4
+    auto plan = specialize(corpus->program, corpus->encode_call, sin);
+    ASSERT_TRUE(plan.is_ok())
+        << plan.status().to_string() << " round " << round;
+
+    const std::uint32_t xid = rng.next_u32();
+    Bytes expect = interp_encode(*corpus, slots, xid, counts);
+    Bytes got(plan->out_size, 0);
+    ASSERT_EQ(run_plan_encode(*plan, slots, xid,
+                              MutableByteSpan(got.data(), got.size())),
+              ExecStatus::kOk)
+        << "round " << round;
+    ASSERT_EQ(0, std::memcmp(got.data(), expect.data(), plan->out_size))
+        << "round " << round << " plan:\n"
+        << plan->to_string();
+  }
+}
+
+// Round-trip through plans: encode args with the client plan, decode the
+// args with the server plan; then encode results and decode the reply.
+TEST(Specializer, ClientServerPlansRoundTrip) {
+  const std::uint32_t n = 20;
+  auto corpus = build_interface_corpus(int_array_proc(2000), 55, 2);
+  ASSERT_TRUE(corpus.is_ok());
+
+  SpecInput enc_in;
+  enc_in.static_scalars = {{"cnt0", n}};
+  enc_in.ref_params = {{"argsp", 0}};
+  enc_in.dynamic_scalars = {kXidVar};
+  enc_in.xdrs = {0, 65000, 0};
+  auto eplan = specialize(corpus->program, corpus->encode_call, enc_in);
+  ASSERT_TRUE(eplan.is_ok()) << eplan.status().to_string();
+
+  SpecInput dec_in;
+  dec_in.static_scalars = {{"cnt0", n}};
+  dec_in.ref_params = {{"argsp", 0}};
+  dec_in.dynamic_scalars = {kInlenVar};
+  dec_in.xdrs = {1, 0, 0};
+  auto aplan = specialize(corpus->program, corpus->decode_args, dec_in);
+  ASSERT_TRUE(aplan.is_ok()) << aplan.status().to_string();
+  EXPECT_EQ(aplan->expected_in, 4 + 4 * n);
+
+  std::vector<std::uint32_t> args(n);
+  Rng rng(7);
+  for (auto& a : args) a = rng.next_u32();
+
+  Bytes wire(eplan->out_size);
+  ASSERT_EQ(run_plan_encode(*eplan, args, 0x1234,
+                            MutableByteSpan(wire.data(), wire.size())),
+            ExecStatus::kOk);
+
+  // Server sees the payload after the 40-byte call header.
+  std::vector<std::uint32_t> decoded(n, 0);
+  ASSERT_EQ(run_plan_decode(*aplan,
+                            ByteSpan(wire.data() + kCallHeaderBytes,
+                                     wire.size() - kCallHeaderBytes),
+                            0, decoded),
+            ExecStatus::kOk);
+  EXPECT_EQ(decoded, args);
+
+  // Results: server encodes, client decodes the full reply.
+  SpecInput renc_in;
+  renc_in.static_scalars = {{"rcnt0", n}};
+  renc_in.ref_params = {{"resp", 0}};
+  renc_in.xdrs = {0, 65000, 0};
+  auto rplan = specialize(corpus->program, corpus->encode_results, renc_in);
+  ASSERT_TRUE(rplan.is_ok()) << rplan.status().to_string();
+
+  SpecInput rdec_in;
+  rdec_in.static_scalars = {{"rcnt0", n}};
+  rdec_in.ref_params = {{"resp", 0}};
+  rdec_in.dynamic_scalars = {kXidVar, kInlenVar};
+  rdec_in.xdrs = {1, 0, 0};
+  auto dplan = specialize(corpus->program, corpus->decode_reply, rdec_in);
+  ASSERT_TRUE(dplan.is_ok()) << dplan.status().to_string();
+  EXPECT_EQ(dplan->expected_in, kReplyHeaderBytes + 4 + 4 * n);
+
+  // Assemble a full reply: 6 header words + results payload.
+  Bytes reply(static_cast<std::size_t>(dplan->expected_in), 0);
+  store_be32(reply.data() + 0, 0x1234);  // xid
+  store_be32(reply.data() + 4, 1);       // REPLY
+  // words 2..5 zero: ACCEPTED, AUTH_NONE verf, SUCCESS
+  ASSERT_EQ(
+      run_plan_encode(*rplan, decoded, 0,
+                      MutableByteSpan(reply.data() + kReplyHeaderBytes,
+                                      reply.size() - kReplyHeaderBytes)),
+      ExecStatus::kOk);
+
+  std::vector<std::uint32_t> results(n, 0);
+  ASSERT_EQ(run_plan_decode(*dplan,
+                            ByteSpan(reply.data(), reply.size()), 0x1234,
+                            results),
+            ExecStatus::kOk);
+  EXPECT_EQ(results, args);
+
+  // Guard behaviour: stale xid -> retry; wrong length -> fallback;
+  // wrong header constant -> fallback.
+  ASSERT_EQ(run_plan_decode(*dplan, ByteSpan(reply.data(), reply.size()),
+                            0x9999, results),
+            ExecStatus::kRetryXid);
+  ASSERT_EQ(run_plan_decode(*dplan,
+                            ByteSpan(reply.data(), reply.size() - 4), 0x1234,
+                            results),
+            ExecStatus::kFallback);
+  store_be32(reply.data() + 8, 1);  // MSG_DENIED
+  ASSERT_EQ(run_plan_decode(*dplan, ByteSpan(reply.data(), reply.size()),
+                            0x1234, results),
+            ExecStatus::kFallback);
+}
+
+TEST(Specializer, PartialUnrollMatchesFullUnroll) {
+  const std::uint32_t n = 1000;
+  auto corpus = build_interface_corpus(int_array_proc(2000), 55, 2);
+  ASSERT_TRUE(corpus.is_ok());
+
+  std::vector<std::uint32_t> args(n);
+  Rng rng(11);
+  for (auto& a : args) a = rng.next_u32();
+
+  Bytes full_bytes, part_bytes;
+  std::size_t full_code = 0, part_code = 0;
+  for (std::uint32_t factor : {0u, 250u}) {
+    SpecInput sin;
+    sin.static_scalars = {{"cnt0", n}};
+    sin.ref_params = {{"argsp", 0}};
+    sin.dynamic_scalars = {kXidVar};
+    sin.xdrs = {0, 65000, 0};
+    sin.options.unroll_factor = factor;
+    auto plan = specialize(corpus->program, corpus->encode_call, sin);
+    ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+    Bytes out(plan->out_size);
+    ASSERT_EQ(run_plan_encode(*plan, args, 42,
+                              MutableByteSpan(out.data(), out.size())),
+              ExecStatus::kOk);
+    if (factor == 0) {
+      full_bytes = out;
+      full_code = plan->code_bytes();
+    } else {
+      part_bytes = out;
+      part_code = plan->code_bytes();
+      // The partial plan must contain a loop op.
+      bool has_loop = false;
+      for (const auto& ins : plan->instrs) {
+        has_loop |= ins.op == POp::kLoop;
+      }
+      EXPECT_TRUE(has_loop);
+    }
+  }
+  EXPECT_EQ(full_bytes, part_bytes);
+  // Partial unrolling shrinks residual code dramatically (Table 4's
+  // I-cache motivation).
+  EXPECT_LT(part_code * 3, full_code);
+}
+
+TEST(Specializer, CodeSizeGrowsWithArraySize) {
+  // Table 3: specialized code grows with the array size, generic doesn't.
+  auto corpus = build_interface_corpus(int_array_proc(2000), 55, 2);
+  ASSERT_TRUE(corpus.is_ok());
+  std::size_t prev = 0;
+  for (std::uint32_t n : {20u, 100u, 250u}) {
+    SpecInput sin;
+    sin.static_scalars = {{"cnt0", n}};
+    sin.ref_params = {{"argsp", 0}};
+    sin.dynamic_scalars = {kXidVar};
+    sin.xdrs = {0, 65000, 0};
+    auto plan = specialize(corpus->program, corpus->encode_call, sin);
+    ASSERT_TRUE(plan.is_ok());
+    EXPECT_GT(plan->code_bytes(), prev);
+    prev = plan->code_bytes();
+  }
+  EXPECT_GT(ir_code_size(corpus->program), 0u);
+}
+
+TEST(Bta, PaperClaimsHoldForEncode) {
+  auto corpus = build_interface_corpus(int_array_proc(2000), 55, 2);
+  ASSERT_TRUE(corpus.is_ok());
+  BtaDivision div;
+  div.dynamic_params = {kXidVar};
+  div.ref_params = {"argsp"};
+  div.known_fields = {{"x_op", 0}};
+  auto bta = analyze_binding_times(corpus->program, corpus->encode_call, div);
+  ASSERT_TRUE(bta.is_ok()) << bta.status().to_string();
+
+  // §3.1: every encode/decode dispatch is static.
+  EXPECT_GT(bta->static_dispatches, 0);
+  EXPECT_EQ(bta->dynamic_dispatches, 0);
+  // §3.2: every buffer overflow check is static.
+  EXPECT_GT(bta->static_overflow_checks, 0);
+  EXPECT_EQ(bta->dynamic_overflow_checks, 0);
+  // §3.3: every exit-status check is static.
+  EXPECT_GT(bta->static_status_checks, 0);
+  EXPECT_EQ(bta->dynamic_status_checks, 0);
+  // The entry returns a static status even though it writes the buffer.
+  EXPECT_EQ(bta->entry_return, BT::kStatic);
+  EXPECT_TRUE(bta->entry_effects_dynamic);
+
+  // The annotated listing marks buffer stores dynamic and shows the
+  // static-return refinement on at least one call.
+  const std::string listing = annotated_to_string(*bta);
+  EXPECT_NE(listing.find("D| "), std::string::npos);
+  EXPECT_NE(listing.find("S| "), std::string::npos);
+  EXPECT_NE(listing.find("STATIC return"), std::string::npos);
+}
+
+TEST(Bta, DecodeKeepsValidationDynamic) {
+  auto corpus = build_interface_corpus(int_array_proc(2000), 55, 2);
+  ASSERT_TRUE(corpus.is_ok());
+  BtaDivision div;
+  div.dynamic_params = {kXidVar, kInlenVar};
+  div.ref_params = {"resp"};
+  div.known_fields = {{"x_op", 1}};
+  auto bta = analyze_binding_times(corpus->program, corpus->decode_reply, div);
+  ASSERT_TRUE(bta.is_ok()) << bta.status().to_string();
+  // Reply validation depends on received data: the entry's return value
+  // is dynamic (unlike encode).
+  EXPECT_EQ(bta->entry_return, BT::kDynamic);
+}
+
+TEST(Layout, FlattenUnflattenRoundTrip) {
+  Rng rng(99);
+  auto t = idl::t_struct(
+      "mix",
+      {{"a", t_int()},
+       {"b", idl::t_hyper()},
+       {"c", idl::t_opaque_fixed(7)},
+       {"d", t_array_var(idl::t_double(), 16)},
+       {"e", idl::t_array_fixed(idl::t_bool(), 3)}});
+  for (int i = 0; i < 50; ++i) {
+    idl::Value v = idl::random_value(*t, rng, 10);
+    std::vector<std::uint32_t> counts;
+    ASSERT_TRUE(collect_counts(*t, v, counts).is_ok());
+    Slots slots;
+    ASSERT_TRUE(flatten_value(*t, v, counts, slots).is_ok());
+    auto back = unflatten_value(*t, counts, slots);
+    ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+    EXPECT_TRUE(idl::value_equal(v, *back)) << idl::value_to_string(v);
+  }
+}
+
+TEST(Layout, EligibilityRules) {
+  EXPECT_TRUE(plan_eligible(*t_int()));
+  EXPECT_TRUE(plan_eligible(*t_array_var(t_int(), 10)));
+  EXPECT_FALSE(plan_eligible(*idl::t_string(10)));
+  EXPECT_FALSE(plan_eligible(*idl::t_optional(t_int())));
+  auto nested = t_array_var(t_array_var(t_int(), 4), 4);
+  EXPECT_TRUE(plan_eligible(*nested));  // eligible as layout...
+  EXPECT_FALSE(count_params(*nested).is_ok());  // ...but not countable
+}
+
+}  // namespace
+}  // namespace tempo::pe

@@ -1,0 +1,151 @@
+// Tests for the type-safe C++ XDR layer (xdr/typed.h): Codec
+// resolution, the member-function protocol, container codecs, and
+// cross-checks against the C-style primitives (same bytes).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.h"
+#include "xdr/typed.h"
+#include "xdr/xdrmem.h"
+
+namespace tempo::xdr {
+namespace {
+
+struct Point {
+  std::int32_t x = 0, y = 0;
+  bool xdr(XdrStream& s) { return proc_all(s, x, y); }
+  bool operator==(const Point&) const = default;
+};
+
+struct Telemetry {
+  std::uint64_t timestamp = 0;
+  std::vector<Point> track;
+  std::optional<std::string> label;
+  std::array<double, 3> axes{};
+  bool valid = false;
+
+  bool xdr(XdrStream& s) {
+    return proc_all(s, timestamp, track, label, axes, valid);
+  }
+  bool operator==(const Telemetry&) const = default;
+};
+
+enum class Mode : std::int32_t { kIdle = 0, kActive = 3 };
+
+template <typename T>
+Bytes encode_bytes(T& v) {
+  Bytes buf(4096);
+  XdrMem s(MutableByteSpan(buf.data(), buf.size()), XdrOp::kEncode);
+  EXPECT_TRUE(encode(s, v));
+  buf.resize(s.getpos());
+  return buf;
+}
+
+template <typename T>
+T decode_bytes(const Bytes& wire) {
+  Bytes copy = wire;
+  XdrMem s(MutableByteSpan(copy.data(), copy.size()), XdrOp::kDecode);
+  T out{};
+  EXPECT_TRUE(decode(s, out));
+  return out;
+}
+
+TEST(Typed, ScalarsMatchPrimitives) {
+  std::int32_t i = -42;
+  Bytes via_typed = encode_bytes(i);
+
+  Bytes buf(8);
+  XdrMem s(MutableByteSpan(buf.data(), buf.size()), XdrOp::kEncode);
+  std::int32_t j = -42;
+  ASSERT_TRUE(xdr_int(s, j));
+  buf.resize(s.getpos());
+  EXPECT_EQ(via_typed, buf);
+}
+
+TEST(Typed, MemberProtocolRoundTrip) {
+  Point p{3, -7};
+  Bytes wire = encode_bytes(p);
+  EXPECT_EQ(wire.size(), 8u);
+  EXPECT_EQ(decode_bytes<Point>(wire), p);
+}
+
+TEST(Typed, NestedAggregateRoundTrip) {
+  Rng rng(2026);
+  for (int round = 0; round < 25; ++round) {
+    Telemetry t;
+    t.timestamp = rng.next_u64();
+    t.track.resize(rng.next_below(6));
+    for (auto& pt : t.track) {
+      pt = Point{static_cast<std::int32_t>(rng.next_u32()),
+                 static_cast<std::int32_t>(rng.next_u32())};
+    }
+    if (rng.next_bool()) t.label = "sensor-" + std::to_string(round);
+    for (auto& a : t.axes) a = rng.next_double();
+    t.valid = rng.next_bool();
+
+    Bytes wire = encode_bytes(t);
+    EXPECT_EQ(decode_bytes<Telemetry>(wire), t) << "round " << round;
+  }
+}
+
+TEST(Typed, EnumCodec) {
+  Mode m = Mode::kActive;
+  Bytes wire = encode_bytes(m);
+  ASSERT_EQ(wire.size(), 4u);
+  EXPECT_EQ(wire[3], 3);
+  EXPECT_EQ(decode_bytes<Mode>(wire), Mode::kActive);
+}
+
+TEST(Typed, OptionalAbsentPresent) {
+  std::optional<std::int32_t> none, some = 9;
+  Bytes w1 = encode_bytes(none);
+  Bytes w2 = encode_bytes(some);
+  EXPECT_EQ(w1.size(), 4u);
+  EXPECT_EQ(w2.size(), 8u);
+  EXPECT_FALSE(decode_bytes<std::optional<std::int32_t>>(w1).has_value());
+  EXPECT_EQ(*decode_bytes<std::optional<std::int32_t>>(w2), 9);
+}
+
+TEST(Typed, VectorDefensiveCap) {
+  // A hostile count must be rejected before allocation.
+  Bytes wire(8, 0);
+  wire[0] = 0x7F;  // count = 0x7F000000
+  XdrMem s(MutableByteSpan(wire.data(), wire.size()), XdrOp::kDecode);
+  std::vector<std::int32_t> v;
+  EXPECT_FALSE(proc(s, v));
+}
+
+TEST(Typed, FreeReleasesContainers) {
+  Telemetry t;
+  t.track.resize(3);
+  t.label = "x";
+  XdrMem s(MutableByteSpan(), XdrOp::kFree);
+  EXPECT_TRUE(proc(s, t));
+  EXPECT_TRUE(t.track.empty());
+  EXPECT_FALSE(t.label.has_value());
+}
+
+TEST(Typed, DecodeTruncationFails) {
+  Telemetry t;
+  t.track.resize(2);
+  Bytes wire = encode_bytes(t);
+  for (std::size_t cut = 0; cut + 4 < wire.size(); cut += 4) {
+    Bytes copy(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    XdrMem s(MutableByteSpan(copy.data(), copy.size()), XdrOp::kDecode);
+    Telemetry out;
+    EXPECT_FALSE(decode(s, out)) << "cut=" << cut;
+  }
+}
+
+TEST(Typed, DirectionGuards) {
+  Point p{1, 2};
+  Bytes buf(64);
+  XdrMem enc(MutableByteSpan(buf.data(), buf.size()), XdrOp::kEncode);
+  EXPECT_FALSE(decode(enc, p));  // decode() on an encode stream
+  XdrMem dec(MutableByteSpan(buf.data(), 8), XdrOp::kDecode);
+  EXPECT_FALSE(encode(dec, p));
+}
+
+}  // namespace
+}  // namespace tempo::xdr

@@ -1,0 +1,387 @@
+// XDR substrate tests: primitive round-trips, golden wire vectors
+// (RFC 4506 layouts), overflow accounting, record-marked streams.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/endian.h"
+#include "common/rng.h"
+#include "xdr/primitives.h"
+#include "xdr/xdrmem.h"
+#include "xdr/xdrrec.h"
+
+namespace tempo::xdr {
+namespace {
+
+class XdrMemPair {
+ public:
+  explicit XdrMemPair(std::size_t size = 1024) : buf_(size) {}
+
+  XdrMem encoder() {
+    return XdrMem(MutableByteSpan(buf_.data(), buf_.size()), XdrOp::kEncode);
+  }
+  XdrMem decoder(std::size_t len) {
+    return XdrMem(MutableByteSpan(buf_.data(), len), XdrOp::kDecode);
+  }
+  Bytes& buf() { return buf_; }
+
+ private:
+  Bytes buf_;
+};
+
+TEST(XdrMem, PutGetLongGolden) {
+  XdrMemPair p;
+  auto enc = p.encoder();
+  ASSERT_TRUE(enc.putlong(0x01020304));
+  ASSERT_TRUE(enc.putlong(-1));
+  EXPECT_EQ(enc.getpos(), 8u);
+  // Big-endian on the wire.
+  EXPECT_EQ(p.buf()[0], 0x01);
+  EXPECT_EQ(p.buf()[1], 0x02);
+  EXPECT_EQ(p.buf()[2], 0x03);
+  EXPECT_EQ(p.buf()[3], 0x04);
+  EXPECT_EQ(p.buf()[4], 0xFF);
+
+  auto dec = p.decoder(8);
+  std::int32_t a = 0, b = 0;
+  ASSERT_TRUE(dec.getlong(&a));
+  ASSERT_TRUE(dec.getlong(&b));
+  EXPECT_EQ(a, 0x01020304);
+  EXPECT_EQ(b, -1);
+}
+
+TEST(XdrMem, OverflowSemantics) {
+  Bytes buf(7);  // less than two words
+  XdrMem enc(MutableByteSpan(buf.data(), buf.size()), XdrOp::kEncode);
+  EXPECT_TRUE(enc.putlong(1));
+  EXPECT_FALSE(enc.putlong(2));  // x_handy went negative
+  // Like the original: once x_handy is negative the stream stays dead.
+  EXPECT_FALSE(enc.putlong(3));
+}
+
+TEST(XdrMem, SetposGetposInline) {
+  Bytes buf(64);
+  XdrMem x(MutableByteSpan(buf.data(), buf.size()), XdrOp::kEncode);
+  ASSERT_TRUE(x.putlong(1));
+  const std::size_t mark = x.getpos();
+  ASSERT_TRUE(x.putlong(2));
+  ASSERT_TRUE(x.setpos(mark));
+  ASSERT_TRUE(x.putlong(7));
+  EXPECT_EQ(load_be32(buf.data() + 4), 7u);
+
+  std::uint8_t* inl = x.inline_bytes(8);
+  ASSERT_NE(inl, nullptr);
+  EXPECT_EQ(inl, buf.data() + 8);
+  EXPECT_EQ(x.inline_bytes(3), nullptr);       // not a multiple of 4
+  EXPECT_EQ(x.inline_bytes(1 << 20), nullptr); // too big
+}
+
+TEST(Primitives, IntRoundTripExtremes) {
+  for (std::int32_t v : {std::numeric_limits<std::int32_t>::min(), -1, 0, 1,
+                         std::numeric_limits<std::int32_t>::max()}) {
+    XdrMemPair p;
+    auto enc = p.encoder();
+    std::int32_t in = v;
+    ASSERT_TRUE(xdr_int(enc, in));
+    auto dec = p.decoder(4);
+    std::int32_t out = 0;
+    ASSERT_TRUE(xdr_int(dec, out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(Primitives, HyperGolden) {
+  XdrMemPair p;
+  auto enc = p.encoder();
+  std::int64_t v = 0x0102030405060708ll;
+  ASSERT_TRUE(xdr_hyper(enc, v));
+  // Most significant word first.
+  EXPECT_EQ(load_be32(p.buf().data()), 0x01020304u);
+  EXPECT_EQ(load_be32(p.buf().data() + 4), 0x05060708u);
+  auto dec = p.decoder(8);
+  std::int64_t out = 0;
+  ASSERT_TRUE(xdr_hyper(dec, out));
+  EXPECT_EQ(out, v);
+}
+
+TEST(Primitives, ShortRangeChecks) {
+  XdrMemPair p;
+  auto enc = p.encoder();
+  std::int32_t wide = 70000;  // out of i16 range
+  ASSERT_TRUE(xdr_long(enc, wide));
+  auto dec = p.decoder(4);
+  std::int16_t s = 0;
+  EXPECT_FALSE(xdr_short(dec, s));
+}
+
+TEST(Primitives, BoolStrictness) {
+  XdrMemPair p;
+  auto enc = p.encoder();
+  std::int32_t two = 2;
+  ASSERT_TRUE(xdr_long(enc, two));
+  auto dec = p.decoder(4);
+  bool b = false;
+  EXPECT_FALSE(xdr_bool(dec, b));  // RFC 4506: only 0 or 1
+}
+
+TEST(Primitives, FloatDoubleRoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    XdrMemPair p;
+    auto enc = p.encoder();
+    float f = static_cast<float>(rng.next_double() * 1e6 - 5e5);
+    double d = rng.next_double() * 1e12 - 5e11;
+    float f_in = f;
+    double d_in = d;
+    ASSERT_TRUE(xdr_float(enc, f_in));
+    ASSERT_TRUE(xdr_double(enc, d_in));
+    auto dec = p.decoder(12);
+    float f_out = 0;
+    double d_out = 0;
+    ASSERT_TRUE(xdr_float(dec, f_out));
+    ASSERT_TRUE(xdr_double(dec, d_out));
+    EXPECT_EQ(f_out, f);
+    EXPECT_EQ(d_out, d);
+  }
+  // NaN and infinities survive bit-exactly.
+  XdrMemPair p;
+  auto enc = p.encoder();
+  float nanf = std::numeric_limits<float>::quiet_NaN();
+  double inf = std::numeric_limits<double>::infinity();
+  ASSERT_TRUE(xdr_float(enc, nanf));
+  ASSERT_TRUE(xdr_double(enc, inf));
+  auto dec = p.decoder(12);
+  float f_out = 0;
+  double d_out = 0;
+  ASSERT_TRUE(xdr_float(dec, f_out));
+  ASSERT_TRUE(xdr_double(dec, d_out));
+  EXPECT_TRUE(std::isnan(f_out));
+  EXPECT_TRUE(std::isinf(d_out));
+}
+
+TEST(Primitives, OpaquePaddingGolden) {
+  XdrMemPair p;
+  auto enc = p.encoder();
+  Bytes data = {0xAA, 0xBB, 0xCC, 0xDD, 0xEE};
+  ASSERT_TRUE(xdr_opaque(enc, MutableByteSpan(data.data(), data.size())));
+  EXPECT_EQ(enc.getpos(), 8u);  // 5 bytes padded to 8
+  EXPECT_EQ(p.buf()[4], 0xEE);
+  EXPECT_EQ(p.buf()[5], 0x00);
+  EXPECT_EQ(p.buf()[6], 0x00);
+  EXPECT_EQ(p.buf()[7], 0x00);
+}
+
+TEST(Primitives, StringGoldenAndBounds) {
+  XdrMemPair p;
+  auto enc = p.encoder();
+  std::string s = "hello";
+  ASSERT_TRUE(xdr_string(enc, s, 32));
+  EXPECT_EQ(enc.getpos(), 12u);  // 4 length + 8 padded body
+  EXPECT_EQ(load_be32(p.buf().data()), 5u);
+  EXPECT_EQ(p.buf()[4], 'h');
+  EXPECT_EQ(p.buf()[9], 0x00);  // padding
+
+  auto dec = p.decoder(12);
+  std::string out;
+  ASSERT_TRUE(xdr_string(dec, out, 32));
+  EXPECT_EQ(out, "hello");
+
+  // Decode-side bound enforcement: max_len 4 rejects length 5.
+  auto dec2 = p.decoder(12);
+  std::string out2;
+  EXPECT_FALSE(xdr_string(dec2, out2, 4));
+
+  // Encode-side bound enforcement.
+  auto enc2 = p.encoder();
+  std::string big(100, 'x');
+  EXPECT_FALSE(xdr_string(enc2, big, 10));
+}
+
+TEST(Primitives, BytesVarOpaque) {
+  XdrMemPair p;
+  auto enc = p.encoder();
+  Bytes in = {1, 2, 3};
+  ASSERT_TRUE(xdr_bytes(enc, in, 100));
+  auto dec = p.decoder(enc.getpos());
+  Bytes out;
+  ASSERT_TRUE(xdr_bytes(dec, out, 100));
+  EXPECT_EQ(out, in);
+}
+
+TEST(Primitives, ArrayAndVectorRoundTrip) {
+  XdrMemPair p(8192);
+  auto enc = p.encoder();
+  std::vector<std::int32_t> in = {5, -4, 3, -2, 1};
+  ASSERT_TRUE(xdr_array<std::int32_t>(enc, in, 100, &xdr_int));
+  EXPECT_EQ(enc.getpos(), 4u + 20u);
+
+  auto dec = p.decoder(enc.getpos());
+  std::vector<std::int32_t> out;
+  ASSERT_TRUE(xdr_array<std::int32_t>(dec, out, 100, &xdr_int));
+  EXPECT_EQ(out, in);
+
+  // Bound enforcement on decode.
+  auto dec2 = p.decoder(24);
+  std::vector<std::int32_t> out2;
+  EXPECT_FALSE(xdr_array<std::int32_t>(dec2, out2, 4, &xdr_int));
+
+  // FREE releases storage.
+  XdrMem freer(MutableByteSpan(p.buf().data(), 0), XdrOp::kFree);
+  ASSERT_TRUE(xdr_array<std::int32_t>(freer, out, 100, &xdr_int));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Primitives, OptionalRoundTrip) {
+  XdrMemPair p;
+  auto enc = p.encoder();
+  std::optional<std::int32_t> some = 42, none;
+  ASSERT_TRUE(xdr_optional<std::int32_t>(enc, some, &xdr_int));
+  ASSERT_TRUE(xdr_optional<std::int32_t>(enc, none, &xdr_int));
+  EXPECT_EQ(enc.getpos(), 12u);  // (flag+value) + flag
+
+  auto dec = p.decoder(12);
+  std::optional<std::int32_t> o1, o2 = 9;
+  ASSERT_TRUE(xdr_optional<std::int32_t>(dec, o1, &xdr_int));
+  ASSERT_TRUE(xdr_optional<std::int32_t>(dec, o2, &xdr_int));
+  ASSERT_TRUE(o1.has_value());
+  EXPECT_EQ(*o1, 42);
+  EXPECT_FALSE(o2.has_value());
+}
+
+TEST(Primitives, EnumRoundTrip) {
+  enum class Color : std::int32_t { kRed = 0, kBlue = 5 };
+  XdrMemPair p;
+  auto enc = p.encoder();
+  Color c = Color::kBlue;
+  ASSERT_TRUE(xdr_enum(enc, c));
+  auto dec = p.decoder(4);
+  Color out = Color::kRed;
+  ASSERT_TRUE(xdr_enum(dec, out));
+  EXPECT_EQ(out, Color::kBlue);
+}
+
+// ---- record-marked streams (RPC over TCP) ------------------------------
+
+struct Pipe {
+  Bytes data;
+  std::size_t read_pos = 0;
+
+  RecWriter writer() {
+    return [this](ByteSpan b) {
+      data.insert(data.end(), b.begin(), b.end());
+      return true;
+    };
+  }
+  // Reader that returns at most `chunk` bytes per call (exercises
+  // partial reads).
+  RecReader reader(std::size_t chunk = 3) {
+    return [this, chunk](MutableByteSpan out) -> std::size_t {
+      const std::size_t avail = data.size() - read_pos;
+      const std::size_t n = std::min({avail, out.size(), chunk});
+      std::copy(data.begin() + static_cast<std::ptrdiff_t>(read_pos),
+                data.begin() + static_cast<std::ptrdiff_t>(read_pos + n),
+                out.begin());
+      read_pos += n;
+      return n;
+    };
+  }
+};
+
+TEST(XdrRec, SingleFragmentRoundTrip) {
+  Pipe pipe;
+  XdrRec enc(XdrOp::kEncode, pipe.writer(), nullptr);
+  for (std::int32_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(enc.putlong(i * 3));
+  }
+  ASSERT_TRUE(enc.end_of_record());
+  // Header: last-fragment flag + length 40.
+  EXPECT_EQ(load_be32(pipe.data.data()), 0x80000000u | 40u);
+
+  XdrRec dec(XdrOp::kDecode, nullptr, pipe.reader());
+  for (std::int32_t i = 0; i < 10; ++i) {
+    std::int32_t v = -1;
+    ASSERT_TRUE(dec.getlong(&v));
+    EXPECT_EQ(v, i * 3);
+  }
+  EXPECT_TRUE(dec.at_end_of_record());
+  std::int32_t extra;
+  EXPECT_FALSE(dec.getlong(&extra));  // reading past the record fails
+}
+
+TEST(XdrRec, MultiFragmentAndSkip) {
+  Pipe pipe;
+  XdrRec enc(XdrOp::kEncode, pipe.writer(), nullptr, /*frag_size=*/8);
+  for (std::int32_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(enc.putlong(100 + i));  // forces several fragments
+  }
+  ASSERT_TRUE(enc.end_of_record());
+  // Second record.
+  ASSERT_TRUE(enc.putlong(777));
+  ASSERT_TRUE(enc.end_of_record());
+
+  XdrRec dec(XdrOp::kDecode, nullptr, pipe.reader(5));
+  std::int32_t v = 0;
+  ASSERT_TRUE(dec.getlong(&v));
+  EXPECT_EQ(v, 100);
+  // Skip the rest of record 1, land on record 2.
+  ASSERT_TRUE(dec.skip_record());
+  ASSERT_TRUE(dec.getlong(&v));
+  EXPECT_EQ(v, 777);
+}
+
+TEST(XdrRec, BrokenPipeFails) {
+  XdrRec enc(XdrOp::kEncode, [](ByteSpan) { return false; }, nullptr);
+  ASSERT_TRUE(enc.putlong(1));       // buffered
+  EXPECT_FALSE(enc.end_of_record()); // flush hits the broken sink
+
+  XdrRec dec(XdrOp::kDecode, nullptr,
+             [](MutableByteSpan) -> std::size_t { return 0; });
+  std::int32_t v;
+  EXPECT_FALSE(dec.getlong(&v));
+}
+
+// Property: random mixed sequences round-trip through xdrmem.
+class MixedRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MixedRoundTrip, EncodeDecode) {
+  Rng rng(GetParam());
+  XdrMemPair p(16384);
+  auto enc = p.encoder();
+
+  std::vector<std::int32_t> ints;
+  std::vector<std::uint64_t> hypers;
+  std::vector<std::string> strings;
+  const int n = 1 + static_cast<int>(rng.next_below(30));
+  for (int i = 0; i < n; ++i) {
+    std::int32_t a = static_cast<std::int32_t>(rng.next_u32());
+    std::uint64_t h = rng.next_u64();
+    std::string s(rng.next_below(20), 'q');
+    ints.push_back(a);
+    hypers.push_back(h);
+    strings.push_back(s);
+    ASSERT_TRUE(xdr_int(enc, a));
+    ASSERT_TRUE(xdr_u_hyper(enc, h));
+    ASSERT_TRUE(xdr_string(enc, s, 64));
+  }
+
+  auto dec = p.decoder(enc.getpos());
+  for (int i = 0; i < n; ++i) {
+    std::int32_t a;
+    std::uint64_t h;
+    std::string s;
+    ASSERT_TRUE(xdr_int(dec, a));
+    ASSERT_TRUE(xdr_u_hyper(dec, h));
+    ASSERT_TRUE(xdr_string(dec, s, 64));
+    EXPECT_EQ(a, ints[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(h, hypers[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(s, strings[static_cast<std::size_t>(i)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixedRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace tempo::xdr
