@@ -1,0 +1,235 @@
+// Concurrent server throughput: the paper's echo-array workload served
+// by the ServerRuntime worker pool, with every call's residual plans
+// resolved through the process-wide SpecCache.
+//
+// What is measured:
+//   * aggregate calls/sec at 1, 4 and 16 concurrent clients, for a
+//     1-worker and a 4-worker server — the scaling the dispatch loop
+//     buys once specialization is amortized through the cache;
+//   * the SpecCache hit rate across the whole run (every call resolves
+//     its plan through the cache; only the first call of each distinct
+//     array shape builds).
+//
+// Each handler invocation dwells for a configurable simulated backend
+// latency (default 200us, --dwell-us to change, 0 to disable).  That
+// models the database/disk wait a real RPC server overlaps across its
+// worker pool; with --dwell-us=0 on a single-core host the workload is
+// pure CPU and worker scaling flattens out.
+//
+// Usage: bench_concurrent [--duration-ms N] [--dwell-us N] [--json PATH]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/service.h"
+#include "core/spec_cache.h"
+#include "core/spec_client.h"
+#include "net/udp.h"
+#include "rpc/svc.h"
+
+namespace tempo::bench {
+namespace {
+
+struct Point {
+  int workers = 0;
+  int clients = 0;
+  double calls_per_sec = 0.0;
+};
+
+struct Options {
+  int duration_ms = 400;
+  int dwell_us = 200;
+  std::string json_path;  // empty = no JSON
+};
+
+constexpr std::uint32_t kArraySize = 100;
+
+// One measurement: `clients` threads in closed loop against a runtime
+// with `workers` workers, all sharing `cache`.
+Point run_point(core::SpecCache& cache, int workers, int clients,
+                const Options& opt) {
+  rpc::SvcRegistry reg;
+  core::CachedSpecService service(
+      cache, echo_proc(), kProg, kVers,
+      [&](std::span<const std::uint32_t>, std::span<const std::uint32_t> args,
+          std::span<std::uint32_t> results) {
+        std::copy(args.begin(), args.end(), results.begin());
+        if (opt.dwell_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(opt.dwell_us));
+        }
+        return true;
+      });
+  service.install(reg);
+
+  rpc::ServerRuntimeConfig cfg;
+  cfg.workers = workers;
+  cfg.enable_tcp = false;
+  rpc::ServerRuntime runtime(reg, cfg);
+  if (!runtime.start().is_ok()) {
+    std::fprintf(stderr, "cannot start runtime\n");
+    std::exit(1);
+  }
+
+  std::atomic<bool> go{false}, stop{false};
+  std::atomic<std::int64_t> total_calls{0};
+  std::atomic<int> errors{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      core::SpecializedInterface iface = make_iface(kArraySize);
+      net::UdpSocket sock;
+      if (!sock.ok()) {
+        ++errors;
+        return;
+      }
+      core::SpecializedClient client(sock, runtime.udp_addr(), iface);
+      std::vector<std::uint32_t> args(kArraySize), results(kArraySize);
+      Rng rng(static_cast<std::uint64_t>(kArraySize));
+      for (auto& a : args) a = rng.next_u32();
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      std::int64_t mine = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!client.call(args, results).is_ok() || results != args) {
+          ++errors;
+          break;
+        }
+        ++mine;
+      }
+      total_calls += mine;
+    });
+  }
+
+  go.store(true, std::memory_order_release);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(opt.duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  runtime.stop();
+
+  if (errors.load() != 0) {
+    std::fprintf(stderr, "client errors at workers=%d clients=%d\n", workers,
+                 clients);
+    std::exit(1);
+  }
+  Point p;
+  p.workers = workers;
+  p.clients = clients;
+  p.calls_per_sec = static_cast<double>(total_calls.load()) / secs;
+  return p;
+}
+
+void run(const Options& opt) {
+  core::SpecCache cache(64);
+
+  const std::vector<int> worker_counts = {1, 4};
+  const std::vector<int> client_counts = {1, 4, 16};
+
+  std::printf(
+      "bench_concurrent: echo-array n=%u over loopback UDP, "
+      "dwell=%dus, %dms per point\n\n",
+      kArraySize, opt.dwell_us, opt.duration_ms);
+  std::printf("%-10s %-10s %14s\n", "workers", "clients", "calls/sec");
+
+  std::vector<Point> points;
+  for (int w : worker_counts) {
+    for (int c : client_counts) {
+      Point p = run_point(cache, w, c, opt);
+      std::printf("%-10d %-10d %14.0f\n", p.workers, p.clients,
+                  p.calls_per_sec);
+      points.push_back(p);
+    }
+  }
+
+  const auto cstats = cache.stats();
+  const double total =
+      static_cast<double>(cstats.hits) + static_cast<double>(cstats.misses);
+  const double hit_rate =
+      total > 0 ? static_cast<double>(cstats.hits) / total : 0.0;
+  std::printf("\nSpecCache: %lld hits, %lld misses, %lld evictions "
+              "(hit rate %.4f)\n",
+              static_cast<long long>(cstats.hits),
+              static_cast<long long>(cstats.misses),
+              static_cast<long long>(cstats.evictions), hit_rate);
+
+  // Scaling self-check at the most parallel client count.
+  auto rate_at = [&](int w, int c) {
+    for (const auto& p : points) {
+      if (p.workers == w && p.clients == c) return p.calls_per_sec;
+    }
+    return 0.0;
+  };
+  const double r1 = rate_at(1, 16);
+  const double r4 = rate_at(4, 16);
+  std::printf("scaling 1->4 workers @16 clients: %.0f -> %.0f (%.2fx) %s\n",
+              r1, r4, r1 > 0 ? r4 / r1 : 0.0, r4 > r1 ? "PASS" : "FAIL");
+  std::printf("cache hit rate >= 0.90: %s\n",
+              hit_rate >= 0.90 ? "PASS" : "FAIL");
+
+  if (!opt.json_path.empty()) {
+    std::FILE* f = opt.json_path == "-"
+                       ? stdout
+                       : std::fopen(opt.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", opt.json_path.c_str());
+      std::exit(1);
+    }
+    std::fprintf(f,
+                 "{\n  \"benchmark\": \"concurrent\",\n"
+                 "  \"array_size\": %u,\n  \"dwell_us\": %d,\n"
+                 "  \"duration_ms\": %d,\n  \"points\": [\n",
+                 kArraySize, opt.dwell_us, opt.duration_ms);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"workers\": %d, \"clients\": %d, "
+                   "\"calls_per_sec\": %.1f}%s\n",
+                   points[i].workers, points[i].clients,
+                   points[i].calls_per_sec,
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"cache\": {\"hits\": %lld, \"misses\": %lld, "
+                 "\"evictions\": %lld, \"hit_rate\": %.6f}\n}\n",
+                 static_cast<long long>(cstats.hits),
+                 static_cast<long long>(cstats.misses),
+                 static_cast<long long>(cstats.evictions), hit_rate);
+    if (f != stdout) std::fclose(f);
+  }
+}
+
+}  // namespace
+}  // namespace tempo::bench
+
+int main(int argc, char** argv) {
+  tempo::bench::Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--duration-ms") == 0 && i + 1 < argc) {
+      opt.duration_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dwell-us") == 0 && i + 1 < argc) {
+      opt.dwell_us = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--duration-ms N] [--dwell-us N] "
+                   "[--json PATH|-]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  tempo::bench::run(opt);
+  return 0;
+}

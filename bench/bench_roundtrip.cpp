@@ -233,7 +233,39 @@ void run_native_loopback(std::vector<SpeedupRow>& rows) {
   print_speedup_table("this host, real loopback UDP end-to-end", rows);
 }
 
-void run() {
+// Machine-readable dump of every (platform, array size) measurement for
+// the bench trajectory: `bench_roundtrip --json PATH` (or `-` = stdout).
+void emit_json(const char* path,
+               const std::vector<std::pair<const char*,
+                                           const std::vector<SpeedupRow>*>>&
+                   series) {
+  std::FILE* f =
+      std::strcmp(path, "-") == 0 ? stdout : std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"roundtrip\",\n  \"platforms\": [\n");
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    std::fprintf(f, "    {\"name\": \"%s\", \"rows\": [\n", series[s].first);
+    const auto& rows = *series[s].second;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      std::fprintf(f,
+                   "      {\"n\": %u, \"original_ms\": %.6f, "
+                   "\"specialized_ms\": %.6f, \"speedup\": %.4f}%s\n",
+                   r.n, r.original_ms, r.specialized_ms,
+                   r.specialized_ms > 0 ? r.original_ms / r.specialized_ms
+                                        : 0.0,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", s + 1 < series.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  if (f != stdout) std::fclose(f);
+}
+
+void run(const char* json_path) {
   print_header("Table 2: Round trip performance in ms");
   std::vector<SpeedupRow> ipx_rows, p166_rows, native_rows;
   run_platform("IPX/SunOS ipx-sim + ATM link", CostParams::ipx_sunos(),
@@ -261,12 +293,27 @@ void run() {
   print_series("IPX/Sunos - ATM 100Mbits speedup", ipx_rows, true);
   print_series("PC/Linux - Ethernet 100Mbits speedup", p166_rows, true);
   print_series("this-host loopback speedup", native_rows, true);
+
+  if (json_path != nullptr) {
+    emit_json(json_path, {{"ipx_sunos_atm", &ipx_rows},
+                          {"pc_linux_ethernet", &p166_rows},
+                          {"native_loopback_udp", &native_rows}});
+  }
 }
 
 }  // namespace
 }  // namespace tempo::bench
 
-int main() {
-  tempo::bench::run();
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH|-]\n", argv[0]);
+      return 2;
+    }
+  }
+  tempo::bench::run(json_path);
   return 0;
 }

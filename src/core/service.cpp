@@ -57,6 +57,149 @@ bool SpecializedService::handle(xdr::XdrStream& in, xdr::XdrStream& out) {
   return handle_generic(in, out);
 }
 
+CachedSpecService::CachedSpecService(SpecCache& cache, idl::ProcDef proc,
+                                     std::uint32_t prog, std::uint32_t vers,
+                                     DynamicWordHandler handler,
+                                     CountMapper res_counts_for,
+                                     SpecConfig base)
+    : cache_(cache),
+      proc_(std::move(proc)),
+      prog_(prog),
+      vers_(vers),
+      handler_(std::move(handler)),
+      res_counts_for_(std::move(res_counts_for)),
+      base_(std::move(base)) {}
+
+void CachedSpecService::install(rpc::SvcRegistry& registry) {
+  registry.register_proc(prog_, vers_, proc_.number,
+                         [this](xdr::XdrStream& in, xdr::XdrStream& out) {
+                           return handle(in, out);
+                         });
+}
+
+SpecHandle CachedSpecService::hot() const {
+  std::lock_guard<std::mutex> lock(hot_mu_);
+  return hot_;
+}
+
+void CachedSpecService::set_hot(SpecHandle h) {
+  std::lock_guard<std::mutex> lock(hot_mu_);
+  hot_ = std::move(h);
+}
+
+namespace {
+enum class PathResult {
+  kServed,        // request fully handled through the plans
+  kGuardMiss,     // shape mismatch; stream cursor advanced, rewind needed
+  kStreamOpaque,  // stream cannot inline; cursor untouched
+  kHandlerFault,  // application handler failed: GARBAGE_ARGS
+};
+}  // namespace
+
+bool CachedSpecService::encode_results(const SpecializedInterface& iface,
+                                       std::span<const std::uint32_t> results,
+                                       xdr::XdrStream& out) {
+  const pe::Plan& eplan = iface.encode_results_plan();
+  std::uint8_t* out_bytes = out.inline_bytes(eplan.out_size);
+  if (out_bytes != nullptr) {
+    return run_plan_encode(eplan, results, /*xid=*/0,
+                           MutableByteSpan(out_bytes, eplan.out_size),
+                           nullptr) == ExecStatus::kOk;
+  }
+  auto value = pe::unflatten_value(iface.res_type(),
+                                   iface.config().res_counts, results);
+  if (!value.is_ok()) return false;
+  return idl::encode_value(out, iface.res_type(), *value);
+}
+
+bool CachedSpecService::handle(xdr::XdrStream& in, xdr::XdrStream& out) {
+  const std::size_t pos = in.getpos();
+
+  SpecHandle h = hot();
+  if (h) {
+    // Re-resolve the residual plan through the cache on every call: the
+    // memo lookup counts the hit, keeps the LRU ordering honest for
+    // actively served shapes, and transparently picks up a rebuilt
+    // instance if the entry was evicted meanwhile.
+    auto refreshed = cache_.get_or_build(proc_, prog_, vers_, h->config());
+    if (refreshed.is_ok()) h = *refreshed;
+  }
+  if (h) {
+    PathResult r = PathResult::kStreamOpaque;
+    const pe::Plan& dplan = h->decode_args_plan();
+    std::uint8_t* in_bytes =
+        dplan.expected_in ? in.inline_bytes(dplan.expected_in) : nullptr;
+    if (in_bytes != nullptr) {
+      std::vector<std::uint32_t> args(
+          static_cast<std::size_t>(h->arg_slots()));
+      if (run_plan_decode(dplan, ByteSpan(in_bytes, dplan.expected_in),
+                          /*xid=*/0, args, nullptr) == ExecStatus::kOk) {
+        std::vector<std::uint32_t> results(
+            static_cast<std::size_t>(h->res_slots()));
+        if (!handler_(h->config().arg_counts, args, results)) {
+          r = PathResult::kHandlerFault;
+        } else if (encode_results(*h, results, out)) {
+          r = PathResult::kServed;
+        } else {
+          r = PathResult::kHandlerFault;
+        }
+      } else {
+        r = PathResult::kGuardMiss;  // count/length guard rejected shape
+      }
+    }
+    switch (r) {
+      case PathResult::kServed:
+        stats_.fast_path.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      case PathResult::kHandlerFault:
+        return false;
+      case PathResult::kGuardMiss:
+        stats_.plan_fallbacks.fetch_add(1, std::memory_order_relaxed);
+        if (!in.setpos(pos)) return false;  // cannot rewind: drop request
+        break;
+      case PathResult::kStreamOpaque:
+        break;
+    }
+  }
+
+  // Generic path: interpret the value, learn its shape, resolve the
+  // specialization through the cache so the reply (and the next call of
+  // this shape) still runs residual code.
+  stats_.generic_path.fetch_add(1, std::memory_order_relaxed);
+  idl::Value value;
+  if (!idl::decode_value(in, *proc_.arg_type, value)) return false;
+  std::vector<std::uint32_t> counts;
+  if (!pe::collect_counts(*proc_.arg_type, value, counts).is_ok()) {
+    return false;
+  }
+
+  SpecConfig cfg = base_;
+  cfg.arg_counts = counts;
+  cfg.res_counts = res_counts_for_ ? res_counts_for_(counts) : counts;
+
+  auto iface = cache_.get_or_build(proc_, prog_, vers_, cfg);
+  if (!iface.is_ok()) {
+    stats_.spec_unavailable.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  pe::Slots args;
+  if (!pe::flatten_value(*proc_.arg_type, value, counts, args).is_ok()) {
+    return false;
+  }
+  auto res_slots = pe::type_slots(*proc_.res_type, cfg.res_counts);
+  if (!res_slots.is_ok() || *res_slots < 0) return false;
+  std::vector<std::uint32_t> results(static_cast<std::size_t>(*res_slots));
+  if (!handler_(counts, args, results)) return false;
+
+  if (iface.is_ok()) {
+    set_hot(*iface);
+    return encode_results(**iface, results, out);
+  }
+  auto rvalue = pe::unflatten_value(*proc_.res_type, cfg.res_counts, results);
+  if (!rvalue.is_ok()) return false;
+  return idl::encode_value(out, *proc_.res_type, *rvalue);
+}
+
 bool SpecializedService::handle_generic(xdr::XdrStream& in,
                                         xdr::XdrStream& out) {
   idl::Value value;

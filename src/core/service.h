@@ -9,10 +9,13 @@
 // application logic sees flattened words.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 
 #include "common/status.h"
+#include "core/spec_cache.h"
 #include "core/stubspec.h"
 #include "rpc/svc.h"
 
@@ -47,6 +50,70 @@ class SpecializedService {
   const SpecializedInterface& iface_;
   WordHandler handler_;
   SpecServiceStats stats_;
+};
+
+// Dynamic sibling of SpecializedService for servers whose clients send
+// *varying* array shapes.  Instead of one pinned specialization it
+// resolves each request's residual plans through a SpecCache:
+//
+//  * fast path — the most recently used specialization for this proc is
+//    tried first; its decode plan's guards (count words, lengths) verify
+//    the request actually has that shape.  ExecStatus::kFallback rewinds
+//    the stream and drops to the generic path (guarded specialization,
+//    paper §6.2).
+//  * generic path — the layered interpreter decodes the value, the
+//    actual counts are collected, and the matching specialization is
+//    fetched (or built once) from the cache so the *reply* is still
+//    encoded through a residual plan and the *next* request of this
+//    shape hits the fast path.
+//
+// Thread-safe: handle() may run on many worker threads concurrently
+// (see rpc::ServerRuntime); stats are atomic and the hot-spec slot is
+// a mutex-guarded shared handle.
+class CachedSpecService {
+ public:
+  // Application logic on flattened slots, shape passed explicitly:
+  // `arg_counts` are the request's variable-array counts (preorder).
+  using DynamicWordHandler = std::function<bool(
+      std::span<const std::uint32_t> arg_counts,
+      std::span<const std::uint32_t> args, std::span<std::uint32_t> results)>;
+  // Maps request arg counts to reply res counts (echo-style identity by
+  // default).
+  using CountMapper = std::function<std::vector<std::uint32_t>(
+      std::span<const std::uint32_t> arg_counts)>;
+
+  struct Stats {
+    std::atomic<std::int64_t> fast_path{0};     // served fully by plans
+    std::atomic<std::int64_t> generic_path{0};  // interpreter decode
+    std::atomic<std::int64_t> plan_fallbacks{0};  // hot-spec guard misses
+    std::atomic<std::int64_t> spec_unavailable{0};  // cache build failed
+  };
+
+  CachedSpecService(SpecCache& cache, idl::ProcDef proc, std::uint32_t prog,
+                    std::uint32_t vers, DynamicWordHandler handler,
+                    CountMapper res_counts_for = {}, SpecConfig base = {});
+
+  void install(rpc::SvcRegistry& registry);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  bool handle(xdr::XdrStream& in, xdr::XdrStream& out);
+  bool encode_results(const SpecializedInterface& iface,
+                      std::span<const std::uint32_t> results,
+                      xdr::XdrStream& out);
+  SpecHandle hot() const;
+  void set_hot(SpecHandle h);
+
+  SpecCache& cache_;
+  idl::ProcDef proc_;
+  std::uint32_t prog_, vers_;
+  DynamicWordHandler handler_;
+  CountMapper res_counts_for_;
+  SpecConfig base_;  // unroll_factor / buffer_bytes template for cache keys
+  Stats stats_;
+  mutable std::mutex hot_mu_;
+  SpecHandle hot_;
 };
 
 }  // namespace tempo::core

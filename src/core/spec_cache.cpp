@@ -1,0 +1,128 @@
+#include "core/spec_cache.h"
+
+namespace tempo::core {
+
+namespace {
+
+inline void hash_combine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace
+
+std::size_t SpecKeyHash::operator()(const SpecKey& k) const {
+  std::size_t seed = 0;
+  hash_combine(seed, k.prog);
+  hash_combine(seed, k.vers);
+  hash_combine(seed, k.proc);
+  hash_combine(seed, k.unroll_factor);
+  hash_combine(seed, k.buffer_bytes);
+  hash_combine(seed, k.arg_counts.size());
+  for (auto c : k.arg_counts) hash_combine(seed, c);
+  hash_combine(seed, k.res_counts.size());
+  for (auto c : k.res_counts) hash_combine(seed, c);
+  return seed;
+}
+
+SpecCache::SpecCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SpecCache::touch_locked(Entry& e, const SpecKey& key) {
+  if (!e.in_lru) return;
+  lru_.erase(e.lru_it);
+  lru_.push_front(key);
+  e.lru_it = lru_.begin();
+}
+
+void SpecCache::insert_lru_locked(const std::shared_ptr<Entry>& e,
+                                  const SpecKey& key) {
+  lru_.push_front(key);
+  e->lru_it = lru_.begin();
+  e->in_lru = true;
+  while (lru_.size() > capacity_) {
+    const SpecKey& victim = lru_.back();
+    auto it = map_.find(victim);
+    if (it != map_.end()) map_.erase(it);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+Result<SpecHandle> SpecCache::get_or_build(const idl::ProcDef& proc,
+                                           std::uint32_t prog,
+                                           std::uint32_t vers,
+                                           const SpecConfig& config) {
+  SpecKey key{prog,
+              vers,
+              proc.number,
+              config.arg_counts,
+              config.res_counts,
+              config.unroll_factor,
+              config.buffer_bytes};
+
+  std::shared_ptr<Entry> entry;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      entry = it->second;
+      ++stats_.hits;
+      if (!entry->ready) {
+        // Another thread is building this key: wait, do not rebuild.
+        ready_cv_.wait(lock, [&] { return entry->ready; });
+      }
+      // The entry may have been evicted from the map while we waited;
+      // the shared_ptr keeps the payload valid either way.  Touch the
+      // LRU for negative entries too: a hot ineligible shape must stay
+      // cached, or its eviction would let repeated requests re-run the
+      // pipeline.
+      auto relocated = map_.find(key);
+      if (relocated != map_.end() && relocated->second == entry) {
+        touch_locked(*entry, key);
+      }
+      if (entry->iface) return entry->iface;
+      return entry->error;
+    }
+    // Miss: claim the build while holding the lock.
+    ++stats_.misses;
+    entry = std::make_shared<Entry>();
+    map_.emplace(key, entry);
+  }
+
+  // Build outside the lock — this is the expensive pipeline run.
+  auto built = SpecializedInterface::build(proc, prog, vers, config);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (built.is_ok()) {
+      entry->iface =
+          std::make_shared<const SpecializedInterface>(std::move(*built));
+      insert_lru_locked(entry, key);
+    } else {
+      entry->error = built.status();
+      ++stats_.build_failures;
+      // Negative entries take an LRU slot too: repeated requests for an
+      // ineligible shape must not re-run the pipeline, but an adversary
+      // minting distinct ineligible keys must not grow the map
+      // unboundedly either.
+      insert_lru_locked(entry, key);
+    }
+    entry->ready = true;
+  }
+  ready_cv_.notify_all();
+
+  if (entry->iface) return entry->iface;
+  return entry->error;
+}
+
+SpecCacheStats SpecCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t SpecCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace tempo::core

@@ -1,0 +1,103 @@
+// SpecCache — process-wide memo table for SpecializedInterface.
+//
+// Building a specialization runs the whole Tempo pipeline (IR corpus,
+// binding-time analysis, partial evaluation of four entry points); at
+// tens of microseconds per build it must be amortized when a server
+// handles many interfaces and many distinct array shapes.  The cache
+// keys on everything the residual plans depend on:
+//
+//   (prog, vers, proc, arg_counts, res_counts, unroll_factor,
+//    buffer_bytes)
+//
+// and returns shared, immutable SpecializedInterface instances.
+//
+// Concurrency contract: get_or_build() is safe from any number of
+// threads and builds each key AT MOST ONCE — the first thread to miss
+// inserts an in-flight marker and builds outside the lock; later
+// threads for the same key block until the build completes and share
+// the result (their accesses count as hits).
+//
+// Bounded memory: ready entries live on an LRU list capped at
+// `capacity`; inserting past the cap evicts the least-recently-used
+// entry (eviction only drops the cache's reference — callers holding a
+// SpecHandle keep their interface alive).  A server exposed to
+// adversarial count diversity therefore degrades to rebuild churn, not
+// OOM.  Failed builds (plan-ineligible types) are negative-cached so a
+// hostile client cannot force a pipeline run per request.
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/stubspec.h"
+#include "idl/types.h"
+
+namespace tempo::core {
+
+struct SpecKey {
+  std::uint32_t prog = 0;
+  std::uint32_t vers = 0;
+  std::uint32_t proc = 0;
+  std::vector<std::uint32_t> arg_counts;
+  std::vector<std::uint32_t> res_counts;
+  std::uint32_t unroll_factor = 0;
+  std::uint32_t buffer_bytes = 0;
+
+  friend bool operator==(const SpecKey&, const SpecKey&) = default;
+};
+
+struct SpecKeyHash {
+  std::size_t operator()(const SpecKey& k) const;
+};
+
+struct SpecCacheStats {
+  std::int64_t hits = 0;        // served from a ready or in-flight entry
+  std::int64_t misses = 0;      // builds initiated (one per distinct key)
+  std::int64_t evictions = 0;   // LRU entries dropped at capacity
+  std::int64_t build_failures = 0;
+};
+
+using SpecHandle = std::shared_ptr<const SpecializedInterface>;
+
+class SpecCache {
+ public:
+  explicit SpecCache(std::size_t capacity = 128);
+
+  // Returns the interface for the key derived from
+  // (prog, vers, proc.number, config), building it at most once.
+  // A non-OK result reproduces the (cached) build failure.
+  Result<SpecHandle> get_or_build(const idl::ProcDef& proc,
+                                  std::uint32_t prog, std::uint32_t vers,
+                                  const SpecConfig& config);
+
+  SpecCacheStats stats() const;
+  std::size_t size() const;          // ready entries currently cached
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    bool ready = false;
+    SpecHandle iface;                 // null on build failure
+    Status error = Status::ok();
+    std::list<SpecKey>::iterator lru_it{};
+    bool in_lru = false;
+  };
+
+  void touch_locked(Entry& e, const SpecKey& key);
+  void insert_lru_locked(const std::shared_ptr<Entry>& e, const SpecKey& key);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::unordered_map<SpecKey, std::shared_ptr<Entry>, SpecKeyHash> map_;
+  std::list<SpecKey> lru_;  // front = most recently used; ready entries only
+  SpecCacheStats stats_;
+};
+
+}  // namespace tempo::core

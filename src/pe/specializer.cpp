@@ -421,7 +421,6 @@ class Specializer {
     }
 
     const std::int64_t blocks = n / k;
-    const std::int64_t rem = n % k;
 
     // Specialize two concrete blocks and check the residual code is
     // affine in the block number.

@@ -119,19 +119,23 @@ bool SvcRegistry::dispatch(XdrStream& in, XdrMem& out) {
 }
 
 Bytes SvcRegistry::handle_datagram(ByteSpan request) {
-  if (scratch_out_.size() < 65000) scratch_out_.resize(65000);
+  // Per-thread scratch so concurrent workers (ServerRuntime) can serve
+  // datagrams through one registry without sharing buffers.
+  thread_local Bytes scratch_out;
+  thread_local Bytes req;
+  if (scratch_out.size() < 65000) scratch_out.resize(65000);
+  if (req.size() < 65000) req.resize(65000);
   // The paper calls out the input-buffer bzero as part of the measured
   // round-trip cost; keep it on the generic path.
-  Bytes req(65000, 0);
   if (clear_input_) std::memset(req.data(), 0, req.size());
   std::memcpy(req.data(), request.data(), request.size());
 
   XdrMem in(MutableByteSpan(req.data(), request.size()), XdrOp::kDecode);
-  XdrMem out(MutableByteSpan(scratch_out_.data(), scratch_out_.size()),
+  XdrMem out(MutableByteSpan(scratch_out.data(), scratch_out.size()),
              XdrOp::kEncode);
   if (!dispatch(in, out)) return {};
-  return Bytes(scratch_out_.begin(),
-               scratch_out_.begin() + static_cast<std::ptrdiff_t>(out.getpos()));
+  return Bytes(scratch_out.begin(),
+               scratch_out.begin() + static_cast<std::ptrdiff_t>(out.getpos()));
 }
 
 bool UdpServer::poll_once(int timeout_ms) {
@@ -204,6 +208,171 @@ int TcpServer::serve_one_connection(const std::atomic<bool>& stop,
 void TcpServer::serve(const std::atomic<bool>& stop) {
   while (!stop.load(std::memory_order_relaxed)) {
     serve_one_connection(stop, 100);
+  }
+}
+
+// --------------------------------------------------------- ServerRuntime ---
+
+ServerRuntime::ServerRuntime(SvcRegistry& registry, ServerRuntimeConfig cfg)
+    : registry_(registry), cfg_(cfg) {}
+
+ServerRuntime::~ServerRuntime() { stop(); }
+
+Status ServerRuntime::start() {
+  if (running_.load(std::memory_order_acquire)) return Status::ok();
+  stopping_.store(false, std::memory_order_release);
+
+  if (cfg_.enable_udp) {
+    udp_ = std::make_unique<net::UdpSocket>(cfg_.udp_port);
+    if (!udp_->ok()) {
+      udp_.reset();
+      return unavailable("ServerRuntime: UDP bind failed");
+    }
+  }
+  if (cfg_.enable_tcp) {
+    tcp_ = std::make_unique<net::TcpListener>(cfg_.tcp_port);
+    if (!tcp_->ok()) {
+      udp_.reset();
+      tcp_.reset();
+      return unavailable("ServerRuntime: TCP bind failed");
+    }
+  }
+
+  const int workers = cfg_.workers < 1 ? 1 : cfg_.workers;
+  threads_.reserve(static_cast<std::size_t>(workers) + 2);
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+  if (udp_) threads_.emplace_back([this] { udp_listen_loop(); });
+  if (tcp_) threads_.emplace_back([this] { tcp_accept_loop(); });
+  running_.store(true, std::memory_order_release);
+  return Status::ok();
+}
+
+void ServerRuntime::stop() {
+  if (!running_.load(std::memory_order_acquire) && threads_.empty()) return;
+  stopping_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.clear();
+  }
+  udp_.reset();
+  tcp_.reset();
+  running_.store(false, std::memory_order_release);
+}
+
+net::Addr ServerRuntime::udp_addr() const {
+  return udp_ ? udp_->local_addr() : net::Addr{};
+}
+
+net::Addr ServerRuntime::tcp_addr() const {
+  return tcp_ ? tcp_->local_addr() : net::Addr{};
+}
+
+bool ServerRuntime::push_job(Job job, bool droppable) {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  if (queue_.size() >= cfg_.queue_capacity) {
+    if (droppable) {
+      ++stats_.overload_drops;
+      return false;
+    }
+    queue_cv_.wait(lock, [this] {
+      return queue_.size() < cfg_.queue_capacity ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    if (stopping_.load(std::memory_order_acquire)) return false;
+  }
+  queue_.push_back(std::move(job));
+  lock.unlock();
+  queue_cv_.notify_all();
+  return true;
+}
+
+void ServerRuntime::udp_listen_loop() {
+  Bytes buf(65000);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    net::Addr peer;
+    auto got = udp_->recv_from(
+        &peer, MutableByteSpan(buf.data(), buf.size()), /*timeout_ms=*/50);
+    if (!got.is_ok()) continue;
+    ++stats_.udp_datagrams;
+    (void)push_job(
+        DatagramJob{peer, Bytes(buf.begin(),
+                                buf.begin() + static_cast<std::ptrdiff_t>(
+                                                  *got))},
+        /*droppable=*/true);
+  }
+}
+
+void ServerRuntime::tcp_accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    auto conn = tcp_->accept(/*timeout_ms=*/50);
+    if (!conn.is_ok()) continue;
+    ++stats_.tcp_connections;
+    (void)push_job(ConnJob{std::move(*conn)}, /*droppable=*/false);
+  }
+}
+
+void ServerRuntime::worker_loop() {
+  for (;;) {
+    Job job{DatagramJob{}};
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) return;  // stopping and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_cv_.notify_all();  // wake a blocked pusher
+    if (auto* d = std::get_if<DatagramJob>(&job)) {
+      Bytes reply = registry_.handle_datagram(
+          ByteSpan(d->request.data(), d->request.size()));
+      if (!reply.empty()) {
+        (void)udp_->send_to(d->peer, ByteSpan(reply.data(), reply.size()));
+      }
+    } else if (auto* c = std::get_if<ConnJob>(&job)) {
+      serve_connection(*c->conn);
+    }
+  }
+}
+
+void ServerRuntime::serve_connection(net::TcpConn& conn) {
+  XdrRec in(XdrOp::kDecode, nullptr,
+            [&](MutableByteSpan buf) -> std::size_t {
+              auto r = conn.read_some(buf, 100);
+              while (!r.is_ok() &&
+                     r.status().code() == StatusCode::kTimeout &&
+                     !stopping_.load(std::memory_order_acquire)) {
+                r = conn.read_some(buf, 100);
+              }
+              return r.is_ok() ? *r : 0;
+            });
+
+  Bytes out_buf(65000);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    XdrMem out(MutableByteSpan(out_buf.data(), out_buf.size()),
+               XdrOp::kEncode);
+    if (!registry_.dispatch(in, out)) break;  // peer closed or garbage
+    if (!in.skip_record()) break;
+    bool ok = true;
+    XdrRec rec_out(XdrOp::kEncode,
+                   [&](ByteSpan data) {
+                     ok = conn.write_all(data).is_ok();
+                     return ok;
+                   },
+                   nullptr);
+    if (!rec_out.putbytes(ByteSpan(out_buf.data(), out.getpos())) ||
+        !rec_out.end_of_record() || !ok) {
+      break;
+    }
+    ++stats_.tcp_calls;
   }
 }
 

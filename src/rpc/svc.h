@@ -9,15 +9,23 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <tuple>
+#include <variant>
+#include <vector>
 
 #include "common/status.h"
 #include "net/simnet.h"
 #include "net/tcp.h"
 #include "net/transport.h"
+#include "net/udp.h"
 #include "rpc/rpc_msg.h"
 #include "xdr/xdrmem.h"
 
@@ -31,11 +39,14 @@ using SvcHandler =
 // Optional credential gate; non-kOk yields an AUTH_ERROR rejection.
 using AuthChecker = std::function<AuthStat(const OpaqueAuth& cred)>;
 
+// Atomic so concurrent worker threads (ServerRuntime) can dispatch
+// through one registry without a stats race; single-threaded callers
+// read the fields exactly as before.
 struct SvcStats {
-  std::int64_t requests = 0;
-  std::int64_t success = 0;
-  std::int64_t protocol_errors = 0;  // any non-SUCCESS reply
-  std::int64_t undecodable = 0;      // header garbled: no reply possible
+  std::atomic<std::int64_t> requests{0};
+  std::atomic<std::int64_t> success{0};
+  std::atomic<std::int64_t> protocol_errors{0};  // any non-SUCCESS reply
+  std::atomic<std::int64_t> undecodable{0};  // header garbled: no reply
 };
 
 class SvcRegistry {
@@ -48,6 +59,11 @@ class SvcRegistry {
   // Core transform: reads one call message from `in`, writes the full
   // reply message into `out`.  Returns false iff the request was so
   // malformed that no reply can be produced (caller drops it).
+  //
+  // Thread-safety: dispatch/handle_datagram may run concurrently from
+  // many threads PROVIDED registration is finished first (the handler
+  // table is read-only while serving, exactly like Sun's svc.c, whose
+  // dispatch table is built before svc_run).
   bool dispatch(xdr::XdrStream& in, xdr::XdrMem& out);
 
   // Convenience for datagram transports: request bytes -> reply bytes.
@@ -69,7 +85,6 @@ class SvcRegistry {
   AuthChecker auth_;
   SvcStats stats_;
   bool clear_input_ = true;
-  Bytes scratch_out_;
 };
 
 // Serves a DatagramTransport (real UDP socket or polled sim endpoint).
@@ -92,6 +107,94 @@ class UdpServer {
 // Installs a SimEndpoint handler so requests dispatch inline while the
 // simulated network is pumped.  Reply send cost is charged to the link.
 void attach_sim_server(net::SimEndpoint* endpoint, SvcRegistry& registry);
+
+// ---------------------------------------------------------------------------
+// ServerRuntime — the concurrent successor of the one-socket loops above.
+//
+// One runtime owns a UDP socket and a TCP listener on loopback, plus a
+// small worker pool.  Two listener threads feed a bounded job queue:
+//   * the UDP thread turns each datagram into a job (peer, bytes);
+//   * the TCP thread turns each accepted connection into a job that a
+//     worker serves with the record-marked (xdrrec) call loop until the
+//     peer closes.
+// Workers run SvcRegistry::dispatch, which is concurrency-safe once
+// registration is done.  Handlers that resolve residual plans through a
+// core::SpecCache (see core::CachedSpecService) make this the paper's
+// specialization machinery under a real multi-client load: first call
+// of a shape builds/fetches the specialization, later calls run
+// straight-line residual code, and ExecStatus::kFallback drops any
+// individual call to the generic interpreter path.
+//
+// Overload behavior: when the queue is full, UDP jobs are dropped (the
+// client retransmits — classic datagram semantics) and TCP accepts are
+// deferred; `stats().overload_drops` counts the former.
+// ---------------------------------------------------------------------------
+
+struct ServerRuntimeConfig {
+  int workers = 4;
+  std::uint16_t udp_port = 0;  // 0 = ephemeral
+  std::uint16_t tcp_port = 0;
+  bool enable_udp = true;
+  bool enable_tcp = true;
+  std::size_t queue_capacity = 1024;
+};
+
+struct ServerRuntimeStats {
+  std::atomic<std::int64_t> udp_datagrams{0};
+  std::atomic<std::int64_t> tcp_connections{0};
+  std::atomic<std::int64_t> tcp_calls{0};
+  std::atomic<std::int64_t> overload_drops{0};
+};
+
+class ServerRuntime {
+ public:
+  explicit ServerRuntime(SvcRegistry& registry, ServerRuntimeConfig cfg = {});
+  ~ServerRuntime();
+
+  ServerRuntime(const ServerRuntime&) = delete;
+  ServerRuntime& operator=(const ServerRuntime&) = delete;
+
+  // Binds sockets and spawns listener + worker threads.  Call after all
+  // register_proc calls.  Fails if a socket cannot bind.
+  Status start();
+  // Idempotent; joins every thread.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  net::Addr udp_addr() const;
+  net::Addr tcp_addr() const;
+  const ServerRuntimeStats& stats() const { return stats_; }
+
+ private:
+  struct DatagramJob {
+    net::Addr peer;
+    Bytes request;
+  };
+  struct ConnJob {
+    std::unique_ptr<net::TcpConn> conn;
+  };
+  using Job = std::variant<DatagramJob, ConnJob>;
+
+  bool push_job(Job job, bool droppable);
+  void udp_listen_loop();
+  void tcp_accept_loop();
+  void worker_loop();
+  void serve_connection(net::TcpConn& conn);
+
+  SvcRegistry& registry_;
+  ServerRuntimeConfig cfg_;
+  ServerRuntimeStats stats_;
+
+  std::unique_ptr<net::UdpSocket> udp_;
+  std::unique_ptr<net::TcpListener> tcp_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  std::vector<std::thread> threads_;
+};
 
 // Accepts loopback TCP connections and serves record-marked calls.
 class TcpServer {

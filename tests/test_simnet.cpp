@@ -1,8 +1,16 @@
 // Simulated-network tests: delivery, virtual-time accounting, fault
-// injection determinism, handler (server) endpoints.
+// injection determinism, handler (server) endpoints, and the specialized
+// RPC client's behaviour under drop/duplicate/reorder schedules.
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "core/generic_client.h"
+#include "core/service.h"
+#include "core/spec_client.h"
+#include "core/stubspec.h"
 #include "net/simnet.h"
+#include "rpc/svc.h"
 
 namespace tempo::net {
 namespace {
@@ -146,6 +154,193 @@ TEST(SimNet, UnknownDestinationIsSilentlyLost) {
   net.pump();  // no crash, nothing delivered
   EXPECT_EQ(net.packets_sent(), 1);
 }
+
+// ---- RPC fault schedules over the simulated link --------------------------
+//
+// The guarded-specialization contract (paper §6.2) under packet faults:
+//  * a duplicated reply shows up while the client waits for the *next*
+//    call's reply — the residual decode plan's XID guard fires
+//    ExecStatus::kRetryXid and the client keeps waiting (counted in
+//    stats().stale_replies), never decoding stale bytes into results;
+//  * a dropped request or reply drives the retransmission path;
+//  * because stale datagrams are exactly "reordered" traffic from an
+//    earlier exchange, the duplicate schedules double as reorder
+//    schedules from the client's point of view.
+// In every case the specialized client must produce the same results as
+// the generic layered client run against the identical fault plan.
+
+namespace {
+
+constexpr std::uint32_t kFaultProg = 0x20000778;
+constexpr std::uint32_t kFaultVers = 1;
+
+idl::ProcDef fault_echo_proc() {
+  idl::ProcDef proc;
+  proc.name = "ECHO";
+  proc.number = 7;
+  proc.arg_type = idl::t_array_var(idl::t_int(), 256);
+  proc.res_type = idl::t_array_var(idl::t_int(), 256);
+  return proc;
+}
+
+// Generic echo server on a sim endpoint.
+void attach_echo_server(SimEndpoint* ep, rpc::SvcRegistry& reg) {
+  const auto t = fault_echo_proc().arg_type;
+  core::register_value_handler(reg, kFaultProg, kFaultVers, 7, t, t,
+                               [](const idl::Value& v) -> Result<idl::Value> {
+                                 return v;
+                               });
+  rpc::attach_sim_server(ep, reg);
+}
+
+TEST(SimNetRpcFaults, DuplicatedRepliesSurfaceAsStaleRetries) {
+  const std::uint32_t n = 16;
+  core::SpecConfig cfg;
+  cfg.arg_counts = {n};
+  cfg.res_counts = {n};
+  auto iface = core::SpecializedInterface::build(fault_echo_proc(),
+                                                 kFaultProg, kFaultVers, cfg);
+  ASSERT_TRUE(iface.is_ok());
+
+  LinkParams p;
+  p.dup_prob = 1.0;  // every datagram delivered twice
+  SimNetwork net(p, /*fault_seed=*/11);
+  auto* server_ep = net.create_endpoint();
+  auto* client_ep = net.create_endpoint();
+  rpc::SvcRegistry reg;
+  attach_echo_server(server_ep, reg);
+
+  core::SpecializedClient client(*client_ep, server_ep->local_addr(),
+                                 *iface);
+  std::vector<std::uint32_t> args(n), results(n, 0);
+  for (int round = 0; round < 8; ++round) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      args[i] = static_cast<std::uint32_t>(round * 1000 + i);
+    }
+    std::fill(results.begin(), results.end(), 0);
+    Status st = client.call(args, results);
+    ASSERT_TRUE(st.is_ok()) << st.to_string();
+    ASSERT_EQ(results, args);  // stale duplicates never leak into results
+  }
+  // Duplicates of earlier replies arrived with old XIDs: the plan's XID
+  // guard surfaced them as kRetryXid, not as data.
+  EXPECT_GT(client.stats().stale_replies, 0);
+}
+
+TEST(SimNetRpcFaults, DropScheduleDrivesRetransmission) {
+  const std::uint32_t n = 16;
+  core::SpecConfig cfg;
+  cfg.arg_counts = {n};
+  cfg.res_counts = {n};
+  auto iface = core::SpecializedInterface::build(fault_echo_proc(),
+                                                 kFaultProg, kFaultVers, cfg);
+  ASSERT_TRUE(iface.is_ok());
+
+  LinkParams p;
+  p.drop_prob = 0.35;
+  SimNetwork net(p, /*fault_seed=*/42);
+  auto* server_ep = net.create_endpoint();
+  auto* client_ep = net.create_endpoint();
+  rpc::SvcRegistry reg;
+  attach_echo_server(server_ep, reg);
+
+  core::SpecializedClient client(*client_ep, server_ep->local_addr(),
+                                 *iface);
+  std::vector<std::uint32_t> args(n), results(n, 0);
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      args[i] = static_cast<std::uint32_t>(round * 77 + i);
+    }
+    std::fill(results.begin(), results.end(), 0);
+    Status st = client.call(args, results);
+    ASSERT_TRUE(st.is_ok()) << st.to_string();
+    ASSERT_EQ(results, args);
+  }
+  EXPECT_GT(client.stats().retransmissions, 0);
+}
+
+// Same seeded drop+duplicate schedule, specialized vs generic client:
+// both must converge to identical results call for call.
+TEST(SimNetRpcFaults, SpecializedMatchesGenericOnSameSchedule) {
+  const std::uint32_t n = 12;
+  constexpr int kCalls = 12;
+  LinkParams p;
+  p.drop_prob = 0.3;
+  p.dup_prob = 0.5;
+  constexpr std::uint64_t kSeed = 77;
+
+  auto make_args = [&](int round) {
+    std::vector<std::uint32_t> args(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      args[i] = static_cast<std::uint32_t>(round * 31 + i * 7);
+    }
+    return args;
+  };
+
+  // Specialized run.
+  std::vector<std::vector<std::uint32_t>> spec_results;
+  {
+    core::SpecConfig cfg;
+    cfg.arg_counts = {n};
+    cfg.res_counts = {n};
+    auto iface = core::SpecializedInterface::build(
+        fault_echo_proc(), kFaultProg, kFaultVers, cfg);
+    ASSERT_TRUE(iface.is_ok());
+    SimNetwork net(p, kSeed);
+    auto* server_ep = net.create_endpoint();
+    auto* client_ep = net.create_endpoint();
+    rpc::SvcRegistry reg;
+    attach_echo_server(server_ep, reg);
+    core::SpecializedClient client(*client_ep, server_ep->local_addr(),
+                                   *iface);
+    for (int round = 0; round < kCalls; ++round) {
+      const auto args = make_args(round);
+      std::vector<std::uint32_t> results(n, 0);
+      Status st = client.call(args, results);
+      ASSERT_TRUE(st.is_ok()) << "call " << round << ": " << st.to_string();
+      spec_results.push_back(results);
+    }
+  }
+
+  // Generic run on a fresh network with the identical fault plan.
+  {
+    const auto t = fault_echo_proc().arg_type;
+    SimNetwork net(p, kSeed);
+    auto* server_ep = net.create_endpoint();
+    auto* client_ep = net.create_endpoint();
+    rpc::SvcRegistry reg;
+    attach_echo_server(server_ep, reg);
+    core::GenericValueClient client(*client_ep, server_ep->local_addr(),
+                                    kFaultProg, kFaultVers);
+    for (int round = 0; round < kCalls; ++round) {
+      const auto args = make_args(round);
+      idl::Value arg;
+      idl::ValueList elems;
+      for (auto a : args) {
+        idl::Value e;
+        e.v = static_cast<std::int32_t>(a);
+        elems.push_back(e);
+      }
+      arg.v = elems;
+      auto res = client.call(7, *t, arg, *t);
+      ASSERT_TRUE(res.is_ok()) << "call " << round << ": "
+                               << res.status().to_string();
+      const auto& list = res->as<idl::ValueList>();
+      ASSERT_EQ(list.size(), n);
+      std::vector<std::uint32_t> results(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        results[i] =
+            static_cast<std::uint32_t>(list[i].as<std::int32_t>());
+      }
+      // Never corrupted, and identical to the specialized run.
+      EXPECT_EQ(results, spec_results[static_cast<std::size_t>(round)])
+          << "call " << round;
+      EXPECT_EQ(results, args) << "call " << round;
+    }
+  }
+}
+
+}  // namespace
 
 }  // namespace
 }  // namespace tempo::net

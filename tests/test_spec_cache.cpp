@@ -1,0 +1,364 @@
+// SpecCache tests: memoization under concurrency (one build per key),
+// bounded LRU eviction + rebuild, byte-identical cached plans, negative
+// caching, and the cache wired into the concurrent server runtime via
+// CachedSpecService over real loopback UDP and TCP.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/service.h"
+#include "core/spec_cache.h"
+#include "core/spec_client.h"
+#include "core/stubspec.h"
+#include "idl/interp.h"
+#include "net/udp.h"
+#include "rpc/client.h"
+#include "rpc/svc.h"
+#include "xdr/primitives.h"
+
+namespace tempo::core {
+namespace {
+
+constexpr std::uint32_t kProg = 0x20000777;
+constexpr std::uint32_t kVers = 1;
+
+idl::ProcDef echo_array_proc(std::uint32_t bound = 2000) {
+  idl::ProcDef proc;
+  proc.name = "ECHO";
+  proc.number = 7;
+  proc.arg_type = idl::t_array_var(idl::t_int(), bound);
+  proc.res_type = idl::t_array_var(idl::t_int(), bound);
+  return proc;
+}
+
+SpecConfig cfg_for(std::uint32_t n) {
+  SpecConfig cfg;
+  cfg.arg_counts = {n};
+  cfg.res_counts = {n};
+  return cfg;
+}
+
+bool plans_equal(const pe::Plan& a, const pe::Plan& b) {
+  if (a.is_encode != b.is_encode || a.out_size != b.out_size ||
+      a.expected_in != b.expected_in || a.words_needed != b.words_needed ||
+      a.instrs.size() != b.instrs.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.instrs.size(); ++i) {
+    const auto& x = a.instrs[i];
+    const auto& y = b.instrs[i];
+    if (x.op != y.op || x.off != y.off || x.a != y.a || x.b != y.b ||
+        x.imm != y.imm) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(SpecCache, HitsAfterFirstBuild) {
+  SpecCache cache(16);
+  const auto proc = echo_array_proc();
+  auto a = cache.get_or_build(proc, kProg, kVers, cfg_for(50));
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  auto b = cache.get_or_build(proc, kProg, kVers, cfg_for(50));
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(a->get(), b->get());  // literally the same instance
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SpecCache, DistinctKeysBuildSeparately) {
+  SpecCache cache(16);
+  const auto proc = echo_array_proc();
+  auto a = cache.get_or_build(proc, kProg, kVers, cfg_for(10));
+  auto b = cache.get_or_build(proc, kProg, kVers, cfg_for(20));
+  SpecConfig unrolled = cfg_for(10);
+  unrolled.unroll_factor = 4;  // same counts, different unroll: new key
+  auto c = cache.get_or_build(proc, kProg, kVers, unrolled);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_NE(a->get(), b->get());
+  EXPECT_NE(a->get(), c->get());
+  EXPECT_EQ(cache.stats().misses, 3);
+}
+
+// 8 threads hammer a small key set concurrently; the in-flight protocol
+// must make each distinct key build exactly once (miss count == distinct
+// keys) and hand every thread the same shared instance per key.
+TEST(SpecCache, ConcurrentHammeringBuildsOncePerKey) {
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 200;
+  const std::vector<std::uint32_t> sizes = {10, 20, 30, 40, 50, 60};
+
+  SpecCache cache(64);
+  const auto proc = echo_array_proc();
+
+  std::vector<std::vector<const SpecializedInterface*>> seen(
+      kThreads, std::vector<const SpecializedInterface*>(sizes.size(),
+                                                         nullptr));
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const std::size_t k = static_cast<std::size_t>((i + t) %
+                                                       sizes.size());
+        auto r = cache.get_or_build(proc, kProg, kVers, cfg_for(sizes[k]));
+        if (!r.is_ok()) {
+          ++failures;
+          continue;
+        }
+        if (seen[t][k] == nullptr) {
+          seen[t][k] = r->get();
+        } else if (seen[t][k] != r->get()) {
+          ++failures;  // key rebuilt: memoization broken
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, static_cast<std::int64_t>(sizes.size()));
+  EXPECT_EQ(stats.hits,
+            static_cast<std::int64_t>(kThreads) * kItersPerThread -
+                static_cast<std::int64_t>(sizes.size()));
+  EXPECT_EQ(stats.evictions, 0);
+  // Every thread saw the same instance for each key.
+  for (std::size_t k = 0; k < sizes.size(); ++k) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[t][k], seen[0][k]);
+    }
+  }
+}
+
+TEST(SpecCache, LruEvictionTriggersRebuild) {
+  SpecCache cache(2);
+  const auto proc = echo_array_proc();
+
+  auto a1 = cache.get_or_build(proc, kProg, kVers, cfg_for(10));  // miss
+  ASSERT_TRUE(a1.is_ok());
+  ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(20)).is_ok());
+  ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(10)).is_ok());
+  // LRU order now: 10 (front), 20 (back).  Inserting 30 evicts 20.
+  ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(30)).is_ok());
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // 20 was evicted: asking again is a miss and rebuilds.
+  ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(20)).is_ok());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 4);  // 10, 20, 30, 20-again
+  EXPECT_EQ(stats.hits, 1);    // the middle 10
+  EXPECT_EQ(stats.evictions, 2);  // 20, then 10 (LRU when 20 returned)
+
+  // 10 survived in a caller's handle even though the cache dropped it.
+  auto a2 = cache.get_or_build(proc, kProg, kVers, cfg_for(10));
+  ASSERT_TRUE(a2.is_ok());
+  EXPECT_NE(a1->get(), a2->get());  // rebuilt, not resurrected
+  EXPECT_EQ((*a1)->encode_call_plan().out_size,
+            (*a2)->encode_call_plan().out_size);
+}
+
+// A cached interface must be indistinguishable from a freshly built one:
+// identical residual instructions and identical wire bytes.
+TEST(SpecCache, CachedPlansByteCompareEqualToFreshBuild) {
+  const std::uint32_t n = 100;
+  SpecCache cache(8);
+  const auto proc = echo_array_proc();
+
+  auto cached = cache.get_or_build(proc, kProg, kVers, cfg_for(n));
+  ASSERT_TRUE(cached.is_ok());
+  // Hit the entry a few times so LRU bookkeeping has run.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(n)).is_ok());
+  }
+
+  auto fresh = SpecializedInterface::build(proc, kProg, kVers, cfg_for(n));
+  ASSERT_TRUE(fresh.is_ok());
+
+  EXPECT_TRUE(plans_equal((*cached)->encode_call_plan(),
+                          fresh->encode_call_plan()));
+  EXPECT_TRUE(plans_equal((*cached)->decode_reply_plan(),
+                          fresh->decode_reply_plan()));
+  EXPECT_TRUE(plans_equal((*cached)->decode_args_plan(),
+                          fresh->decode_args_plan()));
+  EXPECT_TRUE(plans_equal((*cached)->encode_results_plan(),
+                          fresh->encode_results_plan()));
+
+  // And the residual code produces identical wire bytes.
+  std::vector<std::uint32_t> args(n);
+  for (std::uint32_t i = 0; i < n; ++i) args[i] = i * 2654435761u;
+  Bytes out_cached((*cached)->encode_call_plan().out_size);
+  Bytes out_fresh(fresh->encode_call_plan().out_size);
+  ASSERT_EQ(run_plan_encode((*cached)->encode_call_plan(), args, 0x1234,
+                            MutableByteSpan(out_cached.data(),
+                                            out_cached.size())),
+            pe::ExecStatus::kOk);
+  ASSERT_EQ(run_plan_encode(fresh->encode_call_plan(), args, 0x1234,
+                            MutableByteSpan(out_fresh.data(),
+                                            out_fresh.size())),
+            pe::ExecStatus::kOk);
+  EXPECT_EQ(out_cached, out_fresh);
+}
+
+TEST(SpecCache, NegativeCachingDoesNotRebuildFailures) {
+  SpecCache cache(8);
+  idl::ProcDef bad;
+  bad.name = "BAD";
+  bad.number = 3;
+  bad.arg_type = idl::t_string(64);  // not plan-eligible
+  bad.res_type = idl::t_void();
+
+  auto r1 = cache.get_or_build(bad, kProg, kVers, {});
+  EXPECT_FALSE(r1.is_ok());
+  auto r2 = cache.get_or_build(bad, kProg, kVers, {});
+  EXPECT_FALSE(r2.is_ok());
+  EXPECT_EQ(r1.status().code(), r2.status().code());
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);  // pipeline ran once
+  EXPECT_EQ(stats.hits, 1);    // second request served from the entry
+  EXPECT_EQ(stats.build_failures, 1);
+}
+
+// ---- the cache under the concurrent server runtime -----------------------
+
+TEST(ServerRuntime, CachedServiceOverLoopbackUdp) {
+  SpecCache cache(32);
+  const auto proc = echo_array_proc();
+
+  rpc::SvcRegistry reg;
+  CachedSpecService service(
+      cache, proc, kProg, kVers,
+      [](std::span<const std::uint32_t> /*arg_counts*/,
+         std::span<const std::uint32_t> args,
+         std::span<std::uint32_t> results) {
+        std::copy(args.begin(), args.end(), results.begin());
+        return true;
+      });
+  service.install(reg);
+
+  rpc::ServerRuntimeConfig cfg;
+  cfg.workers = 4;
+  rpc::ServerRuntime runtime(reg, cfg);
+  ASSERT_TRUE(runtime.start().is_ok());
+
+  // Three client threads, each hammering its own array shape.
+  const std::vector<std::uint32_t> sizes = {25, 50, 100};
+  constexpr int kCallsPerClient = 30;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  for (auto n : sizes) {
+    clients.emplace_back([&, n] {
+      auto iface =
+          SpecializedInterface::build(echo_array_proc(), kProg, kVers,
+                                      cfg_for(n));
+      if (!iface.is_ok()) {
+        ++bad;
+        return;
+      }
+      net::UdpSocket sock;
+      if (!sock.ok()) {
+        ++bad;
+        return;
+      }
+      SpecializedClient client(sock, runtime.udp_addr(), *iface);
+      std::vector<std::uint32_t> args(n), results(n, 0);
+      for (std::uint32_t i = 0; i < n; ++i) args[i] = n * 1000 + i;
+      for (int round = 0; round < kCallsPerClient; ++round) {
+        std::fill(results.begin(), results.end(), 0);
+        Status st = client.call(args, results);
+        if (!st.is_ok() || results != args) {
+          ++bad;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  runtime.stop();
+
+  EXPECT_EQ(bad.load(), 0);
+  const auto& sstats = service.stats();
+  const auto cstats = cache.stats();
+  // One cache build per distinct shape; everything else served from it.
+  EXPECT_EQ(cstats.misses, static_cast<std::int64_t>(sizes.size()));
+  EXPECT_EQ(sstats.fast_path + sstats.generic_path,
+            static_cast<std::int64_t>(sizes.size()) * kCallsPerClient);
+  EXPECT_GT(sstats.fast_path.load(), 0);
+  EXPECT_GE(runtime.stats().udp_datagrams.load(),
+            static_cast<std::int64_t>(sizes.size()) * kCallsPerClient);
+}
+
+TEST(ServerRuntime, CachedServiceOverTcpStream) {
+  SpecCache cache(32);
+  const auto proc = echo_array_proc();
+
+  rpc::SvcRegistry reg;
+  CachedSpecService service(
+      cache, proc, kProg, kVers,
+      [](std::span<const std::uint32_t> /*arg_counts*/,
+         std::span<const std::uint32_t> args,
+         std::span<std::uint32_t> results) {
+        std::copy(args.begin(), args.end(), results.begin());
+        return true;
+      });
+  service.install(reg);
+
+  rpc::ServerRuntimeConfig cfg;
+  cfg.workers = 2;
+  rpc::ServerRuntime runtime(reg, cfg);
+  ASSERT_TRUE(runtime.start().is_ok());
+
+  const std::uint32_t n = 40;
+  rpc::TcpClient client(runtime.tcp_addr(), kProg, kVers);
+  ASSERT_TRUE(client.ok());
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::int32_t> sent(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      sent[i] = static_cast<std::int32_t>(round * 100 + i);
+    }
+    std::vector<std::int32_t> got;
+    Status st = client.call(
+        7,
+        [&](xdr::XdrStream& x) {
+          std::uint32_t count = n;
+          if (!xdr::xdr_u_int(x, count)) return false;
+          for (auto& v : sent) {
+            if (!xdr::xdr_int(x, v)) return false;
+          }
+          return true;
+        },
+        [&](xdr::XdrStream& x) {
+          std::uint32_t count = 0;
+          if (!xdr::xdr_u_int(x, count) || count != n) return false;
+          got.resize(count);
+          for (auto& v : got) {
+            if (!xdr::xdr_int(x, v)) return false;
+          }
+          return true;
+        });
+    ASSERT_TRUE(st.is_ok()) << st.to_string();
+    ASSERT_EQ(got, sent);
+  }
+  runtime.stop();
+
+  EXPECT_EQ(runtime.stats().tcp_connections.load(), 1);
+  EXPECT_EQ(runtime.stats().tcp_calls.load(), 5);
+  // The record stream cannot be inlined, so argument decode is generic —
+  // but the cache still resolved the specialization for reply encoding.
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+}  // namespace
+}  // namespace tempo::core
