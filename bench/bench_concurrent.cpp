@@ -1,8 +1,15 @@
 // Concurrent server throughput: the paper's echo-array workload served
-// by the ServerRuntime worker pool, with every call's residual plans
-// resolved through the process-wide SpecCache.
+// by a server runtime worker pool, with every call's residual plans
+// resolved through the process-wide (sharded) SpecCache.
 //
-// What is measured:
+// Two runtimes share this harness, selected by --runtime:
+//   * threaded — rpc::ServerRuntime: blocking listener threads feeding
+//     a worker pool (PR 1's reference implementation);
+//   * reactor  — rpc::EventServerRuntime: one epoll/poll event loop
+//     multiplexing all sockets, recvmmsg datagram batches, workers only
+//     ever see complete requests.
+//
+// What is measured per runtime:
 //   * aggregate calls/sec at 1, 4 and 16 concurrent clients, for a
 //     1-worker and a 4-worker server — the scaling the dispatch loop
 //     buys once specialization is amortized through the cache;
@@ -16,7 +23,8 @@
 // worker pool; with --dwell-us=0 on a single-core host the workload is
 // pure CPU and worker scaling flattens out.
 //
-// Usage: bench_concurrent [--duration-ms N] [--dwell-us N] [--json PATH]
+// Usage: bench_concurrent [--duration-ms N] [--dwell-us N]
+//                         [--runtime threaded|reactor|both] [--json PATH]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -32,12 +40,14 @@
 #include "core/spec_cache.h"
 #include "core/spec_client.h"
 #include "net/udp.h"
+#include "rpc/event_runtime.h"
 #include "rpc/svc.h"
 
 namespace tempo::bench {
 namespace {
 
 struct Point {
+  std::string runtime;
   int workers = 0;
   int clients = 0;
   double calls_per_sec = 0.0;
@@ -46,15 +56,20 @@ struct Point {
 struct Options {
   int duration_ms = 400;
   int dwell_us = 200;
-  std::string json_path;  // empty = no JSON
+  std::string runtime = "both";  // threaded | reactor | both
+  std::string json_path;         // empty = no JSON
 };
 
 constexpr std::uint32_t kArraySize = 100;
+constexpr std::size_t kCacheShards = 8;
 
 // One measurement: `clients` threads in closed loop against a runtime
-// with `workers` workers, all sharing `cache`.
-Point run_point(core::SpecCache& cache, int workers, int clients,
-                const Options& opt) {
+// with `workers` workers, all sharing `cache`.  RuntimeT is
+// rpc::ServerRuntime or rpc::EventServerRuntime; both expose the same
+// start/stop/udp_addr surface.
+template <typename RuntimeT, typename ConfigT>
+Point run_point(const char* runtime_name, core::SpecCache& cache,
+                int workers, int clients, const Options& opt) {
   rpc::SvcRegistry reg;
   core::CachedSpecService service(
       cache, echo_proc(), kProg, kVers,
@@ -68,12 +83,12 @@ Point run_point(core::SpecCache& cache, int workers, int clients,
       });
   service.install(reg);
 
-  rpc::ServerRuntimeConfig cfg;
+  ConfigT cfg;
   cfg.workers = workers;
   cfg.enable_tcp = false;
-  rpc::ServerRuntime runtime(reg, cfg);
+  RuntimeT runtime(reg, cfg);
   if (!runtime.start().is_ok()) {
-    std::fprintf(stderr, "cannot start runtime\n");
+    std::fprintf(stderr, "cannot start %s runtime\n", runtime_name);
     std::exit(1);
   }
 
@@ -121,61 +136,112 @@ Point run_point(core::SpecCache& cache, int workers, int clients,
   runtime.stop();
 
   if (errors.load() != 0) {
-    std::fprintf(stderr, "client errors at workers=%d clients=%d\n", workers,
-                 clients);
+    std::fprintf(stderr, "client errors at runtime=%s workers=%d clients=%d\n",
+                 runtime_name, workers, clients);
     std::exit(1);
   }
   Point p;
+  p.runtime = runtime_name;
   p.workers = workers;
   p.clients = clients;
   p.calls_per_sec = static_cast<double>(total_calls.load()) / secs;
   return p;
 }
 
-void run(const Options& opt) {
-  core::SpecCache cache(64);
+struct RuntimeReport {
+  std::vector<Point> points;
+  core::SpecCacheStats cache_stats;
+};
+
+template <typename RuntimeT, typename ConfigT>
+RuntimeReport run_runtime(const char* name, const Options& opt) {
+  core::SpecCache cache(64, kCacheShards);
 
   const std::vector<int> worker_counts = {1, 4};
   const std::vector<int> client_counts = {1, 4, 16};
 
-  std::printf(
-      "bench_concurrent: echo-array n=%u over loopback UDP, "
-      "dwell=%dus, %dms per point\n\n",
-      kArraySize, opt.dwell_us, opt.duration_ms);
-  std::printf("%-10s %-10s %14s\n", "workers", "clients", "calls/sec");
-
-  std::vector<Point> points;
+  RuntimeReport report;
   for (int w : worker_counts) {
     for (int c : client_counts) {
-      Point p = run_point(cache, w, c, opt);
-      std::printf("%-10d %-10d %14.0f\n", p.workers, p.clients,
-                  p.calls_per_sec);
-      points.push_back(p);
+      Point p = run_point<RuntimeT, ConfigT>(name, cache, w, c, opt);
+      std::printf("%-10s %-10d %-10d %14.0f\n", p.runtime.c_str(), p.workers,
+                  p.clients, p.calls_per_sec);
+      report.points.push_back(p);
     }
   }
+  report.cache_stats = cache.stats();
+  return report;
+}
 
-  const auto cstats = cache.stats();
-  const double total =
-      static_cast<double>(cstats.hits) + static_cast<double>(cstats.misses);
+double rate_at(const std::vector<Point>& points, const std::string& runtime,
+               int w, int c) {
+  for (const auto& p : points) {
+    if (p.runtime == runtime && p.workers == w && p.clients == c) {
+      return p.calls_per_sec;
+    }
+  }
+  return 0.0;
+}
+
+void run(const Options& opt) {
+  const bool want_threaded =
+      opt.runtime == "threaded" || opt.runtime == "both";
+  const bool want_reactor = opt.runtime == "reactor" || opt.runtime == "both";
+
+  std::printf(
+      "bench_concurrent: echo-array n=%u over loopback UDP, "
+      "dwell=%dus, %dms per point, cache shards=%zu\n\n",
+      kArraySize, opt.dwell_us, opt.duration_ms, kCacheShards);
+  std::printf("%-10s %-10s %-10s %14s\n", "runtime", "workers", "clients",
+              "calls/sec");
+
+  std::vector<Point> points;
+  core::SpecCacheStats cache_total;
+  auto absorb = [&](const RuntimeReport& r) {
+    points.insert(points.end(), r.points.begin(), r.points.end());
+    cache_total.hits += r.cache_stats.hits;
+    cache_total.misses += r.cache_stats.misses;
+    cache_total.evictions += r.cache_stats.evictions;
+    cache_total.build_failures += r.cache_stats.build_failures;
+  };
+  if (want_threaded) {
+    absorb(run_runtime<rpc::ServerRuntime, rpc::ServerRuntimeConfig>(
+        "threaded", opt));
+  }
+  if (want_reactor) {
+    absorb(
+        run_runtime<rpc::EventServerRuntime, rpc::EventServerRuntimeConfig>(
+            "reactor", opt));
+  }
+
+  const double total = static_cast<double>(cache_total.hits) +
+                       static_cast<double>(cache_total.misses);
   const double hit_rate =
-      total > 0 ? static_cast<double>(cstats.hits) / total : 0.0;
+      total > 0 ? static_cast<double>(cache_total.hits) / total : 0.0;
   std::printf("\nSpecCache: %lld hits, %lld misses, %lld evictions "
               "(hit rate %.4f)\n",
-              static_cast<long long>(cstats.hits),
-              static_cast<long long>(cstats.misses),
-              static_cast<long long>(cstats.evictions), hit_rate);
+              static_cast<long long>(cache_total.hits),
+              static_cast<long long>(cache_total.misses),
+              static_cast<long long>(cache_total.evictions), hit_rate);
 
-  // Scaling self-check at the most parallel client count.
-  auto rate_at = [&](int w, int c) {
-    for (const auto& p : points) {
-      if (p.workers == w && p.clients == c) return p.calls_per_sec;
-    }
-    return 0.0;
-  };
-  const double r1 = rate_at(1, 16);
-  const double r4 = rate_at(4, 16);
-  std::printf("scaling 1->4 workers @16 clients: %.0f -> %.0f (%.2fx) %s\n",
-              r1, r4, r1 > 0 ? r4 / r1 : 0.0, r4 > r1 ? "PASS" : "FAIL");
+  // Scaling self-checks at the most parallel client count.
+  for (const char* name : {"threaded", "reactor"}) {
+    const double r1 = rate_at(points, name, 1, 16);
+    const double r4 = rate_at(points, name, 4, 16);
+    if (r1 == 0.0 && r4 == 0.0) continue;
+    std::printf("%s scaling 1->4 workers @16 clients: %.0f -> %.0f "
+                "(%.2fx) %s\n",
+                name, r1, r4, r1 > 0 ? r4 / r1 : 0.0,
+                r4 > r1 ? "PASS" : "FAIL");
+  }
+  if (want_threaded && want_reactor) {
+    const double rt = rate_at(points, "threaded", 4, 16);
+    const double rr = rate_at(points, "reactor", 4, 16);
+    std::printf("head-to-head @4 workers/16 clients: threaded %.0f vs "
+                "reactor %.0f (%.2fx) %s\n",
+                rt, rr, rt > 0 ? rr / rt : 0.0,
+                rr >= 0.9 * rt ? "PASS" : "FAIL");
+  }
   std::printf("cache hit rate >= 0.90: %s\n",
               hit_rate >= 0.90 ? "PASS" : "FAIL");
 
@@ -190,22 +256,23 @@ void run(const Options& opt) {
     std::fprintf(f,
                  "{\n  \"benchmark\": \"concurrent\",\n"
                  "  \"array_size\": %u,\n  \"dwell_us\": %d,\n"
-                 "  \"duration_ms\": %d,\n  \"points\": [\n",
-                 kArraySize, opt.dwell_us, opt.duration_ms);
+                 "  \"duration_ms\": %d,\n  \"cache_shards\": %zu,\n"
+                 "  \"points\": [\n",
+                 kArraySize, opt.dwell_us, opt.duration_ms, kCacheShards);
     for (std::size_t i = 0; i < points.size(); ++i) {
       std::fprintf(f,
-                   "    {\"workers\": %d, \"clients\": %d, "
-                   "\"calls_per_sec\": %.1f}%s\n",
-                   points[i].workers, points[i].clients,
-                   points[i].calls_per_sec,
+                   "    {\"runtime\": \"%s\", \"workers\": %d, "
+                   "\"clients\": %d, \"calls_per_sec\": %.1f}%s\n",
+                   points[i].runtime.c_str(), points[i].workers,
+                   points[i].clients, points[i].calls_per_sec,
                    i + 1 < points.size() ? "," : "");
     }
     std::fprintf(f,
                  "  ],\n  \"cache\": {\"hits\": %lld, \"misses\": %lld, "
                  "\"evictions\": %lld, \"hit_rate\": %.6f}\n}\n",
-                 static_cast<long long>(cstats.hits),
-                 static_cast<long long>(cstats.misses),
-                 static_cast<long long>(cstats.evictions), hit_rate);
+                 static_cast<long long>(cache_total.hits),
+                 static_cast<long long>(cache_total.misses),
+                 static_cast<long long>(cache_total.evictions), hit_rate);
     if (f != stdout) std::fclose(f);
   }
 }
@@ -220,15 +287,24 @@ int main(int argc, char** argv) {
       opt.duration_ms = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--dwell-us") == 0 && i + 1 < argc) {
       opt.dwell_us = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--runtime") == 0 && i + 1 < argc) {
+      opt.runtime = argv[++i];
+    } else if (std::strncmp(argv[i], "--runtime=", 10) == 0) {
+      opt.runtime = argv[i] + 10;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       opt.json_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--duration-ms N] [--dwell-us N] "
-                   "[--json PATH|-]\n",
+                   "[--runtime threaded|reactor|both] [--json PATH|-]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (opt.runtime != "threaded" && opt.runtime != "reactor" &&
+      opt.runtime != "both") {
+    std::fprintf(stderr, "unknown --runtime %s\n", opt.runtime.c_str());
+    return 2;
   }
   tempo::bench::run(opt);
   return 0;

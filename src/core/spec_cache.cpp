@@ -24,27 +24,41 @@ std::size_t SpecKeyHash::operator()(const SpecKey& k) const {
   return seed;
 }
 
-SpecCache::SpecCache(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
-
-void SpecCache::touch_locked(Entry& e, const SpecKey& key) {
-  if (!e.in_lru) return;
-  lru_.erase(e.lru_it);
-  lru_.push_front(key);
-  e.lru_it = lru_.begin();
+SpecCache::SpecCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  if (shards == 0) shards = 1;
+  if (shards > capacity_) shards = capacity_;  // every shard gets >= 1 slot
+  shards_.reserve(shards);
+  // Distribute the capacity as evenly as possible; the first
+  // (capacity % shards) shards take the remainder.
+  const std::size_t base = capacity_ / shards;
+  std::size_t leftover = capacity_ % shards;
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->capacity = base + (leftover > 0 ? 1 : 0);
+    if (leftover > 0) --leftover;
+    shards_.push_back(std::move(s));
+  }
 }
 
-void SpecCache::insert_lru_locked(const std::shared_ptr<Entry>& e,
-                                  const SpecKey& key) {
-  lru_.push_front(key);
-  e->lru_it = lru_.begin();
+void SpecCache::Shard::touch_locked(Entry& e, const SpecKey& key) {
+  if (!e.in_lru) return;
+  lru.erase(e.lru_it);
+  lru.push_front(key);
+  e.lru_it = lru.begin();
+}
+
+void SpecCache::Shard::insert_lru_locked(const std::shared_ptr<Entry>& e,
+                                         const SpecKey& key) {
+  lru.push_front(key);
+  e->lru_it = lru.begin();
   e->in_lru = true;
-  while (lru_.size() > capacity_) {
-    const SpecKey& victim = lru_.back();
-    auto it = map_.find(victim);
-    if (it != map_.end()) map_.erase(it);
-    lru_.pop_back();
-    ++stats_.evictions;
+  while (lru.size() > capacity) {
+    const SpecKey& victim = lru.back();
+    auto it = map.find(victim);
+    if (it != map.end()) map.erase(it);
+    lru.pop_back();
+    ++stats.evictions;
   }
 }
 
@@ -59,70 +73,92 @@ Result<SpecHandle> SpecCache::get_or_build(const idl::ProcDef& proc,
               config.res_counts,
               config.unroll_factor,
               config.buffer_bytes};
+  Shard& shard = shard_for(SpecKeyHash{}(key));
 
   std::shared_ptr<Entry> entry;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    auto it = map_.find(key);
-    if (it != map_.end()) {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
       entry = it->second;
-      ++stats_.hits;
+      ++shard.stats.hits;
       if (!entry->ready) {
         // Another thread is building this key: wait, do not rebuild.
-        ready_cv_.wait(lock, [&] { return entry->ready; });
+        shard.ready_cv.wait(lock, [&] { return entry->ready; });
       }
       // The entry may have been evicted from the map while we waited;
       // the shared_ptr keeps the payload valid either way.  Touch the
       // LRU for negative entries too: a hot ineligible shape must stay
       // cached, or its eviction would let repeated requests re-run the
       // pipeline.
-      auto relocated = map_.find(key);
-      if (relocated != map_.end() && relocated->second == entry) {
-        touch_locked(*entry, key);
+      auto relocated = shard.map.find(key);
+      if (relocated != shard.map.end() && relocated->second == entry) {
+        shard.touch_locked(*entry, key);
       }
       if (entry->iface) return entry->iface;
       return entry->error;
     }
-    // Miss: claim the build while holding the lock.
-    ++stats_.misses;
+    // Miss: claim the build while holding the shard lock.
+    ++shard.stats.misses;
     entry = std::make_shared<Entry>();
-    map_.emplace(key, entry);
+    shard.map.emplace(key, entry);
   }
 
   // Build outside the lock — this is the expensive pipeline run.
   auto built = SpecializedInterface::build(proc, prog, vers, config);
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(shard.mu);
     if (built.is_ok()) {
       entry->iface =
           std::make_shared<const SpecializedInterface>(std::move(*built));
-      insert_lru_locked(entry, key);
+      shard.insert_lru_locked(entry, key);
     } else {
       entry->error = built.status();
-      ++stats_.build_failures;
+      ++shard.stats.build_failures;
       // Negative entries take an LRU slot too: repeated requests for an
       // ineligible shape must not re-run the pipeline, but an adversary
       // minting distinct ineligible keys must not grow the map
       // unboundedly either.
-      insert_lru_locked(entry, key);
+      shard.insert_lru_locked(entry, key);
     }
     entry->ready = true;
   }
-  ready_cv_.notify_all();
+  shard.ready_cv.notify_all();
 
   if (entry->iface) return entry->iface;
   return entry->error;
 }
 
 SpecCacheStats SpecCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  SpecCacheStats total;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total.hits += s->stats.hits;
+    total.misses += s->stats.misses;
+    total.evictions += s->stats.evictions;
+    total.build_failures += s->stats.build_failures;
+  }
+  return total;
 }
 
 std::size_t SpecCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return lru_.size();
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->lru.size();
+  }
+  return total;
+}
+
+SpecCacheStats SpecCache::shard_stats(std::size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->stats;
+}
+
+std::size_t SpecCache::shard_size(std::size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->lru.size();
 }
 
 }  // namespace tempo::core

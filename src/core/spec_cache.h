@@ -24,6 +24,16 @@
 // adversarial count diversity therefore degrades to rebuild churn, not
 // OOM.  Failed builds (plan-ineligible types) are negative-cached so a
 // hostile client cannot force a pipeline run per request.
+//
+// Sharding: with the event-driven runtime pushing tens of thousands of
+// lookups per second from many workers, one mutex around the whole
+// table becomes the next bottleneck.  The cache is therefore split into
+// `shards` independently-locked sub-caches; a key's hash picks its
+// shard, so "at most one build per key" still holds (a key lives in
+// exactly one shard) and shards never contend with each other.  The
+// total capacity is divided evenly across shards (each gets at least
+// 1 slot); stats()/size() aggregate.  The default of 1 shard preserves
+// the exact global-LRU semantics the single-lock cache had.
 #pragma once
 
 #include <cstdint>
@@ -67,7 +77,7 @@ using SpecHandle = std::shared_ptr<const SpecializedInterface>;
 
 class SpecCache {
  public:
-  explicit SpecCache(std::size_t capacity = 128);
+  explicit SpecCache(std::size_t capacity = 128, std::size_t shards = 1);
 
   // Returns the interface for the key derived from
   // (prog, vers, proc.number, config), building it at most once.
@@ -76,9 +86,13 @@ class SpecCache {
                                   std::uint32_t prog, std::uint32_t vers,
                                   const SpecConfig& config);
 
-  SpecCacheStats stats() const;
+  SpecCacheStats stats() const;      // aggregated across shards
   std::size_t size() const;          // ready entries currently cached
   std::size_t capacity() const { return capacity_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  // Per-shard counters, for tests and shard-balance diagnostics.
+  SpecCacheStats shard_stats(std::size_t shard) const;
+  std::size_t shard_size(std::size_t shard) const;
 
  private:
   struct Entry {
@@ -89,15 +103,26 @@ class SpecCache {
     bool in_lru = false;
   };
 
-  void touch_locked(Entry& e, const SpecKey& key);
-  void insert_lru_locked(const std::shared_ptr<Entry>& e, const SpecKey& key);
+  // One independently-locked sub-cache; a key's hash selects its shard.
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable ready_cv;
+    std::unordered_map<SpecKey, std::shared_ptr<Entry>, SpecKeyHash> map;
+    std::list<SpecKey> lru;  // front = most recently used; ready only
+    SpecCacheStats stats;
+    std::size_t capacity = 1;
+
+    void touch_locked(Entry& e, const SpecKey& key);
+    void insert_lru_locked(const std::shared_ptr<Entry>& e,
+                           const SpecKey& key);
+  };
+
+  Shard& shard_for(std::size_t hash) {
+    return *shards_[hash % shards_.size()];
+  }
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable ready_cv_;
-  std::unordered_map<SpecKey, std::shared_ptr<Entry>, SpecKeyHash> map_;
-  std::list<SpecKey> lru_;  // front = most recently used; ready entries only
-  SpecCacheStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace tempo::core

@@ -1,6 +1,7 @@
 #include "net/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -61,7 +62,38 @@ Result<std::size_t> TcpConn::read_some(MutableByteSpan out, int timeout_ms) {
   if (pr < 0) return Status(unavailable(std::strerror(errno)));
   const ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
   if (n == 0) return Status(unavailable("peer closed"));
-  if (n < 0) return Status(unavailable(std::strerror(errno)));
+  if (n < 0) {
+    // A non-blocking socket can still report EAGAIN after poll()
+    // (spurious readiness); that is "try again", not "peer gone".
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return Status(timeout_error("read_some"));
+    }
+    return Status(unavailable(std::strerror(errno)));
+  }
+  return static_cast<std::size_t>(n);
+}
+
+Status TcpConn::set_nonblocking(bool on) {
+  if (fd_ < 0) return unavailable("connection closed");
+  if (!set_fd_nonblocking(fd_, on)) {
+    return unavailable(std::strerror(errno));
+  }
+  return Status::ok();
+}
+
+Result<std::size_t> TcpConn::write_some(ByteSpan data, int timeout_ms) {
+  if (fd_ < 0) return Status(unavailable("connection closed"));
+  pollfd pfd{fd_, POLLOUT, 0};
+  const int pr = ::poll(&pfd, 1, timeout_ms);
+  if (pr == 0) return Status(timeout_error("write_some"));
+  if (pr < 0) return Status(unavailable(std::strerror(errno)));
+  const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return Status(timeout_error("write_some"));
+    }
+    return Status(unavailable(std::strerror(errno)));
+  }
   return static_cast<std::size_t>(n);
 }
 
@@ -94,6 +126,14 @@ TcpListener::~TcpListener() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+Status TcpListener::set_nonblocking(bool on) {
+  if (fd_ < 0) return unavailable("listener not open");
+  if (!set_fd_nonblocking(fd_, on)) {
+    return unavailable(std::strerror(errno));
+  }
+  return Status::ok();
+}
+
 Result<std::unique_ptr<TcpConn>> TcpListener::accept(int timeout_ms) {
   if (fd_ < 0) return Status(unavailable("listener not open"));
   pollfd pfd{fd_, POLLIN, 0};
@@ -101,7 +141,13 @@ Result<std::unique_ptr<TcpConn>> TcpListener::accept(int timeout_ms) {
   if (pr == 0) return Status(timeout_error("accept"));
   if (pr < 0) return Status(unavailable(std::strerror(errno)));
   const int cfd = ::accept(fd_, nullptr, nullptr);
-  if (cfd < 0) return Status(unavailable(std::strerror(errno)));
+  if (cfd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return Status(timeout_error("accept"));
+    }
+    return Status(unavailable(std::strerror(errno)));
+  }
   const int one = 1;
   ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return std::make_unique<TcpConn>(cfd);

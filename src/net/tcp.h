@@ -23,9 +23,21 @@ class TcpConn final : public StreamConn {
 
   Status write_all(ByteSpan data) override;
   Result<std::size_t> read_some(MutableByteSpan out, int timeout_ms) override;
+  // Writes as much as the socket buffer accepts within timeout_ms
+  // (0 = poll).  Returns bytes written (may be < data.size()), kTimeout
+  // if the socket stayed unwritable, kUnavailable on failure.  The
+  // reactor uses this so a slow reader only fills its own buffer.
+  Result<std::size_t> write_some(ByteSpan data, int timeout_ms);
   void close() override;
 
   bool ok() const { return fd_ >= 0; }
+  // The raw socket, for readiness registration (net::Reactor).
+  int fd() const { return fd_; }
+  // Switch the socket to O_NONBLOCK.  Required for reactor-owned
+  // connections: poll() reporting POLLOUT only promises SOME buffer
+  // space, so a blocking send() of a large buffer could still park the
+  // caller.  read_some/write_some treat EAGAIN as kTimeout.
+  Status set_nonblocking(bool on);
 
  private:
   int fd_ = -1;
@@ -41,8 +53,16 @@ class TcpListener {
 
   bool ok() const { return fd_ >= 0; }
   Addr local_addr() const { return local_; }
+  // The raw socket, for readiness registration (net::Reactor).
+  int fd() const { return fd_; }
+  // Reactor-owned listeners must be non-blocking: a connection aborted
+  // between poll() and ::accept() would otherwise block the accept
+  // call (and with it the whole event loop).
+  Status set_nonblocking(bool on);
 
-  // Waits up to timeout_ms for an inbound connection.
+  // Waits up to timeout_ms for an inbound connection (0 = poll).
+  // On a non-blocking listener a vanished connection surfaces as
+  // kTimeout, never a block.
   Result<std::unique_ptr<TcpConn>> accept(int timeout_ms);
 
  private:

@@ -27,6 +27,10 @@ struct Addr {
 
 std::string addr_to_string(const Addr& a);
 
+// Shared O_NONBLOCK toggle (fcntl), used by the socket wrappers and the
+// reactor so the dance lives in exactly one place.
+bool set_fd_nonblocking(int fd, bool on);
+
 inline constexpr int kBlockForever = -1;
 
 class DatagramTransport {

@@ -1,6 +1,7 @@
 #include "net/udp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -10,6 +11,13 @@
 #include <cstring>
 
 namespace tempo::net {
+
+bool set_fd_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, want) == 0;
+}
 
 std::string addr_to_string(const Addr& a) {
   char buf[32];
@@ -65,6 +73,76 @@ Status UdpSocket::send_to(const Addr& dst, ByteSpan payload) {
     return unavailable(std::string("sendto: ") + std::strerror(errno));
   }
   return Status::ok();
+}
+
+Status UdpSocket::set_nonblocking(bool on) {
+  if (fd_ < 0) return unavailable("socket not open");
+  if (!set_fd_nonblocking(fd_, on)) {
+    return unavailable(std::strerror(errno));
+  }
+  return Status::ok();
+}
+
+namespace {
+// UDPMSGSIZE analog: the largest datagram the RPC layer ever sends.
+constexpr std::size_t kMaxDatagram = 65000;
+}  // namespace
+
+int UdpSocket::recv_many(std::vector<Datagram>& out, int max_msgs) {
+  if (fd_ < 0 || max_msgs <= 0) return 0;
+  if (out.size() < static_cast<std::size_t>(max_msgs)) {
+    out.resize(static_cast<std::size_t>(max_msgs));
+  }
+  for (int i = 0; i < max_msgs; ++i) {
+    if (out[static_cast<std::size_t>(i)].payload.size() < kMaxDatagram) {
+      out[static_cast<std::size_t>(i)].payload.resize(kMaxDatagram);
+    }
+  }
+#if defined(__linux__)
+  std::vector<mmsghdr> msgs(static_cast<std::size_t>(max_msgs));
+  std::vector<iovec> iovs(static_cast<std::size_t>(max_msgs));
+  std::vector<sockaddr_in> addrs(static_cast<std::size_t>(max_msgs));
+  for (int i = 0; i < max_msgs; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    iovs[u].iov_base = out[u].payload.data();
+    iovs[u].iov_len = out[u].payload.size();
+    msgs[u] = mmsghdr{};
+    msgs[u].msg_hdr.msg_iov = &iovs[u];
+    msgs[u].msg_hdr.msg_iovlen = 1;
+    msgs[u].msg_hdr.msg_name = &addrs[u];
+    msgs[u].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+  }
+  int n;
+  do {
+    n = ::recvmmsg(fd_, msgs.data(), static_cast<unsigned>(max_msgs),
+                   MSG_DONTWAIT, nullptr);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return 0;
+  for (int i = 0; i < n; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    out[u].src = from_sockaddr(addrs[u]);
+    out[u].len = msgs[u].msg_len;
+  }
+  return n;
+#else
+  int n = 0;
+  while (n < max_msgs) {
+    const auto u = static_cast<std::size_t>(n);
+    sockaddr_in sa{};
+    socklen_t len = sizeof(sa);
+    const ssize_t got =
+        ::recvfrom(fd_, out[u].payload.data(), out[u].payload.size(),
+                   MSG_DONTWAIT, reinterpret_cast<sockaddr*>(&sa), &len);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      break;  // EWOULDBLOCK: drained
+    }
+    out[u].src = from_sockaddr(sa);
+    out[u].len = static_cast<std::size_t>(got);
+    ++n;
+  }
+  return n;
+#endif
 }
 
 Result<std::size_t> UdpSocket::recv_from(Addr* src, MutableByteSpan out,

@@ -1,9 +1,21 @@
 // Real UDP datagram transport over the host's loopback interface.
 #pragma once
 
+#include <vector>
+
 #include "net/transport.h"
 
 namespace tempo::net {
+
+// One received datagram.  `payload` stays at full datagram size and
+// `len` carries the received byte count — recv_many() never shrinks the
+// buffers, so reused batches perform no allocation AND no resize
+// zero-fill on the hot path.
+struct Datagram {
+  Addr src;
+  Bytes payload;
+  std::size_t len = 0;
+};
 
 class UdpSocket final : public DatagramTransport {
  public:
@@ -20,6 +32,20 @@ class UdpSocket final : public DatagramTransport {
   Result<std::size_t> recv_from(Addr* src, MutableByteSpan out,
                                 int timeout_ms) override;
   Addr local_addr() const override { return local_; }
+
+  // The raw socket, for readiness registration (net::Reactor).
+  int fd() const { return fd_; }
+  // Switch the socket to O_NONBLOCK; recv_from/recv_many then return
+  // immediately instead of waiting.
+  Status set_nonblocking(bool on);
+
+  // Batched non-blocking receive: drains up to max_msgs datagrams in
+  // one syscall (recvmmsg(2) on Linux; a recvfrom(MSG_DONTWAIT) loop —
+  // one syscall per datagram — elsewhere).  Grows `out` as needed and
+  // records each received length in Datagram::len (payload buffers are
+  // never shrunk).  Returns the number of datagrams received; 0 means
+  // the socket had nothing pending.
+  int recv_many(std::vector<Datagram>& out, int max_msgs);
 
  private:
   int fd_ = -1;

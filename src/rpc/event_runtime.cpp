@@ -1,0 +1,526 @@
+#include "rpc/event_runtime.h"
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/endian.h"
+#include "xdr/xdrrec.h"
+
+namespace tempo::rpc {
+
+namespace {
+
+// Wraps one reply message as a single last-fragment record, the framing
+// XdrRec's decode side expects (RFC 1057 §10).
+Bytes frame_reply(ByteSpan payload) {
+  Bytes framed(4 + payload.size());
+  store_be32(framed.data(),
+             xdr::XdrRec::kLastFragFlag |
+                 static_cast<std::uint32_t>(payload.size()));
+  std::memcpy(framed.data() + 4, payload.data(), payload.size());
+  return framed;
+}
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+constexpr int kMaxReadsPerEvent = 4;
+
+}  // namespace
+
+EventServerRuntime::EventServerRuntime(SvcRegistry& registry,
+                                       EventServerRuntimeConfig cfg)
+    : registry_(registry),
+      cfg_(cfg),
+      reactor_(cfg.force_poll_backend) {}
+
+EventServerRuntime::~EventServerRuntime() { stop(); }
+
+Status EventServerRuntime::start() {
+  if (running_.load(std::memory_order_acquire)) return Status::ok();
+  if (!reactor_.ok()) return unavailable("EventServerRuntime: reactor init");
+  reactor_stop_.store(false, std::memory_order_release);
+  workers_stop_.store(false, std::memory_order_release);
+  pending_jobs_.store(0, std::memory_order_release);
+  intake_closed_ = false;
+
+  if (cfg_.enable_udp) {
+    udp_ = std::make_unique<net::UdpSocket>(cfg_.udp_port);
+    if (!udp_->ok()) {
+      udp_.reset();
+      return unavailable("EventServerRuntime: UDP bind failed");
+    }
+    TEMPO_RETURN_IF_ERROR(udp_->set_nonblocking(true));
+    // The reactor thread is not running yet, so registration from the
+    // caller's thread is safe.
+    reactor_.add(udp_->fd(), net::kEventRead,
+                 [this](unsigned) { on_udp_readable(); });
+  }
+  if (cfg_.enable_tcp) {
+    tcp_ = std::make_unique<net::TcpListener>(cfg_.tcp_port);
+    if (!tcp_->ok()) {
+      if (udp_) reactor_.remove(udp_->fd());
+      udp_.reset();
+      tcp_.reset();
+      return unavailable("EventServerRuntime: TCP bind failed");
+    }
+    // Non-blocking listener: a connection aborted between readiness and
+    // ::accept must surface as "nothing to accept", not block the loop.
+    TEMPO_RETURN_IF_ERROR(tcp_->set_nonblocking(true));
+    reactor_.add(tcp_->fd(), net::kEventRead,
+                 [this](unsigned) { on_accept_ready(); });
+  }
+
+  const int workers = cfg_.workers < 1 ? 1 : cfg_.workers;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  reactor_thread_ = std::thread([this] { reactor_loop(); });
+  running_.store(true, std::memory_order_release);
+  return Status::ok();
+}
+
+void EventServerRuntime::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+
+  // Phase 1: stop reading new requests (runs on the reactor thread).
+  reactor_.post([this] { close_intake(); });
+
+  // Phase 2: bounded drain — queued requests finish and their replies
+  // are handed back to the still-running reactor.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(cfg_.drain_timeout_ms);
+  while (pending_jobs_.load(std::memory_order_acquire) > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Past the deadline the bound wins over the drain: drop whatever is
+  // still queued so stop() cannot be held hostage by a slow handler.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!queue_.empty()) {
+      stats_.overload_drops += static_cast<std::int64_t>(queue_.size());
+      pending_jobs_.fetch_sub(static_cast<std::int64_t>(queue_.size()),
+                              std::memory_order_acq_rel);
+      queue_.clear();
+    }
+  }
+
+  // Phase 3: workers down (only in-flight jobs remain).
+  workers_stop_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+
+  // Phase 4: reactor down; its loop flushes and closes connections.
+  reactor_stop_.store(true, std::memory_order_release);
+  reactor_.wakeup();
+  if (reactor_thread_.joinable()) reactor_thread_.join();
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.clear();
+  }
+  udp_.reset();
+  tcp_.reset();
+  running_.store(false, std::memory_order_release);
+}
+
+net::Addr EventServerRuntime::udp_addr() const {
+  return udp_ ? udp_->local_addr() : net::Addr{};
+}
+
+net::Addr EventServerRuntime::tcp_addr() const {
+  return tcp_ ? tcp_->local_addr() : net::Addr{};
+}
+
+// ---------------------------------------------------- reactor thread ---
+
+void EventServerRuntime::reactor_loop() {
+  while (!reactor_stop_.load(std::memory_order_acquire)) {
+    // With conns parked on a full worker queue, tick instead of
+    // blocking so their records are re-dispatched as the queue drains
+    // (no fd event or completion may ever fire for them otherwise).
+    reactor_.poll_once(stalled_conns_.empty() ? -1 : 5);
+    retry_stalled();
+  }
+  // Run straggler completions, give each connection one last
+  // non-blocking flush, then close everything.  flush_conn can erase
+  // entries, so iterate over a snapshot of ids.
+  reactor_.poll_once(0);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (auto& [id, conn] : conns_) ids.push_back(id);
+  for (auto id : ids) {
+    auto it = conns_.find(id);
+    if (it != conns_.end()) flush_conn(it->second);
+  }
+  for (auto& [id, conn] : conns_) reactor_.remove(conn.sock->fd());
+  conns_.clear();
+}
+
+void EventServerRuntime::close_intake() {
+  if (intake_closed_) return;
+  intake_closed_ = true;
+  if (udp_) reactor_.remove(udp_->fd());
+  if (tcp_) reactor_.remove(tcp_->fd());
+  // Records parsed but not yet handed to the pool are dropped here so
+  // the stop() drain has a fixed amount of work: exactly the jobs the
+  // pool already holds.
+  stalled_conns_.clear();
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (auto& [id, conn] : conns_) ids.push_back(id);
+  for (auto id : ids) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    it->second.ready_records.clear();
+    it->second.stalled = false;
+    finish_conn_if_idle(it->second);
+  }
+}
+
+void EventServerRuntime::on_udp_readable() {
+  std::vector<net::Datagram> buf = take_batch_buffer();
+  const int n = udp_->recv_many(buf, cfg_.udp_batch);
+  if (n <= 0) {
+    recycle_batch_buffer(std::move(buf));
+    return;
+  }
+  ++stats_.udp_batches;
+  stats_.udp_datagrams += n;
+  const int accepted = push_datagram_jobs(buf, n);
+  if (accepted < n) stats_.overload_drops += n - accepted;
+  recycle_batch_buffer(std::move(buf));
+}
+
+void EventServerRuntime::on_accept_ready() {
+  // Accept everything pending; the listener is level-triggered so a
+  // partial drain would re-fire anyway, but batching saves wakeups.
+  for (;;) {
+    auto conn = tcp_->accept(/*timeout_ms=*/0);
+    if (!conn.is_ok()) return;
+    ++stats_.tcp_connections;
+    const std::uint64_t id = next_conn_id_++;
+    Conn c;
+    c.id = id;
+    c.sock = std::move(*conn);
+    // Must be non-blocking: POLLOUT only promises SOME send-buffer
+    // space, and a blocking send() of a large reply would park the
+    // reactor thread on a slow reader.
+    if (!c.sock->set_nonblocking(true).is_ok()) continue;
+    const int fd = c.sock->fd();
+    auto [it, inserted] = conns_.emplace(id, std::move(c));
+    if (!inserted || !reactor_.add(fd, net::kEventRead, [this, id](
+                                                            unsigned events) {
+          on_conn_event(id, events);
+        })) {
+      conns_.erase(id);
+    }
+  }
+}
+
+void EventServerRuntime::on_conn_event(std::uint64_t id, unsigned events) {
+  // read_conn and flush_conn can both destroy the connection (protocol
+  // violation, write error); re-resolve the map entry after each.
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  if (events & net::kEventRead) read_conn(it->second);
+  it = conns_.find(id);
+  if (it == conns_.end()) return;
+  if (events & net::kEventWrite) flush_conn(it->second);
+  it = conns_.find(id);
+  if (it == conns_.end()) return;
+  dispatch_ready(it->second);
+  finish_conn_if_idle(it->second);
+}
+
+void EventServerRuntime::read_conn(Conn& c) {
+  if (c.peer_eof) return;
+  std::uint8_t chunk[kReadChunk];
+  for (int i = 0; i < kMaxReadsPerEvent; ++i) {
+    auto r = c.sock->read_some(MutableByteSpan(chunk, sizeof(chunk)),
+                               /*timeout_ms=*/0);
+    if (!r.is_ok()) {
+      if (r.status().code() != StatusCode::kTimeout) c.peer_eof = true;
+      return;
+    }
+    if (!parse_records(c, ByteSpan(chunk, *r))) {
+      ++stats_.conn_resets;
+      destroy_conn(c.id);
+      return;
+    }
+  }
+}
+
+bool EventServerRuntime::parse_records(Conn& c, ByteSpan chunk) {
+  while (!chunk.empty()) {
+    if (c.frag_header_pending) {
+      const std::size_t need = 4 - c.header_partial.size();
+      const std::size_t take = std::min(need, chunk.size());
+      c.header_partial.insert(c.header_partial.end(), chunk.begin(),
+                              chunk.begin() + static_cast<std::ptrdiff_t>(
+                                                  take));
+      chunk = chunk.subspan(take);
+      if (c.header_partial.size() < 4) return true;
+      const std::uint32_t word = load_be32(c.header_partial.data());
+      c.header_partial.clear();
+      c.last_frag = (word & xdr::XdrRec::kLastFragFlag) != 0;
+      c.frag_remaining = word & ~xdr::XdrRec::kLastFragFlag;
+      c.frag_header_pending = false;
+      if (c.record.size() + c.frag_remaining > cfg_.max_record_bytes) {
+        return false;  // oversized record: cut the peer off
+      }
+    }
+    const std::size_t take =
+        std::min<std::size_t>(c.frag_remaining, chunk.size());
+    c.record.insert(c.record.end(), chunk.begin(),
+                    chunk.begin() + static_cast<std::ptrdiff_t>(take));
+    chunk = chunk.subspan(take);
+    c.frag_remaining -= static_cast<std::uint32_t>(take);
+    if (c.frag_remaining == 0) {
+      c.frag_header_pending = true;
+      if (c.last_frag) {
+        c.last_frag = false;
+        if (!c.record.empty()) {
+          c.ready_records.push_back(std::move(c.record));
+        }
+        c.record = Bytes();
+      }
+    }
+  }
+  return true;
+}
+
+void EventServerRuntime::dispatch_ready(Conn& c) {
+  // One request of a connection in flight at a time: replies go back in
+  // call order, matching the threaded runtime's stream semantics.
+  while (!c.busy && !c.ready_records.empty()) {
+    Job job = TcpRequestJob{c.id, std::move(c.ready_records.front())};
+    if (!push_job(job, /*droppable=*/false)) {
+      // Queue full: put the record back and park the conn on the
+      // stalled list; reactor_loop ticks until it re-dispatches (never
+      // block the reactor thread).
+      c.ready_records.front() = std::move(std::get<TcpRequestJob>(job).record);
+      if (!c.stalled) {
+        c.stalled = true;
+        stalled_conns_.push_back(c.id);
+      }
+      return;
+    }
+    c.ready_records.pop_front();
+    c.busy = true;
+  }
+}
+
+void EventServerRuntime::retry_stalled() {
+  if (stalled_conns_.empty()) return;
+  std::vector<std::uint64_t> retry;
+  retry.swap(stalled_conns_);
+  for (auto id : retry) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;  // conn died while parked
+    it->second.stalled = false;
+    dispatch_ready(it->second);  // re-parks itself if still full
+    auto again = conns_.find(id);
+    if (again != conns_.end()) finish_conn_if_idle(again->second);
+  }
+}
+
+void EventServerRuntime::flush_conn(Conn& c) {
+  while (c.out_off < c.out_buf.size()) {
+    auto r = c.sock->write_some(
+        ByteSpan(c.out_buf.data() + c.out_off, c.out_buf.size() - c.out_off),
+        /*timeout_ms=*/0);
+    if (!r.is_ok()) {
+      if (r.status().code() != StatusCode::kTimeout) {
+        ++stats_.conn_resets;
+        destroy_conn(c.id);
+      }
+      return;
+    }
+    c.out_off += *r;
+  }
+  c.out_buf.clear();
+  c.out_off = 0;
+}
+
+void EventServerRuntime::finish_conn_if_idle(Conn& c) {
+  const bool out_pending = c.out_off < c.out_buf.size();
+  if (c.peer_eof && !c.busy && c.ready_records.empty() && !out_pending) {
+    destroy_conn(c.id);
+    return;
+  }
+  unsigned want = 0;
+  // Backpressure: stop reading a conn whose record backlog is full; TCP
+  // flow control stalls the peer until dispatch catches up.
+  if (!c.peer_eof && !intake_closed_ &&
+      c.ready_records.size() < cfg_.max_pipelined_records) {
+    want |= net::kEventRead;
+  }
+  if (out_pending) want |= net::kEventWrite;
+  if (want == 0 && !c.busy && c.ready_records.empty()) {
+    // Intake is closed and nothing is queued: the connection can never
+    // make progress again.
+    destroy_conn(c.id);
+    return;
+  }
+  set_conn_interest(c, want);
+}
+
+void EventServerRuntime::destroy_conn(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  reactor_.remove(it->second.sock->fd());
+  conns_.erase(it);  // unique_ptr closes the socket
+}
+
+void EventServerRuntime::set_conn_interest(Conn& c, unsigned interest) {
+  if (c.interest == interest) return;
+  if (reactor_.set_interest(c.sock->fd(), interest)) {
+    c.interest = interest;
+  }
+}
+
+void EventServerRuntime::on_reply(std::uint64_t conn_id, Bytes framed) {
+  auto it = conns_.find(conn_id);
+  if (it != conns_.end()) {
+    Conn& c = it->second;
+    c.busy = false;
+    if (!framed.empty()) {
+      if (c.out_buf.size() - c.out_off + framed.size() >
+          cfg_.max_write_buffer) {
+        ++stats_.conn_resets;
+        destroy_conn(conn_id);
+        pending_jobs_.fetch_sub(1, std::memory_order_acq_rel);
+        return;
+      }
+      c.out_buf.insert(c.out_buf.end(), framed.begin(), framed.end());
+      flush_conn(c);
+    }
+    auto again = conns_.find(conn_id);
+    if (again != conns_.end()) {
+      dispatch_ready(again->second);
+      finish_conn_if_idle(again->second);
+    }
+  }
+  pending_jobs_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+// ------------------------------------------------------- worker side ---
+
+bool EventServerRuntime::push_job(Job& job, bool droppable) {
+  (void)droppable;  // both kinds fail fast; the reactor never blocks
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() >= cfg_.queue_capacity) return false;
+    queue_.push_back(std::move(job));
+  }
+  pending_jobs_.fetch_add(1, std::memory_order_acq_rel);
+  queue_cv_.notify_one();
+  return true;
+}
+
+int EventServerRuntime::push_datagram_jobs(std::vector<net::Datagram>& batch,
+                                           int n) {
+  int accepted = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    while (accepted < n && queue_.size() < cfg_.queue_capacity) {
+      auto& d = batch[static_cast<std::size_t>(accepted)];
+      queue_.push_back(UdpDatagramJob{d.src, std::move(d.payload), d.len});
+      ++accepted;
+    }
+  }
+  if (accepted > 0) {
+    pending_jobs_.fetch_add(accepted, std::memory_order_acq_rel);
+    queue_cv_.notify_all();
+  }
+  // Refill the moved-out slots from the payload pool (buffers the
+  // workers finished with, still full-size) so the next recv_many
+  // neither allocates nor zero-fills.
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    for (int i = 0; i < accepted && !payload_pool_.empty(); ++i) {
+      batch[static_cast<std::size_t>(i)].payload =
+          std::move(payload_pool_.back());
+      payload_pool_.pop_back();
+    }
+  }
+  return accepted;
+}
+
+void EventServerRuntime::worker_loop() {
+  for (;;) {
+    Job job{UdpDatagramJob{}};
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() ||
+               workers_stop_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) return;  // stopping and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (auto* d = std::get_if<UdpDatagramJob>(&job)) {
+      serve_udp_datagram(*d);
+    } else if (auto* t = std::get_if<TcpRequestJob>(&job)) {
+      serve_tcp_request(*t);
+    }
+  }
+}
+
+void EventServerRuntime::serve_udp_datagram(UdpDatagramJob& job) {
+  Bytes reply =
+      registry_.handle_datagram(ByteSpan(job.payload.data(), job.len));
+  if (!reply.empty()) {
+    (void)udp_->send_to(job.src, ByteSpan(reply.data(), reply.size()));
+  }
+  recycle_payload(std::move(job.payload));
+  pending_jobs_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void EventServerRuntime::serve_tcp_request(TcpRequestJob& job) {
+  // The record is a complete call message in one contiguous buffer, so
+  // the same XdrMem dispatch path as UDP serves it — and the residual
+  // decode plans can XDR_INLINE the arguments, unlike an xdrrec stream.
+  Bytes reply =
+      registry_.handle_datagram(ByteSpan(job.record.data(), job.record.size()));
+  Bytes framed;
+  if (!reply.empty()) {
+    ++stats_.tcp_calls;
+    framed = frame_reply(ByteSpan(reply.data(), reply.size()));
+  }
+  // Hand the reply (or just the busy-clear) back to the reactor thread,
+  // which owns all connection state.  pending_jobs_ is decremented by
+  // on_reply so stop()'s drain covers the write handoff too.
+  reactor_.post([this, conn_id = job.conn_id,
+                 framed = std::move(framed)]() mutable {
+    on_reply(conn_id, std::move(framed));
+  });
+}
+
+std::vector<net::Datagram> EventServerRuntime::take_batch_buffer() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (batch_pool_.empty()) return {};
+  auto buf = std::move(batch_pool_.back());
+  batch_pool_.pop_back();
+  return buf;
+}
+
+void EventServerRuntime::recycle_batch_buffer(std::vector<net::Datagram> buf) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (batch_pool_.size() < 8) batch_pool_.push_back(std::move(buf));
+}
+
+void EventServerRuntime::recycle_payload(Bytes payload) {
+  if (payload.empty()) return;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (payload_pool_.size() < 64) payload_pool_.push_back(std::move(payload));
+}
+
+}  // namespace tempo::rpc

@@ -1,0 +1,200 @@
+// EventServerRuntime — the reactor-based successor of ServerRuntime.
+//
+// ServerRuntime (svc.h) burns one blocking thread per listener and
+// parks a whole worker on each TCP connection, so a peer that trickles
+// bytes pins a worker for its connection's lifetime.  This runtime puts
+// every socket behind a net::Reactor instead:
+//
+//   * one reactor thread multiplexes the UDP socket, the TCP listener
+//     and every accepted connection (epoll on Linux, poll elsewhere);
+//   * the UDP socket is non-blocking and drained in recvmmsg batches —
+//     one syscall per burst, not per datagram;
+//   * each TCP connection carries its own record-reassembly buffer and
+//     pending-write buffer.  The reactor reads whatever bytes are
+//     available, assembles record-marked fragments, and only when a
+//     COMPLETE call record exists hands it to the worker pool — a slow
+//     peer therefore delays nobody but itself;
+//   * workers run SvcRegistry::dispatch exactly as before and post the
+//     framed reply back to the reactor, which writes it without ever
+//     blocking (leftover bytes wait for writability).
+//
+// Because a TCP request reaches the worker as one contiguous record,
+// argument decode goes through XdrMem — XDR_INLINE succeeds and the
+// residual-plan fast path engages on TCP too, which the xdrrec stream
+// of the threaded runtime could never offer.
+//
+// Ownership (see src/net/README.md for the full model): the reactor
+// thread owns all connection state; workers only ever own a copy of a
+// request's bytes; handoff back is by Reactor::post().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "net/reactor.h"
+#include "net/tcp.h"
+#include "net/udp.h"
+#include "rpc/svc.h"
+
+namespace tempo::rpc {
+
+struct EventServerRuntimeConfig {
+  int workers = 4;
+  std::uint16_t udp_port = 0;  // 0 = ephemeral
+  std::uint16_t tcp_port = 0;
+  bool enable_udp = true;
+  bool enable_tcp = true;
+  std::size_t queue_capacity = 1024;
+  // Datagrams pulled per recvmmsg syscall.
+  int udp_batch = 32;
+  // Per-connection caps; a peer exceeding either is reset.
+  std::size_t max_record_bytes = 1u << 20;
+  std::size_t max_write_buffer = 4u << 20;
+  // Backpressure: once this many complete records queue on one
+  // connection, the reactor stops reading it (TCP flow control pushes
+  // back on the peer) until dispatch catches up.
+  std::size_t max_pipelined_records = 64;
+  // Test hook: exercise the portable poll(2) backend on Linux too.
+  bool force_poll_backend = false;
+  // stop() waits this long for queued work to finish before tearing
+  // down the pool.
+  int drain_timeout_ms = 2000;
+};
+
+struct EventServerRuntimeStats {
+  std::atomic<std::int64_t> udp_datagrams{0};
+  std::atomic<std::int64_t> udp_batches{0};  // recv_many calls that got >0
+  std::atomic<std::int64_t> tcp_connections{0};
+  std::atomic<std::int64_t> tcp_calls{0};
+  std::atomic<std::int64_t> overload_drops{0};  // queue-full datagram drops
+  std::atomic<std::int64_t> conn_resets{0};  // peers cut off at a cap
+};
+
+class EventServerRuntime {
+ public:
+  explicit EventServerRuntime(SvcRegistry& registry,
+                              EventServerRuntimeConfig cfg = {});
+  ~EventServerRuntime();
+
+  EventServerRuntime(const EventServerRuntime&) = delete;
+  EventServerRuntime& operator=(const EventServerRuntime&) = delete;
+
+  // Binds sockets, registers them with the reactor and spawns the
+  // reactor thread + worker pool.  Call after all register_proc calls.
+  Status start();
+  // Stops intake, drains queued requests (bounded by drain_timeout_ms),
+  // then joins everything.  Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  net::Addr udp_addr() const;
+  net::Addr tcp_addr() const;
+  const EventServerRuntimeStats& stats() const { return stats_; }
+  const char* backend() const { return reactor_.backend(); }
+
+ private:
+  // ---- connection state (reactor thread only) -------------------------
+  struct Conn {
+    std::uint64_t id = 0;
+    std::unique_ptr<net::TcpConn> sock;
+    unsigned interest = net::kEventRead;
+    // Record-marking reassembly (RFC 1057 §10): 4-byte fragment header,
+    // then payload; top bit marks the record's last fragment.
+    std::uint32_t frag_remaining = 0;
+    bool frag_header_pending = true;
+    bool last_frag = false;
+    Bytes header_partial;       // < 4 buffered header bytes
+    Bytes record;               // payload of the record being assembled
+    std::deque<Bytes> ready_records;  // complete, awaiting a worker
+    bool busy = false;          // one request of this conn is in a worker
+    bool stalled = false;       // a ready record hit a full worker queue
+    Bytes out_buf;              // framed replies not yet written
+    std::size_t out_off = 0;
+    bool peer_eof = false;      // stop reading; flush, then close
+  };
+
+  // One datagram per job: the recvmmsg batch amortizes the syscall, but
+  // each request schedules on its own worker so a batch never serializes
+  // behind one thread.  The payload buffer is full-size with `len`
+  // valid bytes; workers recycle it through the payload pool so the
+  // receive path neither allocates nor zero-fills in steady state.
+  struct UdpDatagramJob {
+    net::Addr src;
+    Bytes payload;
+    std::size_t len = 0;
+  };
+  struct TcpRequestJob {
+    std::uint64_t conn_id = 0;
+    Bytes record;
+  };
+  using Job = std::variant<UdpDatagramJob, TcpRequestJob>;
+
+  // ---- reactor-thread handlers ---------------------------------------
+  void reactor_loop();
+  void on_udp_readable();
+  void on_accept_ready();
+  void on_conn_event(std::uint64_t id, unsigned events);
+  void read_conn(Conn& conn);
+  bool parse_records(Conn& conn, ByteSpan chunk);  // false = protocol violation
+  void dispatch_ready(Conn& conn);
+  void retry_stalled();            // re-dispatch conns parked on a full queue
+  void flush_conn(Conn& conn);     // non-blocking write of out_buf
+  void finish_conn_if_idle(Conn& conn);
+  void destroy_conn(std::uint64_t id);
+  void set_conn_interest(Conn& conn, unsigned interest);
+  void on_reply(std::uint64_t conn_id, Bytes framed);
+  void close_intake();             // stop reading new requests
+
+  // ---- worker side ----------------------------------------------------
+  // Moves from `job` only on success so a failed push can be retried.
+  bool push_job(Job& job, bool droppable);
+  // Queues the first n entries of `batch` as individual jobs under one
+  // lock acquisition; returns how many fit (the rest are drops).
+  int push_datagram_jobs(std::vector<net::Datagram>& batch, int n);
+  void worker_loop();
+  void serve_udp_datagram(UdpDatagramJob& job);
+  void serve_tcp_request(TcpRequestJob& job);
+  std::vector<net::Datagram> take_batch_buffer();
+  void recycle_batch_buffer(std::vector<net::Datagram> buf);
+  void recycle_payload(Bytes payload);
+
+  SvcRegistry& registry_;
+  EventServerRuntimeConfig cfg_;
+  EventServerRuntimeStats stats_;
+
+  net::Reactor reactor_;
+  std::unique_ptr<net::UdpSocket> udp_;
+  std::unique_ptr<net::TcpListener> tcp_;
+
+  std::unordered_map<std::uint64_t, Conn> conns_;  // reactor thread only
+  std::uint64_t next_conn_id_ = 1;
+  bool intake_closed_ = false;  // reactor thread only
+  std::vector<std::uint64_t> stalled_conns_;  // reactor thread only
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> reactor_stop_{false};
+  std::atomic<bool> workers_stop_{false};
+  std::atomic<std::int64_t> pending_jobs_{0};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+
+  std::mutex pool_mu_;
+  std::vector<std::vector<net::Datagram>> batch_pool_;
+  std::vector<Bytes> payload_pool_;
+
+  std::thread reactor_thread_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tempo::rpc

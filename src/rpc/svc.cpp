@@ -1,5 +1,7 @@
 #include "rpc/svc.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "xdr/xdrrec.h"
@@ -120,11 +122,16 @@ bool SvcRegistry::dispatch(XdrStream& in, XdrMem& out) {
 
 Bytes SvcRegistry::handle_datagram(ByteSpan request) {
   // Per-thread scratch so concurrent workers (ServerRuntime) can serve
-  // datagrams through one registry without sharing buffers.
+  // datagrams through one registry without sharing buffers.  The
+  // request scratch must track the actual request size: the reactor
+  // runtime feeds this path TCP records larger than any UDP datagram
+  // (up to its max_record_bytes), and a fixed-size buffer would be a
+  // remotely triggerable overflow.
   thread_local Bytes scratch_out;
   thread_local Bytes req;
+  const std::size_t req_size = std::max<std::size_t>(65000, request.size());
   if (scratch_out.size() < 65000) scratch_out.resize(65000);
-  if (req.size() < 65000) req.resize(65000);
+  if (req.size() < req_size) req.resize(req_size);
   // The paper calls out the input-buffer bzero as part of the measured
   // round-trip cost; keep it on the generic path.
   if (clear_input_) std::memset(req.data(), 0, req.size());
@@ -239,24 +246,46 @@ Status ServerRuntime::start() {
   }
 
   const int workers = cfg_.workers < 1 ? 1 : cfg_.workers;
-  threads_.reserve(static_cast<std::size_t>(workers) + 2);
+  intake_done_.store(false, std::memory_order_release);
+  worker_threads_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    worker_threads_.emplace_back([this] { worker_loop(); });
   }
-  if (udp_) threads_.emplace_back([this] { udp_listen_loop(); });
-  if (tcp_) threads_.emplace_back([this] { tcp_accept_loop(); });
+  if (udp_) listener_threads_.emplace_back([this] { udp_listen_loop(); });
+  if (tcp_) listener_threads_.emplace_back([this] { tcp_accept_loop(); });
   running_.store(true, std::memory_order_release);
   return Status::ok();
 }
 
 void ServerRuntime::stop() {
-  if (!running_.load(std::memory_order_acquire) && threads_.empty()) return;
+  if (!running_.load(std::memory_order_acquire) && worker_threads_.empty() &&
+      listener_threads_.empty()) {
+    return;
+  }
+  // Deadline first, then the flag: any worker that observes stopping_
+  // also sees a valid deadline.
+  drain_deadline_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          (std::chrono::steady_clock::now() +
+           std::chrono::milliseconds(cfg_.drain_timeout_ms))
+              .time_since_epoch())
+          .count(),
+      std::memory_order_release);
   stopping_.store(true, std::memory_order_release);
   queue_cv_.notify_all();
-  for (auto& t : threads_) {
+  // Listeners first: they may still push a final job they had already
+  // accepted/received.  Only after they are gone is the queue final and
+  // workers allowed to exit on empty — that ordering is the drain.
+  for (auto& t : listener_threads_) {
     if (t.joinable()) t.join();
   }
-  threads_.clear();
+  listener_threads_.clear();
+  intake_done_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+  for (auto& t : worker_threads_) {
+    if (t.joinable()) t.join();
+  }
+  worker_threads_.clear();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     queue_.clear();
@@ -323,8 +352,12 @@ void ServerRuntime::worker_loop() {
     Job job{DatagramJob{}};
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
+      // Exit only once the listeners are joined (intake_done_): until
+      // then a final job may still arrive and the queue is not final.
       queue_cv_.wait(lock, [this] {
-        return !queue_.empty() || stopping_.load(std::memory_order_acquire);
+        return !queue_.empty() ||
+               (stopping_.load(std::memory_order_acquire) &&
+                intake_done_.load(std::memory_order_acquire));
       });
       if (queue_.empty()) return;  // stopping and drained
       job = std::move(queue_.front());
@@ -344,9 +377,17 @@ void ServerRuntime::worker_loop() {
 }
 
 void ServerRuntime::serve_connection(net::TcpConn& conn) {
+  // Shutdown contract: a connection popped from the queue after stop()
+  // still gets every request whose bytes have already reached the
+  // socket served and replied to — stop() drains, it does not drop.
+  // While stopping, the reader only polls (0 timeout) instead of
+  // waiting, so fully-buffered requests dispatch and the loop ends as
+  // soon as no complete request remains; a peer that keeps streaming
+  // new requests is cut off at the drain deadline.
   XdrRec in(XdrOp::kDecode, nullptr,
             [&](MutableByteSpan buf) -> std::size_t {
-              auto r = conn.read_some(buf, 100);
+              auto r = conn.read_some(
+                  buf, stopping_.load(std::memory_order_acquire) ? 0 : 100);
               while (!r.is_ok() &&
                      r.status().code() == StatusCode::kTimeout &&
                      !stopping_.load(std::memory_order_acquire)) {
@@ -355,8 +396,16 @@ void ServerRuntime::serve_connection(net::TcpConn& conn) {
               return r.is_ok() ? *r : 0;
             });
 
+  const auto past_drain_deadline = [this] {
+    if (!stopping_.load(std::memory_order_acquire)) return false;
+    const auto now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now().time_since_epoch())
+                            .count();
+    return now_ns > drain_deadline_ns_.load(std::memory_order_acquire);
+  };
+
   Bytes out_buf(65000);
-  while (!stopping_.load(std::memory_order_acquire)) {
+  while (!past_drain_deadline()) {
     XdrMem out(MutableByteSpan(out_buf.data(), out_buf.size()),
                XdrOp::kEncode);
     if (!registry_.dispatch(in, out)) break;  // peer closed or garbage

@@ -137,6 +137,9 @@ struct ServerRuntimeConfig {
   bool enable_udp = true;
   bool enable_tcp = true;
   std::size_t queue_capacity = 1024;
+  // stop() keeps serving already-received requests for at most this
+  // long; a peer that keeps transmitting cannot hold shutdown hostage.
+  int drain_timeout_ms = 2000;
 };
 
 struct ServerRuntimeStats {
@@ -157,7 +160,10 @@ class ServerRuntime {
   // Binds sockets and spawns listener + worker threads.  Call after all
   // register_proc calls.  Fails if a socket cannot bind.
   Status start();
-  // Idempotent; joins every thread.
+  // Idempotent; joins every thread.  Drains rather than drops: jobs
+  // already queued are still served — datagrams get replies, and queued
+  // TCP connections serve every request whose bytes have already
+  // arrived — before the workers exit (bounded by drain_timeout_ms).
   void stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -190,10 +196,19 @@ class ServerRuntime {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  // True once both listener threads have been joined: only then is the
+  // queue final, and only then may an idle worker exit.  Without this
+  // gate a listener could push one last accepted job after every
+  // worker had already seen an empty queue and left — a drop.
+  std::atomic<bool> intake_done_{false};
+  // Steady-clock nanoseconds after which draining connections give up;
+  // written (before stopping_ flips) in stop(), read by workers.
+  std::atomic<std::int64_t> drain_deadline_ns_{0};
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<Job> queue_;
-  std::vector<std::thread> threads_;
+  std::vector<std::thread> worker_threads_;
+  std::vector<std::thread> listener_threads_;
 };
 
 // Accepts loopback TCP connections and serves record-marked calls.

@@ -231,6 +231,116 @@ TEST(SpecCache, NegativeCachingDoesNotRebuildFailures) {
   EXPECT_EQ(stats.build_failures, 1);
 }
 
+// ---- sharding ------------------------------------------------------------
+
+TEST(SpecCacheSharding, CountersAggregateAcrossShards) {
+  SpecCache cache(64, /*shards=*/4);
+  EXPECT_EQ(cache.shard_count(), 4u);
+  const auto proc = echo_array_proc();
+
+  const std::vector<std::uint32_t> sizes = {10, 20, 30, 40, 50, 60, 70, 80};
+  for (auto n : sizes) {
+    ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(n)).is_ok());
+  }
+  for (auto n : sizes) {  // second pass: all hits
+    ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(n)).is_ok());
+  }
+
+  const auto total = cache.stats();
+  EXPECT_EQ(total.misses, static_cast<std::int64_t>(sizes.size()));
+  EXPECT_EQ(total.hits, static_cast<std::int64_t>(sizes.size()));
+  EXPECT_EQ(total.evictions, 0);
+  EXPECT_EQ(cache.size(), sizes.size());
+
+  // The aggregate is exactly the sum of the per-shard counters, and the
+  // keys landed somewhere (not all in shard 0).
+  SpecCacheStats summed;
+  std::size_t summed_size = 0;
+  for (std::size_t s = 0; s < cache.shard_count(); ++s) {
+    const auto ss = cache.shard_stats(s);
+    summed.hits += ss.hits;
+    summed.misses += ss.misses;
+    summed.evictions += ss.evictions;
+    summed.build_failures += ss.build_failures;
+    summed_size += cache.shard_size(s);
+  }
+  EXPECT_EQ(summed.hits, total.hits);
+  EXPECT_EQ(summed.misses, total.misses);
+  EXPECT_EQ(summed.evictions, total.evictions);
+  EXPECT_EQ(summed_size, cache.size());
+}
+
+TEST(SpecCacheSharding, EvictionsStayPerShardBounded) {
+  // 4 shards x 2 slots each; flooding with distinct keys must bound the
+  // total footprint at the overall capacity.
+  SpecCache cache(8, /*shards=*/4);
+  const auto proc = echo_array_proc();
+  for (std::uint32_t n = 1; n <= 40; ++n) {
+    ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(n)).is_ok());
+  }
+  EXPECT_LE(cache.size(), 8u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 40);
+  EXPECT_EQ(stats.evictions,
+            40 - static_cast<std::int64_t>(cache.size()));
+}
+
+TEST(SpecCacheSharding, ShardCountClampedToCapacity) {
+  SpecCache cache(2, /*shards=*/8);
+  EXPECT_EQ(cache.shard_count(), 2u);  // every shard keeps >= 1 slot
+}
+
+// The one-build-per-key contract must survive sharding: 8 threads
+// hammer keys that scatter across 4 shards; each key still builds
+// exactly once and every thread sees the same shared instance.
+TEST(SpecCacheSharding, OneBuildPerKeyUnder8ThreadContention) {
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 200;
+  const std::vector<std::uint32_t> sizes = {11, 22, 33, 44, 55, 66, 77, 88};
+
+  SpecCache cache(64, /*shards=*/4);
+  const auto proc = echo_array_proc();
+
+  std::vector<std::vector<const SpecializedInterface*>> seen(
+      kThreads,
+      std::vector<const SpecializedInterface*>(sizes.size(), nullptr));
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const std::size_t k =
+            static_cast<std::size_t>((i + t) % sizes.size());
+        auto r = cache.get_or_build(proc, kProg, kVers, cfg_for(sizes[k]));
+        if (!r.is_ok()) {
+          ++failures;
+          continue;
+        }
+        if (seen[t][k] == nullptr) {
+          seen[t][k] = r->get();
+        } else if (seen[t][k] != r->get()) {
+          ++failures;  // key rebuilt: memoization broken
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, static_cast<std::int64_t>(sizes.size()));
+  EXPECT_EQ(stats.hits,
+            static_cast<std::int64_t>(kThreads) * kItersPerThread -
+                static_cast<std::int64_t>(sizes.size()));
+  EXPECT_EQ(stats.evictions, 0);
+  for (std::size_t k = 0; k < sizes.size(); ++k) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[t][k], seen[0][k]);
+    }
+  }
+}
+
 // ---- the cache under the concurrent server runtime -----------------------
 
 TEST(ServerRuntime, CachedServiceOverLoopbackUdp) {
