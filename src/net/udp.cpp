@@ -83,19 +83,14 @@ Status UdpSocket::set_nonblocking(bool on) {
   return Status::ok();
 }
 
-namespace {
-// UDPMSGSIZE analog: the largest datagram the RPC layer ever sends.
-constexpr std::size_t kMaxDatagram = 65000;
-}  // namespace
-
 int UdpSocket::recv_many(std::vector<Datagram>& out, int max_msgs) {
   if (fd_ < 0 || max_msgs <= 0) return 0;
   if (out.size() < static_cast<std::size_t>(max_msgs)) {
     out.resize(static_cast<std::size_t>(max_msgs));
   }
   for (int i = 0; i < max_msgs; ++i) {
-    if (out[static_cast<std::size_t>(i)].payload.size() < kMaxDatagram) {
-      out[static_cast<std::size_t>(i)].payload.resize(kMaxDatagram);
+    if (out[static_cast<std::size_t>(i)].payload.size() < kMaxDatagramBytes) {
+      out[static_cast<std::size_t>(i)].payload.resize(kMaxDatagramBytes);
     }
   }
 #if defined(__linux__)
@@ -142,6 +137,53 @@ int UdpSocket::recv_many(std::vector<Datagram>& out, int max_msgs) {
     ++n;
   }
   return n;
+#endif
+}
+
+int UdpSocket::send_many(const OutDatagram* msgs, int count) {
+  if (fd_ < 0 || count <= 0) return 0;
+#if defined(__linux__)
+  // Reused per calling thread so a steady stream of batched flushes
+  // does not hit the allocator (mirrors recv_many's pooled buffers).
+  thread_local std::vector<mmsghdr> hdrs;
+  thread_local std::vector<iovec> iovs;
+  thread_local std::vector<sockaddr_in> addrs;
+  hdrs.resize(static_cast<std::size_t>(count));
+  iovs.resize(static_cast<std::size_t>(count));
+  addrs.resize(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    // iovec wants a non-const pointer; sendmmsg never writes through it.
+    iovs[u].iov_base =
+        const_cast<std::uint8_t*>(msgs[u].payload.data());
+    iovs[u].iov_len = msgs[u].payload.size();
+    addrs[u] = to_sockaddr(msgs[u].dst);
+    hdrs[u] = mmsghdr{};
+    hdrs[u].msg_hdr.msg_iov = &iovs[u];
+    hdrs[u].msg_hdr.msg_iovlen = 1;
+    hdrs[u].msg_hdr.msg_name = &addrs[u];
+    hdrs[u].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+  }
+  int sent = 0;
+  while (sent < count) {
+    const int n = ::sendmmsg(fd_, hdrs.data() + sent,
+                             static_cast<unsigned>(count - sent), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // EWOULDBLOCK/ENOBUFS: caller retries the tail
+    }
+    if (n == 0) break;
+    sent += n;
+  }
+  return sent;
+#else
+  int sent = 0;
+  while (sent < count) {
+    const auto u = static_cast<std::size_t>(sent);
+    if (!send_to(msgs[u].dst, msgs[u].payload).is_ok()) break;
+    ++sent;
+  }
+  return sent;
 #endif
 }
 

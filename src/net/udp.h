@@ -7,6 +7,17 @@
 
 namespace tempo::net {
 
+// UDPMSGSIZE analog: the largest datagram payload the RPC layer ever
+// sends or expects.  recv_many sizes its buffers from this, and the
+// server runtimes size their reply scratch from it.
+inline constexpr std::size_t kMaxDatagramBytes = 65000;
+
+// The hard IPv4/UDP payload ceiling (65535 - 20 IP - 8 UDP): anything
+// larger cannot leave the socket at all (EMSGSIZE), so reply encodes
+// must be capped here — a reply that encodes but can never be sent
+// would turn into a silent client timeout instead of an error reply.
+inline constexpr std::size_t kMaxUdpPayloadBytes = 65507;
+
 // One received datagram.  `payload` stays at full datagram size and
 // `len` carries the received byte count — recv_many() never shrinks the
 // buffers, so reused batches perform no allocation AND no resize
@@ -15,6 +26,13 @@ struct Datagram {
   Addr src;
   Bytes payload;
   std::size_t len = 0;
+};
+
+// One outgoing datagram for send_many; `payload` views caller-owned
+// bytes that must stay valid for the duration of the call.
+struct OutDatagram {
+  Addr dst;
+  ByteSpan payload;
 };
 
 class UdpSocket final : public DatagramTransport {
@@ -46,6 +64,14 @@ class UdpSocket final : public DatagramTransport {
   // never shrunk).  Returns the number of datagrams received; 0 means
   // the socket had nothing pending.
   int recv_many(std::vector<Datagram>& out, int max_msgs);
+
+  // Batched send: transmits msgs[0..count) in order with one
+  // sendmmsg(2) syscall per burst on Linux (a sendto loop — one
+  // syscall per datagram — elsewhere).  Stops at the first datagram
+  // the kernel refuses (EWOULDBLOCK on a non-blocking socket, ENOBUFS,
+  // ...) and returns how many were sent; the caller owns retrying the
+  // tail.  EINTR is retried internally.
+  int send_many(const OutDatagram* msgs, int count);
 
  private:
   int fd_ = -1;

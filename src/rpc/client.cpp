@@ -1,5 +1,6 @@
 #include "rpc/client.h"
 
+#include <atomic>
 #include <chrono>
 
 namespace tempo::rpc {
@@ -8,14 +9,24 @@ using xdr::XdrMem;
 using xdr::XdrOp;
 using xdr::XdrRec;
 
+std::uint32_t initial_xid_seed(std::uint32_t clock_us) {
+  // The clock alone is not enough: clients constructed in the same
+  // microsecond would start identical XID streams and mis-match each
+  // other's replies.  Mixing in a process-wide counter scaled by an odd
+  // constant (the 2^32 golden ratio, so consecutive seeds land far
+  // apart) makes every in-process seed distinct for any fixed clock
+  // value (odd multiplier => the counter term is injective mod 2^32).
+  static std::atomic<std::uint32_t> counter{0};
+  return clock_us ^ (counter.fetch_add(1, std::memory_order_relaxed) *
+                     0x9E3779B9u);
+}
+
 namespace {
 
 std::uint32_t initial_xid() {
-  // Seed from the clock so concurrent clients rarely collide, like the
-  // gettimeofday seeding in clntudp_create.
   const auto t = std::chrono::steady_clock::now().time_since_epoch();
-  return static_cast<std::uint32_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(t).count());
+  return initial_xid_seed(static_cast<std::uint32_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t).count()));
 }
 
 }  // namespace

@@ -92,4 +92,12 @@ class TcpClient {
 // Status (OK means accepted/success and results follow).
 Status reply_header_to_status(const ReplyHeader& hdr);
 
+// Seed for a new client's XID stream: `clock_us` (the microsecond
+// clock, like clntudp_create's gettimeofday seed) mixed with a
+// process-wide counter so clients constructed in the same microsecond
+// — trivially common on a multicore host — still start distinct
+// streams.  The clock is a parameter so the same-clock case is
+// deterministically testable.
+std::uint32_t initial_xid_seed(std::uint32_t clock_us);
+
 }  // namespace tempo::rpc

@@ -1,5 +1,6 @@
 #include "rpc/event_runtime.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <utility>
@@ -10,17 +11,6 @@
 namespace tempo::rpc {
 
 namespace {
-
-// Wraps one reply message as a single last-fragment record, the framing
-// XdrRec's decode side expects (RFC 1057 §10).
-Bytes frame_reply(ByteSpan payload) {
-  Bytes framed(4 + payload.size());
-  store_be32(framed.data(),
-             xdr::XdrRec::kLastFragFlag |
-                 static_cast<std::uint32_t>(payload.size()));
-  std::memcpy(framed.data() + 4, payload.data(), payload.size());
-  return framed;
-}
 
 constexpr std::size_t kReadChunk = 64 * 1024;
 constexpr int kMaxReadsPerEvent = 4;
@@ -398,7 +388,14 @@ void EventServerRuntime::on_reply(std::uint64_t conn_id, Bytes framed) {
         pending_jobs_.fetch_sub(1, std::memory_order_acq_rel);
         return;
       }
-      c.out_buf.insert(c.out_buf.end(), framed.begin(), framed.end());
+      if (c.out_buf.empty()) {
+        // Common case (peer keeping up): adopt the worker's buffer
+        // outright instead of copying it into the write buffer.
+        c.out_buf = std::move(framed);
+        c.out_off = 0;
+      } else {
+        c.out_buf.insert(c.out_buf.end(), framed.begin(), framed.end());
+      }
       flush_conn(c);
     }
     auto again = conns_.find(conn_id);
@@ -454,46 +451,141 @@ int EventServerRuntime::push_datagram_jobs(std::vector<net::Datagram>& batch,
 }
 
 void EventServerRuntime::worker_loop() {
+  // Per-worker reply accumulator: datagram replies collect here and go
+  // out in one sendmmsg when the queue runs dry, a TCP job interleaves,
+  // or a full recvmmsg batch's worth has piled up.  Scheduling stays
+  // one-job-per-pop so a burst still fans out across the pool; only the
+  // SEND syscall is batched.
+  std::vector<UdpReply> acc;
   for (;;) {
     Job job{UdpDatagramJob{}};
+    bool have_job = false;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] {
-        return !queue_.empty() ||
-               workers_stop_.load(std::memory_order_acquire);
-      });
-      if (queue_.empty()) return;  // stopping and drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      if (acc.empty()) {
+        queue_cv_.wait(lock, [this] {
+          return !queue_.empty() ||
+                 workers_stop_.load(std::memory_order_acquire);
+        });
+        if (queue_.empty()) return;  // stopping and drained
+      }
+      if (!queue_.empty()) {
+        job = std::move(queue_.front());
+        queue_.pop_front();
+        have_job = true;
+      }
+    }
+    if (!have_job) {
+      // Unflushed replies and an (momentarily) empty queue: flush now
+      // rather than sit on them — this bounds added reply latency to
+      // one handler execution.
+      flush_udp_replies(acc);
+      continue;
     }
     if (auto* d = std::get_if<UdpDatagramJob>(&job)) {
-      serve_udp_datagram(*d);
+      serve_udp_datagram(*d, acc);
+      if (acc.size() >= static_cast<std::size_t>(
+                            cfg_.udp_batch < 1 ? 1 : cfg_.udp_batch)) {
+        flush_udp_replies(acc);
+      }
     } else if (auto* t = std::get_if<TcpRequestJob>(&job)) {
+      flush_udp_replies(acc);  // don't hold replies across a TCP call
       serve_tcp_request(*t);
     }
   }
 }
 
-void EventServerRuntime::serve_udp_datagram(UdpDatagramJob& job) {
-  Bytes reply =
-      registry_.handle_datagram(ByteSpan(job.payload.data(), job.len));
-  if (!reply.empty()) {
-    (void)udp_->send_to(job.src, ByteSpan(reply.data(), reply.size()));
-  }
+void EventServerRuntime::serve_udp_datagram(UdpDatagramJob& job,
+                                            std::vector<UdpReply>& acc) {
+  // Zero-copy dispatch: the worker exclusively owns the recycled
+  // receive payload, so arguments decode in place and the reply encodes
+  // straight into a pooled buffer — no scratch memset/memcpy on either
+  // side of the hot path.  pending_jobs_ is decremented when the reply
+  // actually flushes so stop()'s drain covers the accumulator too.
+  Bytes out = take_payload_buffer();
+  // Pooled buffers are kMaxDatagramBytes; only a near-max request needs
+  // the headroom growth the reply_capacity rule grants everywhere else.
+  // Clamp at the UDP payload ceiling: letting a reply encode past what
+  // a datagram can physically carry would trade an immediate
+  // GARBAGE_ARGS error reply for a silent EMSGSIZE drop and a client
+  // timeout.
+  const std::size_t cap =
+      std::min(reply_capacity(job.len), net::kMaxUdpPayloadBytes);
+  if (out.size() < cap) out.resize(cap);
+  const std::size_t n =
+      registry_.handle_request(ByteSpan(job.payload.data(), job.len),
+                               MutableByteSpan(out.data(), cap));
   recycle_payload(std::move(job.payload));
-  pending_jobs_.fetch_sub(1, std::memory_order_acq_rel);
+  if (n == 0) {
+    recycle_payload(std::move(out));
+    pending_jobs_.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+  acc.push_back(UdpReply{job.src, std::move(out), n});
+}
+
+void EventServerRuntime::flush_udp_replies(std::vector<UdpReply>& acc) {
+  if (acc.empty()) return;
+  const int total = static_cast<int>(acc.size());
+  // Reused per worker thread: the flush path, like the receive path,
+  // must not allocate in steady state.
+  thread_local std::vector<net::OutDatagram> msgs;
+  msgs.resize(acc.size());
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    msgs[i].dst = acc[i].dst;
+    msgs[i].payload = ByteSpan(acc[i].buf.data(), acc[i].len);
+  }
+  ++stats_.udp_reply_batches;
+  const int sent = udp_->send_many(msgs.data(), total);
+  if (sent < total) {
+    // The kernel refused the tail (EWOULDBLOCK on the non-blocking
+    // socket, ENOBUFS, ...).  Retry once on the reactor thread instead
+    // of dropping silently; what it still refuses is counted.
+    stats_.reply_send_retries += total - sent;
+    std::vector<UdpReply> tail(
+        std::make_move_iterator(acc.begin() + sent),
+        std::make_move_iterator(acc.end()));
+    reactor_.post([this, tail = std::move(tail)]() mutable {
+      for (auto& r : tail) {
+        if (!udp_->send_to(r.dst, ByteSpan(r.buf.data(), r.len)).is_ok()) {
+          ++stats_.reply_send_failures;
+        }
+        recycle_payload(std::move(r.buf));
+      }
+    });
+  }
+  for (int i = 0; i < sent; ++i) {
+    recycle_payload(std::move(acc[static_cast<std::size_t>(i)].buf));
+  }
+  pending_jobs_.fetch_sub(total, std::memory_order_acq_rel);
+  acc.clear();
 }
 
 void EventServerRuntime::serve_tcp_request(TcpRequestJob& job) {
   // The record is a complete call message in one contiguous buffer, so
-  // the same XdrMem dispatch path as UDP serves it — and the residual
-  // decode plans can XDR_INLINE the arguments, unlike an xdrrec stream.
-  Bytes reply =
-      registry_.handle_datagram(ByteSpan(job.record.data(), job.record.size()));
+  // the same zero-copy span path as UDP serves it — arguments decode in
+  // place (residual plans can XDR_INLINE them, unlike an xdrrec stream)
+  // and the reply encodes directly after the 4-byte record mark in a
+  // per-thread frame scratch.  TCP replies are not bounded by the
+  // request (a read-style proc turns a 100-byte call into a big blob),
+  // so the scratch provisions kMaxStreamReplyBytes like every other
+  // stream-path adapter — once per worker thread, not per request —
+  // and additionally scales with the record so a non-default
+  // max_record_bytes config keeps its echo-style replies too.
+  thread_local Bytes scratch;
+  const std::size_t cap =
+      std::max(kMaxStreamReplyBytes, reply_capacity(job.record.size()));
+  if (scratch.size() < 4 + cap) scratch.resize(4 + cap);
+  const std::size_t len = registry_.handle_request(
+      ByteSpan(job.record.data(), job.record.size()),
+      MutableByteSpan(scratch.data() + 4, cap));
   Bytes framed;
-  if (!reply.empty()) {
+  if (len > 0) {
     ++stats_.tcp_calls;
-    framed = frame_reply(ByteSpan(reply.data(), reply.size()));
+    store_be32(scratch.data(),
+               xdr::XdrRec::kLastFragFlag | static_cast<std::uint32_t>(len));
+    framed.assign(scratch.begin(),
+                  scratch.begin() + static_cast<std::ptrdiff_t>(4 + len));
   }
   // Hand the reply (or just the busy-clear) back to the reactor thread,
   // which owns all connection state.  pending_jobs_ is decremented by
@@ -515,6 +607,22 @@ std::vector<net::Datagram> EventServerRuntime::take_batch_buffer() {
 void EventServerRuntime::recycle_batch_buffer(std::vector<net::Datagram> buf) {
   std::lock_guard<std::mutex> lock(pool_mu_);
   if (batch_pool_.size() < 8) batch_pool_.push_back(std::move(buf));
+}
+
+Bytes EventServerRuntime::take_payload_buffer() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!payload_pool_.empty()) {
+      Bytes buf = std::move(payload_pool_.back());
+      payload_pool_.pop_back();
+      if (buf.size() >= net::kMaxDatagramBytes) return buf;
+      // A short buffer can only enter the pool through a code change;
+      // grow it rather than propagate a truncated reply cap.
+      buf.resize(net::kMaxDatagramBytes);
+      return buf;
+    }
+  }
+  return Bytes(net::kMaxDatagramBytes);
 }
 
 void EventServerRuntime::recycle_payload(Bytes payload) {

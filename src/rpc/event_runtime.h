@@ -8,15 +8,20 @@
 //   * one reactor thread multiplexes the UDP socket, the TCP listener
 //     and every accepted connection (epoll on Linux, poll elsewhere);
 //   * the UDP socket is non-blocking and drained in recvmmsg batches —
-//     one syscall per burst, not per datagram;
+//     one syscall per burst, not per datagram — and replies flush back
+//     out through per-worker accumulators and sendmmsg
+//     (UdpSocket::send_many), so a burst pairs one syscall per batch in
+//     BOTH directions;
 //   * each TCP connection carries its own record-reassembly buffer and
 //     pending-write buffer.  The reactor reads whatever bytes are
 //     available, assembles record-marked fragments, and only when a
 //     COMPLETE call record exists hands it to the worker pool — a slow
 //     peer therefore delays nobody but itself;
-//   * workers run SvcRegistry::dispatch exactly as before and post the
-//     framed reply back to the reactor, which writes it without ever
-//     blocking (leftover bytes wait for writability).
+//   * workers dispatch through SvcRegistry::handle_request — decoding
+//     each request IN PLACE from the receive buffer and encoding the
+//     reply into a caller-owned buffer, no scratch memset/memcpy — and
+//     post framed TCP replies back to the reactor, which writes them
+//     without ever blocking (leftover bytes wait for writability).
 //
 // Because a TCP request reaches the worker as one contiguous record,
 // argument decode goes through XdrMem — XDR_INLINE succeeds and the
@@ -73,6 +78,12 @@ struct EventServerRuntimeConfig {
 struct EventServerRuntimeStats {
   std::atomic<std::int64_t> udp_datagrams{0};
   std::atomic<std::int64_t> udp_batches{0};  // recv_many calls that got >0
+  std::atomic<std::int64_t> udp_reply_batches{0};  // send_many flushes
+  // Replies the kernel refused on first send (EWOULDBLOCK on the
+  // non-blocking socket, ENOBUFS, ...), handed to the reactor for one
+  // retry — and the ones still refused there, which are dropped.
+  std::atomic<std::int64_t> reply_send_retries{0};
+  std::atomic<std::int64_t> reply_send_failures{0};
   std::atomic<std::int64_t> tcp_connections{0};
   std::atomic<std::int64_t> tcp_calls{0};
   std::atomic<std::int64_t> overload_drops{0};  // queue-full datagram drops
@@ -138,6 +149,16 @@ class EventServerRuntime {
   };
   using Job = std::variant<UdpDatagramJob, TcpRequestJob>;
 
+  // One encoded-but-unsent UDP reply in a worker's accumulator: `buf`
+  // is a pooled full-size buffer with `len` valid bytes.  Accumulated
+  // replies flush through UdpSocket::send_many so a served burst costs
+  // one sendmmsg, pairing with the recvmmsg receive path.
+  struct UdpReply {
+    net::Addr dst;
+    Bytes buf;
+    std::size_t len = 0;
+  };
+
   // ---- reactor-thread handlers ---------------------------------------
   void reactor_loop();
   void on_udp_readable();
@@ -161,10 +182,16 @@ class EventServerRuntime {
   // lock acquisition; returns how many fit (the rest are drops).
   int push_datagram_jobs(std::vector<net::Datagram>& batch, int n);
   void worker_loop();
-  void serve_udp_datagram(UdpDatagramJob& job);
+  // Serves one datagram with the zero-copy span path; the reply lands
+  // in `acc` (flushed by flush_udp_replies), not on the wire yet.
+  void serve_udp_datagram(UdpDatagramJob& job, std::vector<UdpReply>& acc);
+  // One send_many per accumulator; refused tails are retried once on
+  // the reactor thread before counting as reply_send_failures.
+  void flush_udp_replies(std::vector<UdpReply>& acc);
   void serve_tcp_request(TcpRequestJob& job);
   std::vector<net::Datagram> take_batch_buffer();
   void recycle_batch_buffer(std::vector<net::Datagram> buf);
+  Bytes take_payload_buffer();
   void recycle_payload(Bytes payload);
 
   SvcRegistry& registry_;

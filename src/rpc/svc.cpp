@@ -120,29 +120,40 @@ bool SvcRegistry::dispatch(XdrStream& in, XdrMem& out) {
   return true;
 }
 
+std::size_t SvcRegistry::handle_request(ByteSpan request,
+                                        MutableByteSpan reply_out) {
+  XdrMem in(request, XdrOp::kDecode);
+  XdrMem out(reply_out, XdrOp::kEncode);
+  if (!dispatch(in, out)) return 0;
+  return out.getpos();
+}
+
 Bytes SvcRegistry::handle_datagram(ByteSpan request) {
-  // Per-thread scratch so concurrent workers (ServerRuntime) can serve
-  // datagrams through one registry without sharing buffers.  The
-  // request scratch must track the actual request size: the reactor
-  // runtime feeds this path TCP records larger than any UDP datagram
-  // (up to its max_record_bytes), and a fixed-size buffer would be a
-  // remotely triggerable overflow.
+  // Per-thread scratch so concurrent workers can serve datagrams
+  // through one registry without sharing buffers.  Both scratches must
+  // track the actual request size: callers may feed this path records
+  // larger than any UDP datagram (up to the reactor runtime's
+  // max_record_bytes), and a fixed-size request buffer would be a
+  // remotely triggerable overflow while a fixed-size reply buffer
+  // breaks any large echo-style reply.
   thread_local Bytes scratch_out;
   thread_local Bytes req;
-  const std::size_t req_size = std::max<std::size_t>(65000, request.size());
-  if (scratch_out.size() < 65000) scratch_out.resize(65000);
+  const std::size_t req_size =
+      std::max<std::size_t>(kMinReplyBytes, request.size());
+  const std::size_t out_size = reply_capacity(request.size());
+  if (scratch_out.size() < out_size) scratch_out.resize(out_size);
   if (req.size() < req_size) req.resize(req_size);
   // The paper calls out the input-buffer bzero as part of the measured
   // round-trip cost; keep it on the generic path.
   if (clear_input_) std::memset(req.data(), 0, req.size());
   std::memcpy(req.data(), request.data(), request.size());
 
-  XdrMem in(MutableByteSpan(req.data(), request.size()), XdrOp::kDecode);
-  XdrMem out(MutableByteSpan(scratch_out.data(), scratch_out.size()),
-             XdrOp::kEncode);
-  if (!dispatch(in, out)) return {};
+  const std::size_t n =
+      handle_request(ByteSpan(req.data(), request.size()),
+                     MutableByteSpan(scratch_out.data(), out_size));
+  if (n == 0) return {};
   return Bytes(scratch_out.begin(),
-               scratch_out.begin() + static_cast<std::ptrdiff_t>(out.getpos()));
+               scratch_out.begin() + static_cast<std::ptrdiff_t>(n));
 }
 
 bool UdpServer::poll_once(int timeout_ms) {
@@ -190,7 +201,16 @@ int TcpServer::serve_one_connection(const std::atomic<bool>& stop,
     return r.is_ok() ? *r : 0;
   });
 
-  Bytes out_buf(65000);
+  // The xdrrec stream hides the request size until dispatch decodes it,
+  // so provision the reply for the largest record any runtime accepts —
+  // a fixed 65000-byte buffer breaks large echo-style replies.
+  // Per-thread and persistent: the ~1 MB allocation+zero-fill happens
+  // once per serving thread, not once per connection (one thread serves
+  // one connection at a time, so sharing is safe).
+  thread_local Bytes out_buf;
+  if (out_buf.size() < kMaxStreamReplyBytes) {
+    out_buf.resize(kMaxStreamReplyBytes);
+  }
   while (!stop.load(std::memory_order_relaxed)) {
     XdrMem out(MutableByteSpan(out_buf.data(), out_buf.size()),
                XdrOp::kEncode);
@@ -323,7 +343,7 @@ bool ServerRuntime::push_job(Job job, bool droppable) {
 }
 
 void ServerRuntime::udp_listen_loop() {
-  Bytes buf(65000);
+  Bytes buf(net::kMaxDatagramBytes);
   while (!stopping_.load(std::memory_order_acquire)) {
     net::Addr peer;
     auto got = udp_->recv_from(
@@ -365,10 +385,17 @@ void ServerRuntime::worker_loop() {
     }
     queue_cv_.notify_all();  // wake a blocked pusher
     if (auto* d = std::get_if<DatagramJob>(&job)) {
-      Bytes reply = registry_.handle_datagram(
-          ByteSpan(d->request.data(), d->request.size()));
-      if (!reply.empty()) {
-        (void)udp_->send_to(d->peer, ByteSpan(reply.data(), reply.size()));
+      // Zero-copy dispatch: the job owns its request bytes exclusively,
+      // so decode runs in place and the reply encodes straight into the
+      // per-thread send buffer — no scratch copy on either side.
+      thread_local Bytes reply_buf;
+      const std::size_t cap = reply_capacity(d->request.size());
+      if (reply_buf.size() < cap) reply_buf.resize(cap);
+      const std::size_t n = registry_.handle_request(
+          ByteSpan(d->request.data(), d->request.size()),
+          MutableByteSpan(reply_buf.data(), cap));
+      if (n > 0) {
+        (void)udp_->send_to(d->peer, ByteSpan(reply_buf.data(), n));
       }
     } else if (auto* c = std::get_if<ConnJob>(&job)) {
       serve_connection(*c->conn);
@@ -404,7 +431,13 @@ void ServerRuntime::serve_connection(net::TcpConn& conn) {
     return now_ns > drain_deadline_ns_.load(std::memory_order_acquire);
   };
 
-  Bytes out_buf(65000);
+  // Reply sizing mirrors TcpServer::serve_one_connection: the request
+  // size is unknown until decoded, so provision for the largest record,
+  // per-thread so the cost is paid once per worker, not per connection.
+  thread_local Bytes out_buf;
+  if (out_buf.size() < kMaxStreamReplyBytes) {
+    out_buf.resize(kMaxStreamReplyBytes);
+  }
   while (!past_drain_deadline()) {
     XdrMem out(MutableByteSpan(out_buf.data(), out_buf.size()),
                XdrOp::kEncode);

@@ -39,6 +39,28 @@ using SvcHandler =
 // Optional credential gate; non-kOk yields an AUTH_ERROR rejection.
 using AuthChecker = std::function<AuthStat(const OpaqueAuth& cred)>;
 
+// ---- reply-buffer sizing rule (shared by every transport adapter) ----
+//
+// A reply buffer must never be smaller than the classic UDP message
+// size, and for transports that accept larger records (the reactor
+// runtime's TCP records go up to max_record_bytes = 1 MB) it must scale
+// with the request: an echo-style handler produces a reply about as
+// large as its request, so a fixed 65000-byte scratch silently breaks
+// any large-record reply (the handler's encode fails and the client
+// sees GARBAGE_ARGS).  kReplyHeadroom covers the reply header of
+// procedures whose results exceed their arguments by a bounded amount.
+inline constexpr std::size_t kMinReplyBytes = 65000;  // UDPMSGSIZE analog
+inline constexpr std::size_t kReplyHeadroom = 1024;
+inline std::size_t reply_capacity(std::size_t request_size) {
+  const std::size_t scaled = request_size + kReplyHeadroom;
+  return scaled < kMinReplyBytes ? kMinReplyBytes : scaled;
+}
+// The record-stream (xdrrec) server paths cannot see the request size
+// before dispatch, so they provision for the largest record the reactor
+// runtime accepts (EventServerRuntimeConfig::max_record_bytes default).
+inline constexpr std::size_t kMaxStreamReplyBytes =
+    (1u << 20) + kReplyHeadroom;
+
 // Atomic so concurrent worker threads (ServerRuntime) can dispatch
 // through one registry without a stats race; single-threaded callers
 // read the fields exactly as before.
@@ -66,15 +88,31 @@ class SvcRegistry {
   // dispatch table is built before svc_run).
   bool dispatch(xdr::XdrStream& in, xdr::XdrMem& out);
 
+  // Zero-copy dispatch: decodes the call IN PLACE from `request` — the
+  // caller-owned receive buffer is neither copied nor cleared — and
+  // encodes the reply into `reply_out` (size it with reply_capacity()).
+  // Returns the number of reply bytes written; 0 means the request was
+  // undecodable and must be dropped (a real reply always carries at
+  // least a header, so 0 is unambiguous).  Buffer contract (see
+  // src/rpc/README.md): the registry only reads `request`, and the
+  // caller must keep both spans exclusively owned by the dispatching
+  // thread until the call returns.
+  std::size_t handle_request(ByteSpan request, MutableByteSpan reply_out);
+
   // Convenience for datagram transports: request bytes -> reply bytes.
-  // Empty result means "drop".
+  // Empty result means "drop".  This is the generic copy path — the
+  // request is copied into per-thread scratch (after the optional
+  // paper-faithful bzero) and the reply is copied out; the runtimes'
+  // hot paths use handle_request instead.
   Bytes handle_datagram(ByteSpan request);
 
   const SvcStats& stats() const { return stats_; }
 
-  // When true (default, faithful to the original), the datagram path
-  // clears its receive scratch before each request — the bzero the paper
-  // names as a round-trip cost (§5 "Round-trip RPC").
+  // When true (default, faithful to the original), the generic
+  // handle_datagram path clears its receive scratch before each request
+  // — the bzero the paper names as a round-trip cost (§5 "Round-trip
+  // RPC").  The zero-copy handle_request path never clears or copies,
+  // regardless of this knob.
   void set_clear_input_buffer(bool on) { clear_input_ = on; }
 
  private:
@@ -101,7 +139,7 @@ class UdpServer {
  private:
   net::DatagramTransport& transport_;
   SvcRegistry& registry_;
-  Bytes recv_buf_ = Bytes(65000);
+  Bytes recv_buf_ = Bytes(net::kMaxDatagramBytes);
 };
 
 // Installs a SimEndpoint handler so requests dispatch inline while the

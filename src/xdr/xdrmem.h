@@ -23,6 +23,20 @@ class XdrMem final : public XdrStream {
         handy_(static_cast<std::int64_t>(buffer.size())),
         size_(buffer.size()) {}
 
+  // Decode-only view over const caller-owned bytes — the zero-copy
+  // dispatch path reads receive buffers in place without copying them
+  // into mutable scratch first.  An encode op over a const buffer is a
+  // caller bug; the stream then starts exhausted so every put fails
+  // instead of writing through the const view.
+  XdrMem(ByteSpan buffer, XdrOp op)
+      : XdrStream(op),
+        base_(const_cast<std::uint8_t*>(buffer.data())),
+        private_(base_),
+        handy_(op == XdrOp::kEncode
+                   ? -1
+                   : static_cast<std::int64_t>(buffer.size())),
+        size_(op == XdrOp::kEncode ? 0 : buffer.size()) {}
+
   bool putlong(std::int32_t v) override;
   bool getlong(std::int32_t* v) override;
   bool putbytes(ByteSpan data) override;

@@ -286,7 +286,151 @@ TEST(EventServerRuntime, DrainsDatagramBurstsInBatches) {
   // The whole point of recv_many: far fewer wakeups than datagrams.
   EXPECT_LE(runtime.stats().udp_batches.load(),
             runtime.stats().udp_datagrams.load());
+  // Replies flush through per-worker sendmmsg accumulators: at least
+  // one batch happened, never more batches than replies, and on
+  // loopback nothing may be dropped — every send either succeeded
+  // first try or survived the reactor retry.
+  EXPECT_GE(runtime.stats().udp_reply_batches.load(), 1);
+  EXPECT_LE(runtime.stats().udp_reply_batches.load(),
+            static_cast<std::int64_t>(kBurst));
+  EXPECT_EQ(runtime.stats().reply_send_failures.load(), 0);
   runtime.stop();
+}
+
+// -------------------------------------- large-record replies (bugfix) ---
+
+// Reply buffers used to be hard-capped at 65000 bytes while the
+// runtimes accept records up to max_record_bytes (1 MB): a handler
+// echoing a ~600 KB array back failed to encode its reply and the
+// client saw GARBAGE_ARGS.  Both runtimes must now serve it.
+template <typename RuntimeT, typename ConfigT>
+void expect_large_tcp_echo_works() {
+  rpc::SvcRegistry reg;
+  reg.register_proc(kProg, kVers, kProc,
+                    [](xdr::XdrStream& in, xdr::XdrStream& out) {
+                      std::uint32_t count = 0;
+                      if (!xdr::xdr_u_int(in, count) || count > (1u << 18)) {
+                        return false;
+                      }
+                      if (!xdr::xdr_u_int(out, count)) return false;
+                      for (std::uint32_t i = 0; i < count; ++i) {
+                        std::int32_t v = 0;
+                        if (!xdr::xdr_int(in, v) || !xdr::xdr_int(out, v)) {
+                          return false;
+                        }
+                      }
+                      return true;
+                    });
+
+  ConfigT cfg;
+  cfg.workers = 2;
+  cfg.enable_udp = false;
+  RuntimeT runtime(reg, cfg);
+  ASSERT_TRUE(runtime.start().is_ok());
+
+  const std::uint32_t n = 150000;  // ~600 KB of payload each way
+  rpc::TcpClient client(runtime.tcp_addr(), kProg, kVers);
+  ASSERT_TRUE(client.ok());
+  std::vector<std::int32_t> sent(n), got;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    sent[i] = static_cast<std::int32_t>(i * 2654435761u);
+  }
+  Status st = client.call(
+      kProc,
+      [&](xdr::XdrStream& x) {
+        std::uint32_t count = n;
+        if (!xdr::xdr_u_int(x, count)) return false;
+        for (auto& v : sent) {
+          if (!xdr::xdr_int(x, v)) return false;
+        }
+        return true;
+      },
+      [&](xdr::XdrStream& x) {
+        std::uint32_t count = 0;
+        if (!xdr::xdr_u_int(x, count) || count != n) return false;
+        got.resize(count);
+        for (auto& v : got) {
+          if (!xdr::xdr_int(x, v)) return false;
+        }
+        return true;
+      });
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  EXPECT_EQ(got, sent);
+  EXPECT_EQ(reg.stats().protocol_errors.load(), 0);
+  runtime.stop();
+}
+
+TEST(EventServerRuntime, LargeTcpEchoReply) {
+  expect_large_tcp_echo_works<rpc::EventServerRuntime,
+                              rpc::EventServerRuntimeConfig>();
+}
+
+TEST(ServerRuntime, LargeTcpEchoReply) {
+  expect_large_tcp_echo_works<rpc::ServerRuntime, rpc::ServerRuntimeConfig>();
+}
+
+// TCP replies are not bounded by their request: a read-style procedure
+// turns a tiny call into a large result.  Every TCP adapter provisions
+// kMaxStreamReplyBytes, so this must work on both runtimes too.
+template <typename RuntimeT, typename ConfigT>
+void expect_large_reply_from_small_request_works() {
+  rpc::SvcRegistry reg;
+  reg.register_proc(kProg, kVers, kProc,
+                    [](xdr::XdrStream& in, xdr::XdrStream& out) {
+                      std::uint32_t count = 0;  // "read N ints" request
+                      if (!xdr::xdr_u_int(in, count) || count > (1u << 18)) {
+                        return false;
+                      }
+                      if (!xdr::xdr_u_int(out, count)) return false;
+                      for (std::uint32_t i = 0; i < count; ++i) {
+                        std::int32_t v = static_cast<std::int32_t>(i ^ count);
+                        if (!xdr::xdr_int(out, v)) return false;
+                      }
+                      return true;
+                    });
+
+  ConfigT cfg;
+  cfg.workers = 2;
+  cfg.enable_udp = false;
+  RuntimeT runtime(reg, cfg);
+  ASSERT_TRUE(runtime.start().is_ok());
+
+  const std::uint32_t n = 150000;  // ~40-byte call, ~600 KB reply
+  rpc::TcpClient client(runtime.tcp_addr(), kProg, kVers);
+  ASSERT_TRUE(client.ok());
+  std::vector<std::int32_t> got;
+  Status st = client.call(
+      kProc,
+      [&](xdr::XdrStream& x) {
+        std::uint32_t count = n;
+        return xdr::xdr_u_int(x, count);
+      },
+      [&](xdr::XdrStream& x) {
+        std::uint32_t count = 0;
+        if (!xdr::xdr_u_int(x, count) || count != n) return false;
+        got.resize(count);
+        for (auto& v : got) {
+          if (!xdr::xdr_int(x, v)) return false;
+        }
+        return true;
+      });
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(n));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ASSERT_EQ(got[i], static_cast<std::int32_t>(i ^ n));
+  }
+  EXPECT_EQ(reg.stats().protocol_errors.load(), 0);
+  runtime.stop();
+}
+
+TEST(EventServerRuntime, LargeReplyFromSmallRequest) {
+  expect_large_reply_from_small_request_works<rpc::EventServerRuntime,
+                                              rpc::EventServerRuntimeConfig>();
+}
+
+TEST(ServerRuntime, LargeReplyFromSmallRequest) {
+  expect_large_reply_from_small_request_works<rpc::ServerRuntime,
+                                              rpc::ServerRuntimeConfig>();
 }
 
 // A TCP record that goes ready while the worker queue is full must be

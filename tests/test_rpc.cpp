@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
 #include <thread>
+#include <vector>
 
 #include "common/endian.h"
 #include "net/simnet.h"
@@ -184,6 +186,114 @@ TEST(Svc, DispatchSuccessAndErrors) {
   EXPECT_EQ(reg.stats().undecodable, 1);
 }
 
+// ---- zero-copy dispatch: span path vs legacy copy path ------------------
+
+SvcHandler echo_array_handler() {
+  return [](XdrStream& in, XdrStream& out) {
+    std::uint32_t count = 0;
+    if (!xdr::xdr_u_int(in, count) || count > 1u << 18) return false;
+    if (!xdr::xdr_u_int(out, count)) return false;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::int32_t v = 0;
+      if (!xdr::xdr_int(in, v) || !xdr::xdr_int(out, v)) return false;
+    }
+    return true;
+  };
+}
+
+Bytes make_array_call(std::uint32_t xid, std::uint32_t count) {
+  Bytes buf(64 + 4 * static_cast<std::size_t>(count));
+  XdrMem enc(MutableByteSpan(buf.data(), buf.size()), XdrOp::kEncode);
+  CallHeader hdr;
+  hdr.xid = xid;
+  hdr.prog = 300;
+  hdr.vers = 1;
+  hdr.proc = 2;
+  EXPECT_TRUE(xdr_call_header(enc, hdr));
+  EXPECT_TRUE(xdr::xdr_u_int(enc, count));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::int32_t v = static_cast<std::int32_t>(i * 2654435761u);
+    EXPECT_TRUE(xdr::xdr_int(enc, v));
+  }
+  buf.resize(enc.getpos());
+  return buf;
+}
+
+void install_corpus_procs(SvcRegistry& reg) {
+  reg.register_proc(300, 1, 1, echo_int_handler());
+  reg.register_proc(300, 2, 1, echo_int_handler());
+  reg.register_proc(300, 1, 2, echo_array_handler());
+}
+
+// The whole request corpus — success paths, every protocol error, and
+// garbage — must produce byte-identical replies and identical stats
+// through the legacy copy path (handle_datagram) and the zero-copy span
+// path (handle_request), with the span path never touching scratch.
+TEST(Svc, ZeroCopySpanPathMatchesLegacyCopyPath) {
+  std::vector<Bytes> corpus;
+  corpus.push_back(make_call(10, 300, 1, 1));       // success
+  corpus.push_back(make_call(11, 300, 1, 1, 3));    // RPC_MISMATCH
+  corpus.push_back(make_call(12, 999, 1, 1));       // PROG_UNAVAIL
+  corpus.push_back(make_call(13, 300, 9, 1));       // PROG_MISMATCH
+  corpus.push_back(make_call(14, 300, 1, 42));      // PROC_UNAVAIL
+  Bytes truncated = make_call(15, 300, 1, 1);
+  truncated.resize(truncated.size() - 4);           // GARBAGE_ARGS
+  corpus.push_back(truncated);
+  corpus.push_back(Bytes{1, 2, 3});                 // undecodable: drop
+  corpus.push_back(make_array_call(16, 1));
+  corpus.push_back(make_array_call(17, 100));
+  corpus.push_back(make_array_call(18, 2000));      // paper's array size
+
+  SvcRegistry legacy;
+  SvcRegistry span;
+  install_corpus_procs(legacy);
+  install_corpus_procs(span);
+
+  Bytes reply_buf;
+  for (const auto& req : corpus) {
+    const Bytes via_legacy =
+        legacy.handle_datagram(ByteSpan(req.data(), req.size()));
+
+    // The span path decodes the caller's buffer in place; hand it a
+    // private mutable copy exactly like a transport receive buffer.
+    Bytes receive = req;
+    reply_buf.assign(reply_capacity(receive.size()), 0xEE);
+    const std::size_t n = span.handle_request(
+        ByteSpan(receive.data(), receive.size()),
+        MutableByteSpan(reply_buf.data(), reply_buf.size()));
+    const Bytes via_span(reply_buf.begin(),
+                         reply_buf.begin() + static_cast<std::ptrdiff_t>(n));
+
+    EXPECT_EQ(via_legacy, via_span);
+    EXPECT_EQ(receive, req);  // dispatch only ever reads the request
+  }
+
+  EXPECT_EQ(legacy.stats().requests, span.stats().requests);
+  EXPECT_EQ(legacy.stats().success, span.stats().success);
+  EXPECT_EQ(legacy.stats().protocol_errors, span.stats().protocol_errors);
+  EXPECT_EQ(legacy.stats().undecodable, span.stats().undecodable);
+  EXPECT_EQ(span.stats().success, 4);
+  EXPECT_EQ(span.stats().undecodable, 1);
+}
+
+// Reply buffers must scale with the request: a ~780 KB echo (200000
+// ints) exceeds the old fixed 65000-byte reply scratch, which made the
+// handler's encode fail and turned the reply into GARBAGE_ARGS.
+TEST(Svc, LargeEchoReplySizesFromRequest) {
+  SvcRegistry reg;
+  install_corpus_procs(reg);
+  const std::uint32_t count = 200000;
+  const Bytes req = make_array_call(20, count);
+  ASSERT_GT(req.size(), 65000u * 4);
+
+  const Bytes reply = reg.handle_datagram(ByteSpan(req.data(), req.size()));
+  ASSERT_FALSE(reply.empty());
+  EXPECT_EQ(parse_reply(reply).accept_stat, AcceptStat::kSuccess);
+  EXPECT_GT(reply.size(), 4u * count);
+  EXPECT_EQ(reg.stats().success, 1);
+  EXPECT_EQ(reg.stats().protocol_errors, 0);
+}
+
 TEST(Svc, AuthCheckerRejects) {
   SvcRegistry reg;
   reg.register_proc(300, 1, 1, echo_int_handler());
@@ -194,6 +304,54 @@ TEST(Svc, AuthCheckerRejects) {
   ReplyHeader h = parse_reply(reg.handle_datagram(make_call(1, 300, 1, 1)));
   EXPECT_EQ(h.stat, ReplyStat::kDenied);
   EXPECT_EQ(h.reject_stat, RejectStat::kAuthError);
+}
+
+// Clients constructed in a tight loop used to seed their XID streams
+// from steady_clock microseconds alone, so two constructions in the
+// same microsecond started identical streams and could adopt each
+// other's replies.  Seeds must be distinct no matter how fast clients
+// are created.
+TEST(Client, InitialXidsDistinctForClientsCreatedInTightLoop) {
+  // The deterministic pin: with the CLOCK FROZEN (every construction in
+  // the same microsecond — the case a multicore host hits naturally),
+  // N seeds must still be N distinct values.  Clock-only seeding
+  // returns the same XID for all of them.
+  {
+    std::set<std::uint32_t> seeds;
+    constexpr int kSameMicrosecond = 1000;
+    for (int i = 0; i < kSameMicrosecond; ++i) {
+      seeds.insert(initial_xid_seed(0xDEADBEEFu));
+    }
+    EXPECT_EQ(seeds.size(), static_cast<std::size_t>(kSameMicrosecond));
+  }
+
+  net::UdpSocket sock;
+  ASSERT_TRUE(sock.ok());
+  // And end-to-end: concurrently constructed real clients (which land
+  // in the same microsecond on any multicore host) get distinct seeds.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 64;
+  std::vector<std::vector<std::uint32_t>> per_thread(kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      per_thread[static_cast<std::size_t>(t)].reserve(kPerThread);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        UdpClient client(sock, net::Addr{0x7F000001u, 9}, 300, 1);
+        per_thread[static_cast<std::size_t>(t)].push_back(client.last_xid());
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  std::set<std::uint32_t> seeds;
+  for (const auto& v : per_thread) seeds.insert(v.begin(), v.end());
+  EXPECT_EQ(seeds.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
 }
 
 // ---- real loopback UDP round trip ---------------------------------------
