@@ -29,7 +29,14 @@
 // and the sendmmsg reply batching pair up on — use it to measure the
 // zero-copy dispatch + reply-batching win on the reactor runtime.
 //
+// --reactors N shards the reactor runtime across N event-loop threads
+// (SO_REUSEPORT UDP + partitioned TCP conns); compare --reactors 1 vs 4
+// under --window to measure the multi-reactor scaling once one event
+// loop saturates.  Each JSON point records its `reactors` and `backend`
+// so artifacts from different configurations stay distinguishable.
+//
 // Usage: bench_concurrent [--duration-ms N] [--dwell-us N] [--window N]
+//                         [--reactors N]
 //                         [--runtime threaded|reactor|both] [--json PATH]
 #include <algorithm>
 #include <atomic>
@@ -39,6 +46,7 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -57,6 +65,8 @@ struct Point {
   std::string runtime;
   int workers = 0;
   int clients = 0;
+  int reactors = 0;     // event-loop shards (1 for the threaded runtime)
+  std::string backend;  // "threads", "epoll" or "poll"
   double calls_per_sec = 0.0;
 };
 
@@ -64,6 +74,7 @@ struct Options {
   int duration_ms = 400;
   int dwell_us = 200;
   int window = 0;  // 0 = closed loop; N>0 = N pipelined calls per burst
+  int reactors = 1;  // reactor-runtime shards
   std::string runtime = "both";  // threaded | reactor | both
   std::string json_path;         // empty = no JSON
 };
@@ -94,6 +105,9 @@ Point run_point(const char* runtime_name, core::SpecCache& cache,
   ConfigT cfg;
   cfg.workers = workers;
   cfg.enable_tcp = false;
+  if constexpr (std::is_same_v<ConfigT, rpc::EventServerRuntimeConfig>) {
+    cfg.reactors = opt.reactors;
+  }
   RuntimeT runtime(reg, cfg);
   if (!runtime.start().is_ok()) {
     std::fprintf(stderr, "cannot start %s runtime\n", runtime_name);
@@ -189,6 +203,12 @@ Point run_point(const char* runtime_name, core::SpecCache& cache,
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  // Read while the runtime is live: stop() tears the shards down and
+  // backend() honestly reports "none" afterwards.
+  std::string backend = "threads";
+  if constexpr (std::is_same_v<RuntimeT, rpc::EventServerRuntime>) {
+    backend = runtime.backend();
+  }
   runtime.stop();
 
   if (errors.load() != 0) {
@@ -200,6 +220,13 @@ Point run_point(const char* runtime_name, core::SpecCache& cache,
   p.runtime = runtime_name;
   p.workers = workers;
   p.clients = clients;
+  if constexpr (std::is_same_v<RuntimeT, rpc::EventServerRuntime>) {
+    p.reactors = opt.reactors;
+    p.backend = backend;
+  } else {
+    p.reactors = 1;
+    p.backend = "threads";
+  }
   p.calls_per_sec = static_cast<double>(total_calls.load()) / secs;
   return p;
 }
@@ -220,8 +247,9 @@ RuntimeReport run_runtime(const char* name, const Options& opt) {
   for (int w : worker_counts) {
     for (int c : client_counts) {
       Point p = run_point<RuntimeT, ConfigT>(name, cache, w, c, opt);
-      std::printf("%-10s %-10d %-10d %14.0f\n", p.runtime.c_str(), p.workers,
-                  p.clients, p.calls_per_sec);
+      std::printf("%-10s %-10d %-10d %-10d %-8s %14.0f\n", p.runtime.c_str(),
+                  p.workers, p.clients, p.reactors, p.backend.c_str(),
+                  p.calls_per_sec);
       report.points.push_back(p);
     }
   }
@@ -246,15 +274,15 @@ void run(const Options& opt) {
 
   std::printf(
       "bench_concurrent: echo-array n=%u over loopback UDP, "
-      "dwell=%dus, %dms per point, cache shards=%zu, %s\n\n",
-      kArraySize, opt.dwell_us, opt.duration_ms, kCacheShards,
+      "dwell=%dus, %dms per point, cache shards=%zu, reactors=%d, %s\n\n",
+      kArraySize, opt.dwell_us, opt.duration_ms, kCacheShards, opt.reactors,
       opt.window > 0 ? "pipelined bursts" : "closed loop");
   if (opt.window > 0) {
     std::printf("burst window: %d calls in flight per client\n\n",
                 opt.window);
   }
-  std::printf("%-10s %-10s %-10s %14s\n", "runtime", "workers", "clients",
-              "calls/sec");
+  std::printf("%-10s %-10s %-10s %-10s %-8s %14s\n", "runtime", "workers",
+              "clients", "reactors", "backend", "calls/sec");
 
   std::vector<Point> points;
   core::SpecCacheStats cache_total;
@@ -318,16 +346,18 @@ void run(const Options& opt) {
                  "{\n  \"benchmark\": \"concurrent\",\n"
                  "  \"array_size\": %u,\n  \"dwell_us\": %d,\n"
                  "  \"duration_ms\": %d,\n  \"cache_shards\": %zu,\n"
-                 "  \"window\": %d,\n"
+                 "  \"window\": %d,\n  \"reactors\": %d,\n"
                  "  \"points\": [\n",
                  kArraySize, opt.dwell_us, opt.duration_ms, kCacheShards,
-                 opt.window);
+                 opt.window, opt.reactors);
     for (std::size_t i = 0; i < points.size(); ++i) {
       std::fprintf(f,
                    "    {\"runtime\": \"%s\", \"workers\": %d, "
-                   "\"clients\": %d, \"calls_per_sec\": %.1f}%s\n",
+                   "\"clients\": %d, \"reactors\": %d, \"backend\": \"%s\", "
+                   "\"calls_per_sec\": %.1f}%s\n",
                    points[i].runtime.c_str(), points[i].workers,
-                   points[i].clients, points[i].calls_per_sec,
+                   points[i].clients, points[i].reactors,
+                   points[i].backend.c_str(), points[i].calls_per_sec,
                    i + 1 < points.size() ? "," : "");
     }
     std::fprintf(f,
@@ -352,6 +382,8 @@ int main(int argc, char** argv) {
       opt.dwell_us = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
       opt.window = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--reactors") == 0 && i + 1 < argc) {
+      opt.reactors = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--runtime") == 0 && i + 1 < argc) {
       opt.runtime = argv[++i];
     } else if (std::strncmp(argv[i], "--runtime=", 10) == 0) {
@@ -361,7 +393,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--duration-ms N] [--dwell-us N] "
-                   "[--window N] "
+                   "[--window N] [--reactors N] "
                    "[--runtime threaded|reactor|both] [--json PATH|-]\n",
                    argv[0]);
       return 2;

@@ -78,13 +78,11 @@ void CachedSpecService::install(rpc::SvcRegistry& registry) {
 }
 
 SpecHandle CachedSpecService::hot() const {
-  std::lock_guard<std::mutex> lock(hot_mu_);
-  return hot_;
+  return hot_.load(std::memory_order_acquire);
 }
 
 void CachedSpecService::set_hot(SpecHandle h) {
-  std::lock_guard<std::mutex> lock(hot_mu_);
-  hot_ = std::move(h);
+  hot_.store(std::move(h), std::memory_order_release);
 }
 
 namespace {

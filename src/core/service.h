@@ -69,7 +69,8 @@ class SpecializedService {
 //
 // Thread-safe: handle() may run on many worker threads concurrently
 // (see rpc::ServerRuntime); stats are atomic and the hot-spec slot is
-// a mutex-guarded shared handle.
+// an atomic<shared_ptr> — the fast path reads it without any lock,
+// matching the lock-free hot-spec slot inside SpecCache itself.
 class CachedSpecService {
  public:
   // Application logic on flattened slots, shape passed explicitly:
@@ -112,8 +113,7 @@ class CachedSpecService {
   CountMapper res_counts_for_;
   SpecConfig base_;  // unroll_factor / buffer_bytes template for cache keys
   Stats stats_;
-  mutable std::mutex hot_mu_;
-  SpecHandle hot_;
+  std::atomic<SpecHandle> hot_{nullptr};
 };
 
 }  // namespace tempo::core

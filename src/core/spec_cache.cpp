@@ -73,6 +73,31 @@ Result<SpecHandle> SpecCache::get_or_build(const idl::ProcDef& proc,
               config.res_counts,
               config.unroll_factor,
               config.buffer_bytes};
+
+  // Lock-free fast path: one atomic load + key compare.  On the skewed
+  // workloads real servers see (~99.99% one shape) this is the whole
+  // lookup.  A stale slot is harmless — interfaces are immutable and
+  // keyed, so a mismatch just falls through to the shard.  One hit in
+  // kHotRefreshPeriod falls through ON PURPOSE: the locked path
+  // touches the key's shard LRU entry, so the hottest key never decays
+  // into the shard's eviction victim while it is being served from the
+  // slot (each lookup still counts in exactly one hit counter).
+  std::shared_ptr<const HotSlot> refresh_hot;
+  if (auto hot = hot_.load(std::memory_order_acquire);
+      hot && hot->key == key) {
+    const std::int64_t tick =
+        hot_ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (tick % kHotRefreshPeriod != 0) {
+      hot_hits_.fetch_add(1, std::memory_order_relaxed);
+      return hot->iface;
+    }
+    // Refresh tick: fall through (counted as a shard hit, not a hot
+    // hit, so every lookup lands in exactly one counter).  Keep the
+    // handle: if the key was meanwhile evicted, the locked path
+    // reinserts it instead of rebuilding.
+    refresh_hot = std::move(hot);
+  }
+
   Shard& shard = shard_for(SpecKeyHash{}(key));
 
   std::shared_ptr<Entry> entry;
@@ -95,8 +120,35 @@ Result<SpecHandle> SpecCache::get_or_build(const idl::ProcDef& proc,
       if (relocated != shard.map.end() && relocated->second == entry) {
         shard.touch_locked(*entry, key);
       }
-      if (entry->iface) return entry->iface;
-      return entry->error;
+      // Shard-local hit-count epoch: every kHotPublishEpoch locked hits
+      // (hot-slot hits never reach this counter, so a published entry
+      // stops accumulating) the entry claims the hot slot.  Negative
+      // entries never publish — the slot exists to skip locks on the
+      // overwhelmingly-hit GOOD shape, not to fast-path errors.
+      const bool publish =
+          entry->iface && (++entry->locked_hits % kHotPublishEpoch == 0);
+      SpecHandle iface = entry->iface;
+      Status error = entry->error;
+      lock.unlock();
+      if (publish) {
+        hot_.store(std::make_shared<const HotSlot>(HotSlot{key, iface}),
+                   std::memory_order_release);
+      }
+      if (iface) return iface;
+      return error;
+    }
+    // A refresh tick that raced an eviction: the published handle is
+    // still valid (interfaces are immutable), so reinsert it — the
+    // whole point of the refresh is that the hot key must never pay a
+    // pipeline rebuild.  No waiter can exist (the entry is born ready).
+    if (refresh_hot) {
+      ++shard.stats.hits;
+      entry = std::make_shared<Entry>();
+      entry->iface = refresh_hot->iface;
+      entry->ready = true;
+      shard.map.emplace(key, entry);
+      shard.insert_lru_locked(entry, key);
+      return entry->iface;
     }
     // Miss: claim the build while holding the shard lock.
     ++shard.stats.misses;
@@ -139,6 +191,10 @@ SpecCacheStats SpecCache::stats() const {
     total.evictions += s->stats.evictions;
     total.build_failures += s->stats.build_failures;
   }
+  // Hot-slot hits bypass the shards entirely; fold them in so `hits`
+  // keeps meaning "every lookup served without a build".
+  total.hot_hits = hot_hits_.load(std::memory_order_relaxed);
+  total.hits += total.hot_hits;
   return total;
 }
 

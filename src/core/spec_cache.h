@@ -34,6 +34,22 @@
 // total capacity is divided evenly across shards (each gets at least
 // 1 slot); stats()/size() aggregate.  The default of 1 shard preserves
 // the exact global-LRU semantics the single-lock cache had.
+//
+// Hot-spec slot (RCU-style): real servers are wildly skewed — one array
+// shape takes ~99.99% of requests — so even the sharded lock is pure
+// overhead on that key.  The cache therefore publishes the hottest
+// (key, interface) pair through an atomic<shared_ptr> read before any
+// lock is taken: a fast-path hit is one atomic load plus a key compare,
+// zero mutexes.  Publication is driven by shard-local hit-count epochs:
+// every kHotPublishEpoch LOCKED hits an entry accumulates (hot-slot
+// hits don't count — a published entry stops re-publishing itself), it
+// is re-published, so whichever key is actually taking the locked
+// traffic claims the slot and a workload shift self-corrects.  Readers
+// of a stale slot are still correct — entries are immutable and keyed,
+// a mismatch just falls through to the shard — and the slot keeps its
+// interface alive across LRU eviction exactly like any caller-held
+// SpecHandle (served hits count in stats().hot_hits; stats().hits
+// includes them).
 #pragma once
 
 #include <cstdint>
@@ -68,15 +84,31 @@ struct SpecKeyHash {
 
 struct SpecCacheStats {
   std::int64_t hits = 0;        // served from a ready or in-flight entry
+                                // (INCLUDES hot-slot hits)
   std::int64_t misses = 0;      // builds initiated (one per distinct key)
   std::int64_t evictions = 0;   // LRU entries dropped at capacity
   std::int64_t build_failures = 0;
+  std::int64_t hot_hits = 0;    // subset of hits served lock-free from
+                                // the published hot-spec slot
 };
 
 using SpecHandle = std::shared_ptr<const SpecializedInterface>;
 
 class SpecCache {
  public:
+  // Locked hits an entry must accumulate between publications of the
+  // hot-spec slot.  Small enough that a hot key claims the slot within
+  // microseconds of real traffic; large enough that a uniform workload
+  // does not thrash the slot.
+  static constexpr std::int64_t kHotPublishEpoch = 64;
+  // Every kHotRefreshPeriod-th hot-slot hit deliberately takes the
+  // locked path instead, to re-touch the hot key's shard LRU entry.
+  // Without this the hottest key — served lock-free, never touched —
+  // becomes the LRU-COLDEST entry in its shard and is preferentially
+  // evicted under capacity pressure, turning a later slot displacement
+  // into a full rebuild of the most expensive possible miss.
+  static constexpr std::int64_t kHotRefreshPeriod = 256;
+
   explicit SpecCache(std::size_t capacity = 128, std::size_t shards = 1);
 
   // Returns the interface for the key derived from
@@ -101,6 +133,15 @@ class SpecCache {
     Status error = Status::ok();
     std::list<SpecKey>::iterator lru_it{};
     bool in_lru = false;
+    std::int64_t locked_hits = 0;     // drives hot-slot publication
+  };
+
+  // What the hot slot publishes: an immutable (key, interface) pair.
+  // Readers hold it via shared_ptr, so a concurrent re-publication
+  // never invalidates an in-progress fast-path read.
+  struct HotSlot {
+    SpecKey key;
+    SpecHandle iface;
   };
 
   // One independently-locked sub-cache; a key's hash selects its shard.
@@ -123,6 +164,14 @@ class SpecCache {
 
   const std::size_t capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // The RCU-style hot-spec slot: written rarely (epoch boundaries),
+  // read on every lookup before any lock.
+  std::atomic<std::shared_ptr<const HotSlot>> hot_{nullptr};
+  std::atomic<std::int64_t> hot_hits_{0};
+  // Monotonic count of slot reads, driving the periodic LRU refresh
+  // (kept separate from hot_hits_ so stats stay exact).
+  std::atomic<std::int64_t> hot_ticks_{0};
 };
 
 }  // namespace tempo::core

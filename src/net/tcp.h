@@ -33,6 +33,17 @@ class TcpConn final : public StreamConn {
   bool ok() const { return fd_ >= 0; }
   // The raw socket, for readiness registration (net::Reactor).
   int fd() const { return fd_; }
+  // Relinquishes ownership of the fd WITHOUT closing it and returns it.
+  // Used for cross-thread connection handoff: the multi-reactor runtime
+  // ships the socket to its owning shard inside a shared_ptr (because
+  // Reactor::post takes a copyable std::function, a unique_ptr cannot
+  // ride in it) and the shard release()s the fd into its own TcpConn —
+  // while an un-run closure still closes the socket on destruction.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
   // Switch the socket to O_NONBLOCK.  Required for reactor-owned
   // connections: poll() reporting POLLOUT only promises SOME buffer
   // space, so a blocking send() of a large buffer could still park the

@@ -43,9 +43,26 @@ Addr from_sockaddr(const sockaddr_in& sa) {
 
 }  // namespace
 
-UdpSocket::UdpSocket(std::uint16_t port) {
+UdpSocket::UdpSocket(std::uint16_t port, bool reuseport) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd_ < 0) return;
+  if (reuseport) {
+#if defined(SO_REUSEPORT)
+    const int one = 1;
+    if (::setsockopt(fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+#else
+    // No SO_REUSEPORT on this platform: fail so the caller can fall
+    // back to a single receiving socket instead of silently binding a
+    // second socket that steals the port.
+    ::close(fd_);
+    fd_ = -1;
+    return;
+#endif
+  }
   Addr want{0x7F000001u, port};
   sockaddr_in sa = to_sockaddr(want);
   if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {

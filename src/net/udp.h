@@ -38,7 +38,15 @@ struct OutDatagram {
 class UdpSocket final : public DatagramTransport {
  public:
   // Binds to 127.0.0.1:port (0 = ephemeral).  Check ok() before use.
-  explicit UdpSocket(std::uint16_t port = 0);
+  //
+  // With reuseport=true the socket is bound with SO_REUSEPORT so several
+  // sockets (one per reactor shard) can share one port and let the
+  // kernel disperse inbound datagrams across them by flow hash.  All
+  // members of a reuseport group MUST set the flag, including the first
+  // socket to bind.  Construction fails (ok() == false) where the
+  // platform lacks SO_REUSEPORT — callers fall back to a single
+  // receiving socket.
+  explicit UdpSocket(std::uint16_t port = 0, bool reuseport = false);
   ~UdpSocket() override;
 
   UdpSocket(const UdpSocket&) = delete;

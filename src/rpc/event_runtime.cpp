@@ -19,45 +19,100 @@ constexpr int kMaxReadsPerEvent = 4;
 
 EventServerRuntime::EventServerRuntime(SvcRegistry& registry,
                                        EventServerRuntimeConfig cfg)
-    : registry_(registry),
-      cfg_(cfg),
-      reactor_(cfg.force_poll_backend) {}
+    : registry_(registry), cfg_(cfg) {}
 
 EventServerRuntime::~EventServerRuntime() { stop(); }
 
 Status EventServerRuntime::start() {
   if (running_.load(std::memory_order_acquire)) return Status::ok();
-  if (!reactor_.ok()) return unavailable("EventServerRuntime: reactor init");
   reactor_stop_.store(false, std::memory_order_release);
   workers_stop_.store(false, std::memory_order_release);
   pending_jobs_.store(0, std::memory_order_release);
-  intake_closed_ = false;
+  udp_sharded_ = false;
+  next_conn_shard_ = 0;
+
+  const std::size_t nshards =
+      cfg_.reactors < 1 ? 1 : static_cast<std::size_t>(cfg_.reactors);
+  shards_.reserve(nshards);
+  for (std::size_t i = 0; i < nshards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, cfg_.force_poll_backend));
+    if (!shards_.back()->reactor.ok()) {
+      shards_.clear();
+      return unavailable("EventServerRuntime: reactor init");
+    }
+  }
 
   if (cfg_.enable_udp) {
-    udp_ = std::make_unique<net::UdpSocket>(cfg_.udp_port);
-    if (!udp_->ok()) {
-      udp_.reset();
+    if (nshards > 1) {
+      // One SO_REUSEPORT socket per shard, all on the same port: the
+      // kernel disperses datagrams across the group by flow hash, so
+      // each client flow sticks to one shard.
+      auto first = std::make_unique<net::UdpSocket>(cfg_.udp_port,
+                                                    /*reuseport=*/true);
+      if (first && first->ok()) {
+        const std::uint16_t port = first->local_addr().port;
+        shards_[0]->udp = std::move(first);
+        bool all_ok = true;
+        for (std::size_t i = 1; i < nshards; ++i) {
+          auto sock = std::make_unique<net::UdpSocket>(port,
+                                                       /*reuseport=*/true);
+          if (!sock->ok()) {
+            all_ok = false;
+            break;
+          }
+          shards_[i]->udp = std::move(sock);
+        }
+        if (all_ok) {
+          udp_sharded_ = true;
+        } else {
+          // Partial group: tear the members down and fall back to one
+          // receiving socket below.
+          for (auto& s : shards_) s->udp.reset();
+        }
+      }
+    }
+    if (!udp_sharded_) {
+      // Single-loop mode, or the REUSEPORT fallback: shard 0 is the one
+      // receiving shard.  Datagram JOBS still fan out over the shared
+      // worker pool, so dispatch parallelism survives — only the recv
+      // syscalls stay on one loop.
+      shards_[0]->udp = std::make_unique<net::UdpSocket>(cfg_.udp_port);
+    }
+    if (!shards_[0]->udp->ok()) {
+      shards_.clear();
       return unavailable("EventServerRuntime: UDP bind failed");
     }
-    TEMPO_RETURN_IF_ERROR(udp_->set_nonblocking(true));
-    // The reactor thread is not running yet, so registration from the
-    // caller's thread is safe.
-    reactor_.add(udp_->fd(), net::kEventRead,
-                 [this](unsigned) { on_udp_readable(); });
+    for (auto& sp : shards_) {
+      if (!sp->udp) continue;
+      Status st = sp->udp->set_nonblocking(true);
+      if (!st.is_ok()) {
+        shards_.clear();
+        return st;
+      }
+      // The shard threads are not running yet, so registration from the
+      // caller's thread is safe.
+      Shard* s = sp.get();
+      s->reactor.add(s->udp->fd(), net::kEventRead,
+                     [this, s](unsigned) { on_udp_readable(*s); });
+    }
   }
   if (cfg_.enable_tcp) {
     tcp_ = std::make_unique<net::TcpListener>(cfg_.tcp_port);
     if (!tcp_->ok()) {
-      if (udp_) reactor_.remove(udp_->fd());
-      udp_.reset();
+      shards_.clear();
       tcp_.reset();
       return unavailable("EventServerRuntime: TCP bind failed");
     }
     // Non-blocking listener: a connection aborted between readiness and
     // ::accept must surface as "nothing to accept", not block the loop.
-    TEMPO_RETURN_IF_ERROR(tcp_->set_nonblocking(true));
-    reactor_.add(tcp_->fd(), net::kEventRead,
-                 [this](unsigned) { on_accept_ready(); });
+    Status st = tcp_->set_nonblocking(true);
+    if (!st.is_ok()) {
+      shards_.clear();
+      tcp_.reset();
+      return st;
+    }
+    shards_[0]->reactor.add(tcp_->fd(), net::kEventRead,
+                            [this](unsigned) { on_accept_ready(); });
   }
 
   const int workers = cfg_.workers < 1 ? 1 : cfg_.workers;
@@ -65,7 +120,10 @@ Status EventServerRuntime::start() {
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
-  reactor_thread_ = std::thread([this] { reactor_loop(); });
+  for (auto& sp : shards_) {
+    Shard* s = sp.get();
+    s->thread = std::thread([this, s] { shard_loop(*s); });
+  }
   running_.store(true, std::memory_order_release);
   return Status::ok();
 }
@@ -73,11 +131,15 @@ Status EventServerRuntime::start() {
 void EventServerRuntime::stop() {
   if (!running_.load(std::memory_order_acquire)) return;
 
-  // Phase 1: stop reading new requests (runs on the reactor thread).
-  reactor_.post([this] { close_intake(); });
+  // Phase 1: stop reading new requests on EVERY shard (each closure
+  // runs on its own shard's thread).  Shard 0 also drops the listener.
+  for (auto& sp : shards_) {
+    Shard* s = sp.get();
+    s->reactor.post([this, s] { close_intake(*s); });
+  }
 
   // Phase 2: bounded drain — queued requests finish and their replies
-  // are handed back to the still-running reactor.
+  // are handed back to the still-running shard reactors.
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(cfg_.drain_timeout_ms);
   while (pending_jobs_.load(std::memory_order_acquire) > 0 &&
@@ -105,130 +167,175 @@ void EventServerRuntime::stop() {
   }
   workers_.clear();
 
-  // Phase 4: reactor down; its loop flushes and closes connections.
+  // Phase 4: every shard down; each loop flushes and closes its own
+  // connections on the way out.  A drain that only covered shard 0
+  // would orphan the replies buffered on shards 1..N-1.
   reactor_stop_.store(true, std::memory_order_release);
-  reactor_.wakeup();
-  if (reactor_thread_.joinable()) reactor_thread_.join();
+  for (auto& sp : shards_) sp->reactor.wakeup();
+  for (auto& sp : shards_) {
+    if (sp->thread.joinable()) sp->thread.join();
+  }
 
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     queue_.clear();
   }
-  udp_.reset();
+  shards_.clear();
   tcp_.reset();
   running_.store(false, std::memory_order_release);
 }
 
 net::Addr EventServerRuntime::udp_addr() const {
-  return udp_ ? udp_->local_addr() : net::Addr{};
+  // All members of the reuseport group share one address; shard 0 is
+  // also the socket of the fallback mode.
+  if (shards_.empty() || !shards_[0]->udp) return net::Addr{};
+  return shards_[0]->udp->local_addr();
 }
 
 net::Addr EventServerRuntime::tcp_addr() const {
   return tcp_ ? tcp_->local_addr() : net::Addr{};
 }
 
-// ---------------------------------------------------- reactor thread ---
+const char* EventServerRuntime::backend() const {
+  // Only a live shard knows which backend its reactor actually got
+  // (epoll_create1 can fail and fall back); don't guess.
+  return shards_.empty() ? "none" : shards_[0]->reactor.backend();
+}
 
-void EventServerRuntime::reactor_loop() {
+// ------------------------------------------------------ shard threads ---
+
+void EventServerRuntime::shard_loop(Shard& s) {
   while (!reactor_stop_.load(std::memory_order_acquire)) {
     // With conns parked on a full worker queue, tick instead of
     // blocking so their records are re-dispatched as the queue drains
     // (no fd event or completion may ever fire for them otherwise).
-    reactor_.poll_once(stalled_conns_.empty() ? -1 : 5);
-    retry_stalled();
+    s.reactor.poll_once(s.stalled_conns.empty() ? -1 : 5);
+    retry_stalled(s);
   }
   // Run straggler completions, give each connection one last
   // non-blocking flush, then close everything.  flush_conn can erase
   // entries, so iterate over a snapshot of ids.
-  reactor_.poll_once(0);
+  s.reactor.poll_once(0);
   std::vector<std::uint64_t> ids;
-  ids.reserve(conns_.size());
-  for (auto& [id, conn] : conns_) ids.push_back(id);
+  ids.reserve(s.conns.size());
+  for (auto& [id, conn] : s.conns) ids.push_back(id);
   for (auto id : ids) {
-    auto it = conns_.find(id);
-    if (it != conns_.end()) flush_conn(it->second);
+    auto it = s.conns.find(id);
+    if (it != s.conns.end()) flush_conn(s, it->second);
   }
-  for (auto& [id, conn] : conns_) reactor_.remove(conn.sock->fd());
-  conns_.clear();
+  for (auto& [id, conn] : s.conns) s.reactor.remove(conn.sock->fd());
+  s.conns.clear();
 }
 
-void EventServerRuntime::close_intake() {
-  if (intake_closed_) return;
-  intake_closed_ = true;
-  if (udp_) reactor_.remove(udp_->fd());
-  if (tcp_) reactor_.remove(tcp_->fd());
+void EventServerRuntime::close_intake(Shard& s) {
+  if (s.intake_closed) return;
+  s.intake_closed = true;
+  if (s.udp) s.reactor.remove(s.udp->fd());
+  if (s.index == 0 && tcp_) s.reactor.remove(tcp_->fd());
   // Records parsed but not yet handed to the pool are dropped here so
   // the stop() drain has a fixed amount of work: exactly the jobs the
   // pool already holds.
-  stalled_conns_.clear();
+  s.stalled_conns.clear();
   std::vector<std::uint64_t> ids;
-  ids.reserve(conns_.size());
-  for (auto& [id, conn] : conns_) ids.push_back(id);
+  ids.reserve(s.conns.size());
+  for (auto& [id, conn] : s.conns) ids.push_back(id);
   for (auto id : ids) {
-    auto it = conns_.find(id);
-    if (it == conns_.end()) continue;
+    auto it = s.conns.find(id);
+    if (it == s.conns.end()) continue;
     it->second.ready_records.clear();
     it->second.stalled = false;
-    finish_conn_if_idle(it->second);
+    finish_conn_if_idle(s, it->second);
   }
 }
 
-void EventServerRuntime::on_udp_readable() {
+void EventServerRuntime::on_udp_readable(Shard& s) {
   std::vector<net::Datagram> buf = take_batch_buffer();
-  const int n = udp_->recv_many(buf, cfg_.udp_batch);
+  const int n = s.udp->recv_many(buf, cfg_.udp_batch);
   if (n <= 0) {
     recycle_batch_buffer(std::move(buf));
     return;
   }
   ++stats_.udp_batches;
   stats_.udp_datagrams += n;
-  const int accepted = push_datagram_jobs(buf, n);
+  const int accepted = push_datagram_jobs(s.index, buf, n);
   if (accepted < n) stats_.overload_drops += n - accepted;
   recycle_batch_buffer(std::move(buf));
 }
 
 void EventServerRuntime::on_accept_ready() {
-  // Accept everything pending; the listener is level-triggered so a
-  // partial drain would re-fire anyway, but batching saves wakeups.
+  // Runs on shard 0, which owns the listener.  Accept everything
+  // pending; the listener is level-triggered so a partial drain would
+  // re-fire anyway, but batching saves wakeups.
+  Shard& s0 = *shards_[0];
+  const std::size_t nshards = shards_.size();
   for (;;) {
     auto conn = tcp_->accept(/*timeout_ms=*/0);
     if (!conn.is_ok()) return;
     ++stats_.tcp_connections;
-    const std::uint64_t id = next_conn_id_++;
-    Conn c;
-    c.id = id;
-    c.sock = std::move(*conn);
-    // Must be non-blocking: POLLOUT only promises SOME send-buffer
-    // space, and a blocking send() of a large reply would park the
-    // reactor thread on a slow reader.
-    if (!c.sock->set_nonblocking(true).is_ok()) continue;
-    const int fd = c.sock->fd();
-    auto [it, inserted] = conns_.emplace(id, std::move(c));
-    if (!inserted || !reactor_.add(fd, net::kEventRead, [this, id](
-                                                            unsigned events) {
-          on_conn_event(id, events);
-        })) {
-      conns_.erase(id);
+    // Round-robin assignment (not fd % N: the kernel reuses the lowest
+    // free fd, so under connection churn fd-hashing pins new conns to
+    // whichever residues happen to be free — round-robin from the
+    // single-threaded accept path is exactly even, no sync needed).
+    const std::size_t target = next_conn_shard_++ % nshards;
+    if (target == 0) {
+      adopt_conn(s0, (*conn)->release());
+    } else {
+      // Hand the connection to its owning shard; from the post on,
+      // only that shard's thread ever touches it.  The closure keeps
+      // OWNERSHIP of the socket (shared_ptr, since std::function must
+      // be copyable) until adopt: if the shard's loop exits before
+      // running it — a stop() racing this accept — destruction of the
+      // un-run closure still closes the fd instead of leaking it.
+      Shard* t = shards_[target].get();
+      std::shared_ptr<net::TcpConn> handoff(std::move(*conn));
+      t->reactor.post(
+          [this, t, handoff] { adopt_conn(*t, handoff->release()); });
     }
   }
 }
 
-void EventServerRuntime::on_conn_event(std::uint64_t id, unsigned events) {
-  // read_conn and flush_conn can both destroy the connection (protocol
-  // violation, write error); re-resolve the map entry after each.
-  auto it = conns_.find(id);
-  if (it == conns_.end()) return;
-  if (events & net::kEventRead) read_conn(it->second);
-  it = conns_.find(id);
-  if (it == conns_.end()) return;
-  if (events & net::kEventWrite) flush_conn(it->second);
-  it = conns_.find(id);
-  if (it == conns_.end()) return;
-  dispatch_ready(it->second);
-  finish_conn_if_idle(it->second);
+void EventServerRuntime::adopt_conn(Shard& s, int fd) {
+  auto sock = std::make_unique<net::TcpConn>(fd);
+  // A handoff can race shutdown: if this shard already closed intake,
+  // the connection is dropped here (the unique_ptr closes the fd).
+  if (s.intake_closed) return;
+  // Must be non-blocking: POLLOUT only promises SOME send-buffer
+  // space, and a blocking send() of a large reply would park the
+  // reactor thread on a slow reader.
+  if (!sock->set_nonblocking(true).is_ok()) return;
+  const std::uint64_t id = s.next_conn_id++;
+  Conn c;
+  c.id = id;
+  c.shard = s.index;
+  c.sock = std::move(sock);
+  const int cfd = c.sock->fd();
+  Shard* sp = &s;
+  auto [it, inserted] = s.conns.emplace(id, std::move(c));
+  if (!inserted ||
+      !s.reactor.add(cfd, net::kEventRead, [this, sp, id](unsigned events) {
+        on_conn_event(*sp, id, events);
+      })) {
+    s.conns.erase(id);
+  }
 }
 
-void EventServerRuntime::read_conn(Conn& c) {
+void EventServerRuntime::on_conn_event(Shard& s, std::uint64_t id,
+                                       unsigned events) {
+  // read_conn and flush_conn can both destroy the connection (protocol
+  // violation, write error); re-resolve the map entry after each.
+  auto it = s.conns.find(id);
+  if (it == s.conns.end()) return;
+  if (events & net::kEventRead) read_conn(s, it->second);
+  it = s.conns.find(id);
+  if (it == s.conns.end()) return;
+  if (events & net::kEventWrite) flush_conn(s, it->second);
+  it = s.conns.find(id);
+  if (it == s.conns.end()) return;
+  dispatch_ready(s, it->second);
+  finish_conn_if_idle(s, it->second);
+}
+
+void EventServerRuntime::read_conn(Shard& s, Conn& c) {
   if (c.peer_eof) return;
   std::uint8_t chunk[kReadChunk];
   for (int i = 0; i < kMaxReadsPerEvent; ++i) {
@@ -240,7 +347,7 @@ void EventServerRuntime::read_conn(Conn& c) {
     }
     if (!parse_records(c, ByteSpan(chunk, *r))) {
       ++stats_.conn_resets;
-      destroy_conn(c.id);
+      destroy_conn(s, c.id);
       return;
     }
   }
@@ -285,19 +392,19 @@ bool EventServerRuntime::parse_records(Conn& c, ByteSpan chunk) {
   return true;
 }
 
-void EventServerRuntime::dispatch_ready(Conn& c) {
+void EventServerRuntime::dispatch_ready(Shard& s, Conn& c) {
   // One request of a connection in flight at a time: replies go back in
   // call order, matching the threaded runtime's stream semantics.
   while (!c.busy && !c.ready_records.empty()) {
-    Job job = TcpRequestJob{c.id, std::move(c.ready_records.front())};
+    Job job = TcpRequestJob{s.index, c.id, std::move(c.ready_records.front())};
     if (!push_job(job, /*droppable=*/false)) {
       // Queue full: put the record back and park the conn on the
-      // stalled list; reactor_loop ticks until it re-dispatches (never
+      // stalled list; shard_loop ticks until it re-dispatches (never
       // block the reactor thread).
       c.ready_records.front() = std::move(std::get<TcpRequestJob>(job).record);
       if (!c.stalled) {
         c.stalled = true;
-        stalled_conns_.push_back(c.id);
+        s.stalled_conns.push_back(c.id);
       }
       return;
     }
@@ -306,21 +413,21 @@ void EventServerRuntime::dispatch_ready(Conn& c) {
   }
 }
 
-void EventServerRuntime::retry_stalled() {
-  if (stalled_conns_.empty()) return;
+void EventServerRuntime::retry_stalled(Shard& s) {
+  if (s.stalled_conns.empty()) return;
   std::vector<std::uint64_t> retry;
-  retry.swap(stalled_conns_);
+  retry.swap(s.stalled_conns);
   for (auto id : retry) {
-    auto it = conns_.find(id);
-    if (it == conns_.end()) continue;  // conn died while parked
+    auto it = s.conns.find(id);
+    if (it == s.conns.end()) continue;  // conn died while parked
     it->second.stalled = false;
-    dispatch_ready(it->second);  // re-parks itself if still full
-    auto again = conns_.find(id);
-    if (again != conns_.end()) finish_conn_if_idle(again->second);
+    dispatch_ready(s, it->second);  // re-parks itself if still full
+    auto again = s.conns.find(id);
+    if (again != s.conns.end()) finish_conn_if_idle(s, again->second);
   }
 }
 
-void EventServerRuntime::flush_conn(Conn& c) {
+void EventServerRuntime::flush_conn(Shard& s, Conn& c) {
   while (c.out_off < c.out_buf.size()) {
     auto r = c.sock->write_some(
         ByteSpan(c.out_buf.data() + c.out_off, c.out_buf.size() - c.out_off),
@@ -328,7 +435,11 @@ void EventServerRuntime::flush_conn(Conn& c) {
     if (!r.is_ok()) {
       if (r.status().code() != StatusCode::kTimeout) {
         ++stats_.conn_resets;
-        destroy_conn(c.id);
+        destroy_conn(s, c.id);
+      } else {
+        // Socket full: the peer is not keeping up.  The leftover waits
+        // in out_buf for writability; count the stall.
+        ++stats_.write_stalls;
       }
       return;
     }
@@ -338,16 +449,16 @@ void EventServerRuntime::flush_conn(Conn& c) {
   c.out_off = 0;
 }
 
-void EventServerRuntime::finish_conn_if_idle(Conn& c) {
+void EventServerRuntime::finish_conn_if_idle(Shard& s, Conn& c) {
   const bool out_pending = c.out_off < c.out_buf.size();
   if (c.peer_eof && !c.busy && c.ready_records.empty() && !out_pending) {
-    destroy_conn(c.id);
+    destroy_conn(s, c.id);
     return;
   }
   unsigned want = 0;
   // Backpressure: stop reading a conn whose record backlog is full; TCP
   // flow control stalls the peer until dispatch catches up.
-  if (!c.peer_eof && !intake_closed_ &&
+  if (!c.peer_eof && !s.intake_closed &&
       c.ready_records.size() < cfg_.max_pipelined_records) {
     want |= net::kEventRead;
   }
@@ -355,36 +466,38 @@ void EventServerRuntime::finish_conn_if_idle(Conn& c) {
   if (want == 0 && !c.busy && c.ready_records.empty()) {
     // Intake is closed and nothing is queued: the connection can never
     // make progress again.
-    destroy_conn(c.id);
+    destroy_conn(s, c.id);
     return;
   }
-  set_conn_interest(c, want);
+  set_conn_interest(s, c, want);
 }
 
-void EventServerRuntime::destroy_conn(std::uint64_t id) {
-  auto it = conns_.find(id);
-  if (it == conns_.end()) return;
-  reactor_.remove(it->second.sock->fd());
-  conns_.erase(it);  // unique_ptr closes the socket
+void EventServerRuntime::destroy_conn(Shard& s, std::uint64_t id) {
+  auto it = s.conns.find(id);
+  if (it == s.conns.end()) return;
+  s.reactor.remove(it->second.sock->fd());
+  s.conns.erase(it);  // unique_ptr closes the socket
 }
 
-void EventServerRuntime::set_conn_interest(Conn& c, unsigned interest) {
+void EventServerRuntime::set_conn_interest(Shard& s, Conn& c,
+                                           unsigned interest) {
   if (c.interest == interest) return;
-  if (reactor_.set_interest(c.sock->fd(), interest)) {
+  if (s.reactor.set_interest(c.sock->fd(), interest)) {
     c.interest = interest;
   }
 }
 
-void EventServerRuntime::on_reply(std::uint64_t conn_id, Bytes framed) {
-  auto it = conns_.find(conn_id);
-  if (it != conns_.end()) {
+void EventServerRuntime::on_reply(Shard& s, std::uint64_t conn_id,
+                                  Bytes framed) {
+  auto it = s.conns.find(conn_id);
+  if (it != s.conns.end()) {
     Conn& c = it->second;
     c.busy = false;
     if (!framed.empty()) {
       if (c.out_buf.size() - c.out_off + framed.size() >
           cfg_.max_write_buffer) {
         ++stats_.conn_resets;
-        destroy_conn(conn_id);
+        destroy_conn(s, conn_id);
         pending_jobs_.fetch_sub(1, std::memory_order_acq_rel);
         return;
       }
@@ -396,12 +509,12 @@ void EventServerRuntime::on_reply(std::uint64_t conn_id, Bytes framed) {
       } else {
         c.out_buf.insert(c.out_buf.end(), framed.begin(), framed.end());
       }
-      flush_conn(c);
+      flush_conn(s, c);
     }
-    auto again = conns_.find(conn_id);
-    if (again != conns_.end()) {
-      dispatch_ready(again->second);
-      finish_conn_if_idle(again->second);
+    auto again = s.conns.find(conn_id);
+    if (again != s.conns.end()) {
+      dispatch_ready(s, again->second);
+      finish_conn_if_idle(s, again->second);
     }
   }
   pending_jobs_.fetch_sub(1, std::memory_order_acq_rel);
@@ -421,14 +534,16 @@ bool EventServerRuntime::push_job(Job& job, bool droppable) {
   return true;
 }
 
-int EventServerRuntime::push_datagram_jobs(std::vector<net::Datagram>& batch,
+int EventServerRuntime::push_datagram_jobs(std::size_t shard,
+                                           std::vector<net::Datagram>& batch,
                                            int n) {
   int accepted = 0;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     while (accepted < n && queue_.size() < cfg_.queue_capacity) {
       auto& d = batch[static_cast<std::size_t>(accepted)];
-      queue_.push_back(UdpDatagramJob{d.src, std::move(d.payload), d.len});
+      queue_.push_back(UdpDatagramJob{shard, d.src, std::move(d.payload),
+                                      d.len});
       ++accepted;
     }
   }
@@ -452,17 +567,18 @@ int EventServerRuntime::push_datagram_jobs(std::vector<net::Datagram>& batch,
 
 void EventServerRuntime::worker_loop() {
   // Per-worker reply accumulator: datagram replies collect here and go
-  // out in one sendmmsg when the queue runs dry, a TCP job interleaves,
-  // or a full recvmmsg batch's worth has piled up.  Scheduling stays
-  // one-job-per-pop so a burst still fans out across the pool; only the
-  // SEND syscall is batched.
-  std::vector<UdpReply> acc;
+  // out in one sendmmsg per originating shard when the queue runs dry,
+  // a TCP job interleaves, or a full recvmmsg batch's worth has piled
+  // up.  Scheduling stays one-job-per-pop so a burst still fans out
+  // across the pool; only the SEND syscall is batched.
+  ReplyAccumulator acc;
+  acc.per_shard.resize(shards_.size());
   for (;;) {
     Job job{UdpDatagramJob{}};
     bool have_job = false;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
-      if (acc.empty()) {
+      if (acc.total == 0) {
         queue_cv_.wait(lock, [this] {
           return !queue_.empty() ||
                  workers_stop_.load(std::memory_order_acquire);
@@ -484,8 +600,8 @@ void EventServerRuntime::worker_loop() {
     }
     if (auto* d = std::get_if<UdpDatagramJob>(&job)) {
       serve_udp_datagram(*d, acc);
-      if (acc.size() >= static_cast<std::size_t>(
-                            cfg_.udp_batch < 1 ? 1 : cfg_.udp_batch)) {
+      if (acc.total >= static_cast<std::size_t>(
+                           cfg_.udp_batch < 1 ? 1 : cfg_.udp_batch)) {
         flush_udp_replies(acc);
       }
     } else if (auto* t = std::get_if<TcpRequestJob>(&job)) {
@@ -496,7 +612,7 @@ void EventServerRuntime::worker_loop() {
 }
 
 void EventServerRuntime::serve_udp_datagram(UdpDatagramJob& job,
-                                            std::vector<UdpReply>& acc) {
+                                            ReplyAccumulator& acc) {
   // Zero-copy dispatch: the worker exclusively owns the recycled
   // receive payload, so arguments decode in place and the reply encodes
   // straight into a pooled buffer — no scratch memset/memcpy on either
@@ -521,44 +637,53 @@ void EventServerRuntime::serve_udp_datagram(UdpDatagramJob& job,
     pending_jobs_.fetch_sub(1, std::memory_order_acq_rel);
     return;
   }
-  acc.push_back(UdpReply{job.src, std::move(out), n});
+  acc.per_shard[job.shard].push_back(UdpReply{job.src, std::move(out), n});
+  ++acc.total;
 }
 
-void EventServerRuntime::flush_udp_replies(std::vector<UdpReply>& acc) {
-  if (acc.empty()) return;
-  const int total = static_cast<int>(acc.size());
+void EventServerRuntime::flush_udp_replies(ReplyAccumulator& acc) {
+  if (acc.total == 0) return;
   // Reused per worker thread: the flush path, like the receive path,
   // must not allocate in steady state.
   thread_local std::vector<net::OutDatagram> msgs;
-  msgs.resize(acc.size());
-  for (std::size_t i = 0; i < acc.size(); ++i) {
-    msgs[i].dst = acc[i].dst;
-    msgs[i].payload = ByteSpan(acc[i].buf.data(), acc[i].len);
-  }
-  ++stats_.udp_reply_batches;
-  const int sent = udp_->send_many(msgs.data(), total);
-  if (sent < total) {
-    // The kernel refused the tail (EWOULDBLOCK on the non-blocking
-    // socket, ENOBUFS, ...).  Retry once on the reactor thread instead
-    // of dropping silently; what it still refuses is counted.
-    stats_.reply_send_retries += total - sent;
-    std::vector<UdpReply> tail(
-        std::make_move_iterator(acc.begin() + sent),
-        std::make_move_iterator(acc.end()));
-    reactor_.post([this, tail = std::move(tail)]() mutable {
-      for (auto& r : tail) {
-        if (!udp_->send_to(r.dst, ByteSpan(r.buf.data(), r.len)).is_ok()) {
-          ++stats_.reply_send_failures;
+  for (std::size_t si = 0; si < acc.per_shard.size(); ++si) {
+    auto& bucket = acc.per_shard[si];
+    if (bucket.empty()) continue;
+    Shard* shard = shards_[si].get();
+    const int total = static_cast<int>(bucket.size());
+    msgs.resize(bucket.size());
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      msgs[i].dst = bucket[i].dst;
+      msgs[i].payload = ByteSpan(bucket[i].buf.data(), bucket[i].len);
+    }
+    ++stats_.udp_reply_batches;
+    const int sent = shard->udp->send_many(msgs.data(), total);
+    if (sent < total) {
+      // The kernel refused the tail (EWOULDBLOCK on the non-blocking
+      // socket, ENOBUFS, ...).  Retry once on the owning shard's
+      // reactor thread instead of dropping silently; what it still
+      // refuses is counted.
+      stats_.reply_send_retries += total - sent;
+      std::vector<UdpReply> tail(
+          std::make_move_iterator(bucket.begin() + sent),
+          std::make_move_iterator(bucket.end()));
+      shard->reactor.post([this, shard, tail = std::move(tail)]() mutable {
+        for (auto& r : tail) {
+          if (!shard->udp->send_to(r.dst, ByteSpan(r.buf.data(), r.len))
+                   .is_ok()) {
+            ++stats_.reply_send_failures;
+          }
+          recycle_payload(std::move(r.buf));
         }
-        recycle_payload(std::move(r.buf));
-      }
-    });
+      });
+    }
+    for (int i = 0; i < sent; ++i) {
+      recycle_payload(std::move(bucket[static_cast<std::size_t>(i)].buf));
+    }
+    pending_jobs_.fetch_sub(total, std::memory_order_acq_rel);
+    bucket.clear();
   }
-  for (int i = 0; i < sent; ++i) {
-    recycle_payload(std::move(acc[static_cast<std::size_t>(i)].buf));
-  }
-  pending_jobs_.fetch_sub(total, std::memory_order_acq_rel);
-  acc.clear();
+  acc.total = 0;
 }
 
 void EventServerRuntime::serve_tcp_request(TcpRequestJob& job) {
@@ -587,12 +712,14 @@ void EventServerRuntime::serve_tcp_request(TcpRequestJob& job) {
     framed.assign(scratch.begin(),
                   scratch.begin() + static_cast<std::ptrdiff_t>(4 + len));
   }
-  // Hand the reply (or just the busy-clear) back to the reactor thread,
-  // which owns all connection state.  pending_jobs_ is decremented by
-  // on_reply so stop()'s drain covers the write handoff too.
-  reactor_.post([this, conn_id = job.conn_id,
-                 framed = std::move(framed)]() mutable {
-    on_reply(conn_id, std::move(framed));
+  // Hand the reply (or just the busy-clear) back to the connection's
+  // owning shard, whose reactor thread owns all its state.
+  // pending_jobs_ is decremented by on_reply so stop()'s drain covers
+  // the write handoff too.
+  Shard* shard = shards_[job.shard].get();
+  shard->reactor.post([this, shard, conn_id = job.conn_id,
+                       framed = std::move(framed)]() mutable {
+    on_reply(*shard, conn_id, std::move(framed));
   });
 }
 

@@ -3,34 +3,45 @@
 // ServerRuntime (svc.h) burns one blocking thread per listener and
 // parks a whole worker on each TCP connection, so a peer that trickles
 // bytes pins a worker for its connection's lifetime.  This runtime puts
-// every socket behind a net::Reactor instead:
+// every socket behind net::Reactor shards instead:
 //
-//   * one reactor thread multiplexes the UDP socket, the TCP listener
-//     and every accepted connection (epoll on Linux, poll elsewhere);
-//   * the UDP socket is non-blocking and drained in recvmmsg batches —
+//   * N reactor shards (cfg.reactors), each with its OWN event loop
+//     thread, its own SO_REUSEPORT-bound UDP socket (the kernel
+//     disperses inbound datagrams across the group by flow hash) and
+//     its own partition of the accepted TCP connections — once one
+//     event loop saturates, the I/O plane scales out instead of
+//     becoming the throughput ceiling.  Where SO_REUSEPORT is
+//     unavailable the runtime falls back to a single receiving socket
+//     on shard 0 (TCP still shards);
+//   * every UDP socket is non-blocking and drained in recvmmsg batches —
 //     one syscall per burst, not per datagram — and replies flush back
-//     out through per-worker accumulators and sendmmsg
-//     (UdpSocket::send_many), so a burst pairs one syscall per batch in
-//     BOTH directions;
-//   * each TCP connection carries its own record-reassembly buffer and
-//     pending-write buffer.  The reactor reads whatever bytes are
-//     available, assembles record-marked fragments, and only when a
-//     COMPLETE call record exists hands it to the worker pool — a slow
-//     peer therefore delays nobody but itself;
-//   * workers dispatch through SvcRegistry::handle_request — decoding
-//     each request IN PLACE from the receive buffer and encoding the
-//     reply into a caller-owned buffer, no scratch memset/memcpy — and
-//     post framed TCP replies back to the reactor, which writes them
-//     without ever blocking (leftover bytes wait for writability).
+//     out through per-worker, per-shard accumulators and sendmmsg
+//     (UdpSocket::send_many) on the shard that received the request, so
+//     a burst pairs one syscall per batch in BOTH directions;
+//   * the TCP listener lives on shard 0; an accepted connection is
+//     handed round-robin to its owning shard by posting the socket to
+//     that shard's reactor, which wraps and owns it from then on.  Each
+//     connection carries its own record-reassembly buffer and
+//     pending-write buffer on its owning shard — a slow peer therefore
+//     delays nobody but itself;
+//   * workers (one shared pool across all shards) dispatch through
+//     SvcRegistry::handle_request — decoding each request IN PLACE from
+//     the receive buffer and encoding the reply into a caller-owned
+//     buffer, no scratch memset/memcpy — and post framed TCP replies
+//     back to the connection's owning shard, which writes them without
+//     ever blocking (leftover bytes wait for writability).
 //
 // Because a TCP request reaches the worker as one contiguous record,
 // argument decode goes through XdrMem — XDR_INLINE succeeds and the
 // residual-plan fast path engages on TCP too, which the xdrrec stream
 // of the threaded runtime could never offer.
 //
-// Ownership (see src/net/README.md for the full model): the reactor
-// thread owns all connection state; workers only ever own a copy of a
-// request's bytes; handoff back is by Reactor::post().
+// Ownership (see src/net/README.md for the full model): each shard's
+// reactor thread exclusively owns that shard's connection state;
+// workers only ever own a copy of a request's bytes plus the (shard,
+// conn_id) pair naming its origin; handoff back is by that shard's
+// Reactor::post().  Stats are process-wide atomics every shard adds
+// into, so stats() aggregates across shards by construction.
 #pragma once
 
 #include <atomic>
@@ -54,6 +65,10 @@ namespace tempo::rpc {
 
 struct EventServerRuntimeConfig {
   int workers = 4;
+  // Reactor shards.  Each shard runs its own event loop thread with its
+  // own SO_REUSEPORT UDP socket and its own slice of the TCP
+  // connections; 1 keeps the single-loop behaviour of PR 2/3.
+  int reactors = 1;
   std::uint16_t udp_port = 0;  // 0 = ephemeral
   std::uint16_t tcp_port = 0;
   bool enable_udp = true;
@@ -88,6 +103,11 @@ struct EventServerRuntimeStats {
   std::atomic<std::int64_t> tcp_calls{0};
   std::atomic<std::int64_t> overload_drops{0};  // queue-full datagram drops
   std::atomic<std::int64_t> conn_resets{0};  // peers cut off at a cap
+  // Times a connection flush left bytes buffered because the socket
+  // stopped accepting (the peer is not reading fast enough).  Grows
+  // while a reply sits in out_buf waiting for writability; a reset at
+  // max_write_buffer is the cap this stall accounting leads up to.
+  std::atomic<std::int64_t> write_stalls{0};
 };
 
 class EventServerRuntime {
@@ -99,23 +119,30 @@ class EventServerRuntime {
   EventServerRuntime(const EventServerRuntime&) = delete;
   EventServerRuntime& operator=(const EventServerRuntime&) = delete;
 
-  // Binds sockets, registers them with the reactor and spawns the
-  // reactor thread + worker pool.  Call after all register_proc calls.
+  // Binds sockets, registers them with the per-shard reactors and
+  // spawns the reactor threads + worker pool.  Call after all
+  // register_proc calls.
   Status start();
-  // Stops intake, drains queued requests (bounded by drain_timeout_ms),
-  // then joins everything.  Idempotent.
+  // Stops intake on every shard, drains queued requests (bounded by
+  // drain_timeout_ms), then joins everything.  Idempotent.
   void stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
   net::Addr udp_addr() const;
   net::Addr tcp_addr() const;
   const EventServerRuntimeStats& stats() const { return stats_; }
-  const char* backend() const { return reactor_.backend(); }
+  const char* backend() const;
+  // Shards actually running (valid between start() and stop()).
+  int reactor_count() const { return static_cast<int>(shards_.size()); }
+  // True when every shard owns its own SO_REUSEPORT UDP socket; false
+  // in the single-receiving-socket fallback (or with reactors == 1).
+  bool udp_sharded() const { return udp_sharded_; }
 
  private:
-  // ---- connection state (reactor thread only) -------------------------
+  // ---- connection state (owning shard's reactor thread only) ----------
   struct Conn {
     std::uint64_t id = 0;
+    std::size_t shard = 0;  // owning shard index, fixed for life
     std::unique_ptr<net::TcpConn> sock;
     unsigned interest = net::kEventRead;
     // Record-marking reassembly (RFC 1057 §10): 4-byte fragment header,
@@ -133,17 +160,38 @@ class EventServerRuntime {
     bool peer_eof = false;      // stop reading; flush, then close
   };
 
+  // One reactor shard: an event loop thread plus everything it
+  // exclusively owns.  Shards live in unique_ptrs so Shard* captures in
+  // reactor callbacks stay stable.
+  struct Shard {
+    explicit Shard(std::size_t idx, bool force_poll)
+        : index(idx), reactor(force_poll) {}
+    std::size_t index;
+    net::Reactor reactor;
+    std::unique_ptr<net::UdpSocket> udp;  // null on non-receiving shards
+    std::unordered_map<std::uint64_t, Conn> conns;
+    std::uint64_t next_conn_id = 1;  // ids are per-shard; (shard, id) is
+                                     // the global connection name
+    bool intake_closed = false;
+    std::vector<std::uint64_t> stalled_conns;
+    std::thread thread;
+  };
+
   // One datagram per job: the recvmmsg batch amortizes the syscall, but
   // each request schedules on its own worker so a batch never serializes
   // behind one thread.  The payload buffer is full-size with `len`
   // valid bytes; workers recycle it through the payload pool so the
   // receive path neither allocates nor zero-fills in steady state.
+  // `shard` names the socket the datagram arrived on — the reply goes
+  // back out through that shard's socket (and its reactor on retry).
   struct UdpDatagramJob {
+    std::size_t shard = 0;
     net::Addr src;
     Bytes payload;
     std::size_t len = 0;
   };
   struct TcpRequestJob {
+    std::size_t shard = 0;
     std::uint64_t conn_id = 0;
     Bytes record;
   };
@@ -152,42 +200,53 @@ class EventServerRuntime {
   // One encoded-but-unsent UDP reply in a worker's accumulator: `buf`
   // is a pooled full-size buffer with `len` valid bytes.  Accumulated
   // replies flush through UdpSocket::send_many so a served burst costs
-  // one sendmmsg, pairing with the recvmmsg receive path.
+  // one sendmmsg, pairing with the recvmmsg receive path.  Accumulators
+  // are kept per shard so each flush goes out the right socket.
   struct UdpReply {
     net::Addr dst;
     Bytes buf;
     std::size_t len = 0;
   };
+  // Per-worker accumulator: one reply vector per shard plus the total
+  // across shards (the flush threshold is global so a worker never sits
+  // on more than a batch's worth of replies).
+  struct ReplyAccumulator {
+    std::vector<std::vector<UdpReply>> per_shard;
+    std::size_t total = 0;
+  };
 
-  // ---- reactor-thread handlers ---------------------------------------
-  void reactor_loop();
-  void on_udp_readable();
-  void on_accept_ready();
-  void on_conn_event(std::uint64_t id, unsigned events);
-  void read_conn(Conn& conn);
+  // ---- reactor-shard handlers (run on that shard's thread) ------------
+  void shard_loop(Shard& s);
+  void on_udp_readable(Shard& s);
+  void on_accept_ready();  // shard 0 only (owns the listener)
+  // Wraps a handed-off fd into a Conn owned by shard `s`.
+  void adopt_conn(Shard& s, int fd);
+  void on_conn_event(Shard& s, std::uint64_t id, unsigned events);
+  void read_conn(Shard& s, Conn& conn);
   bool parse_records(Conn& conn, ByteSpan chunk);  // false = protocol violation
-  void dispatch_ready(Conn& conn);
-  void retry_stalled();            // re-dispatch conns parked on a full queue
-  void flush_conn(Conn& conn);     // non-blocking write of out_buf
-  void finish_conn_if_idle(Conn& conn);
-  void destroy_conn(std::uint64_t id);
-  void set_conn_interest(Conn& conn, unsigned interest);
-  void on_reply(std::uint64_t conn_id, Bytes framed);
-  void close_intake();             // stop reading new requests
+  void dispatch_ready(Shard& s, Conn& conn);
+  void retry_stalled(Shard& s);    // re-dispatch conns parked on a full queue
+  void flush_conn(Shard& s, Conn& conn);  // non-blocking write of out_buf
+  void finish_conn_if_idle(Shard& s, Conn& conn);
+  void destroy_conn(Shard& s, std::uint64_t id);
+  void set_conn_interest(Shard& s, Conn& conn, unsigned interest);
+  void on_reply(Shard& s, std::uint64_t conn_id, Bytes framed);
+  void close_intake(Shard& s);     // stop reading new requests on `s`
 
   // ---- worker side ----------------------------------------------------
   // Moves from `job` only on success so a failed push can be retried.
   bool push_job(Job& job, bool droppable);
   // Queues the first n entries of `batch` as individual jobs under one
   // lock acquisition; returns how many fit (the rest are drops).
-  int push_datagram_jobs(std::vector<net::Datagram>& batch, int n);
+  int push_datagram_jobs(std::size_t shard, std::vector<net::Datagram>& batch,
+                         int n);
   void worker_loop();
   // Serves one datagram with the zero-copy span path; the reply lands
   // in `acc` (flushed by flush_udp_replies), not on the wire yet.
-  void serve_udp_datagram(UdpDatagramJob& job, std::vector<UdpReply>& acc);
-  // One send_many per accumulator; refused tails are retried once on
-  // the reactor thread before counting as reply_send_failures.
-  void flush_udp_replies(std::vector<UdpReply>& acc);
+  void serve_udp_datagram(UdpDatagramJob& job, ReplyAccumulator& acc);
+  // One send_many per non-empty shard bucket; refused tails are retried
+  // once on that shard's reactor before counting as reply_send_failures.
+  void flush_udp_replies(ReplyAccumulator& acc);
   void serve_tcp_request(TcpRequestJob& job);
   std::vector<net::Datagram> take_batch_buffer();
   void recycle_batch_buffer(std::vector<net::Datagram> buf);
@@ -198,14 +257,11 @@ class EventServerRuntime {
   EventServerRuntimeConfig cfg_;
   EventServerRuntimeStats stats_;
 
-  net::Reactor reactor_;
-  std::unique_ptr<net::UdpSocket> udp_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<net::TcpListener> tcp_;
-
-  std::unordered_map<std::uint64_t, Conn> conns_;  // reactor thread only
-  std::uint64_t next_conn_id_ = 1;
-  bool intake_closed_ = false;  // reactor thread only
-  std::vector<std::uint64_t> stalled_conns_;  // reactor thread only
+  bool udp_sharded_ = false;
+  // Round-robin accept counter (shard 0's thread only).
+  std::size_t next_conn_shard_ = 0;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> reactor_stop_{false};
@@ -220,7 +276,6 @@ class EventServerRuntime {
   std::vector<std::vector<net::Datagram>> batch_pool_;
   std::vector<Bytes> payload_pool_;
 
-  std::thread reactor_thread_;
   std::vector<std::thread> workers_;
 };
 

@@ -388,8 +388,13 @@ void ServerRuntime::worker_loop() {
       // Zero-copy dispatch: the job owns its request bytes exclusively,
       // so decode runs in place and the reply encodes straight into the
       // per-thread send buffer — no scratch copy on either side.
+      // Clamp at the UDP payload ceiling, like the event runtime's
+      // datagram path: a reply that encodes past what a datagram can
+      // physically carry would trade an immediate GARBAGE_ARGS error
+      // reply for a silent EMSGSIZE drop and a client timeout.
       thread_local Bytes reply_buf;
-      const std::size_t cap = reply_capacity(d->request.size());
+      const std::size_t cap = std::min(reply_capacity(d->request.size()),
+                                       net::kMaxUdpPayloadBytes);
       if (reply_buf.size() < cap) reply_buf.resize(cap);
       const std::size_t n = registry_.handle_request(
           ByteSpan(d->request.data(), d->request.size()),

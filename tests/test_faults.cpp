@@ -1,0 +1,424 @@
+// Fault injection against the REAL server runtimes.
+//
+// The simnet suite (test_simnet.cpp) pins the client's guarded-
+// specialization behaviour under drop/dup/reorder schedules, but only
+// against inline sim-endpoint servers — neither ServerRuntime nor
+// EventServerRuntime ever saw a fault schedule.  This file ports that
+// suite to the real loopback runtimes through a deterministic UDP
+// fault proxy, and parameterizes every case over BOTH runtimes (the
+// threaded one and the reactor one, single- and multi-shard), so the
+// event path gets the same adversarial coverage:
+//
+//   * a dropped request or reply drives the client's retransmission
+//     path against a live runtime;
+//   * a duplicated reply arrives while the client waits for the NEXT
+//     call — the residual decode plan's XID guard must surface it as a
+//     stale retry (stats().stale_replies), never decode it into
+//     results;
+//   * reordered replies are exactly stale traffic from the client's
+//     point of view, and must equally never corrupt results;
+//   * the specialized client and the generic layered client must both
+//     converge to correct results under the same fault parameters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/service.h"
+#include "core/spec_cache.h"
+#include "core/spec_client.h"
+#include "core/stubspec.h"
+#include "net/udp.h"
+#include "rpc/client.h"
+#include "rpc/event_runtime.h"
+#include "rpc/svc.h"
+#include "test_rng.h"
+#include "xdr/primitives.h"
+
+namespace tempo {
+namespace {
+
+constexpr std::uint32_t kProg = 0x20000999;
+constexpr std::uint32_t kVers = 1;
+constexpr std::uint32_t kProc = 7;
+
+idl::ProcDef echo_array_proc() {
+  idl::ProcDef proc;
+  proc.name = "ECHO";
+  proc.number = kProc;
+  proc.arg_type = idl::t_array_var(idl::t_int(), 512);
+  proc.res_type = idl::t_array_var(idl::t_int(), 512);
+  return proc;
+}
+
+core::SpecConfig cfg_for(std::uint32_t n) {
+  core::SpecConfig cfg;
+  cfg.arg_counts = {n};
+  cfg.res_counts = {n};
+  return cfg;
+}
+
+// ---------------------------------------------- the UDP fault proxy ---
+//
+// Sits between one client and a real runtime on loopback: datagrams in
+// either direction are dropped, duplicated, or held back and released
+// out of order according to a seeded splitmix64 schedule, so a run is
+// exactly reproducible.  (Loopback itself never faults, which is why
+// the runtimes had no adversarial coverage before this.)
+struct FaultParams {
+  double drop = 0.0;     // per-datagram drop probability
+  double dup = 0.0;      // per-datagram duplication probability
+  double reorder = 0.0;  // probability a datagram is held and released
+                         // AFTER the next one (a pairwise swap)
+};
+
+class UdpFaultProxy {
+ public:
+  UdpFaultProxy(net::Addr server, FaultParams faults, std::uint64_t seed)
+      : server_(server), faults_(faults), rng_{seed} {
+    EXPECT_TRUE(client_side_.ok());
+    EXPECT_TRUE(server_side_.ok());
+    EXPECT_TRUE(client_side_.set_nonblocking(true).is_ok());
+    EXPECT_TRUE(server_side_.set_nonblocking(true).is_ok());
+    thread_ = std::thread([this] { pump(); });
+  }
+
+  ~UdpFaultProxy() {
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  // Where the client should send its requests.
+  net::Addr addr() const { return client_side_.local_addr(); }
+
+ private:
+  bool chance(double p) { return rng_.chance(p); }
+
+  struct Pending {
+    bool to_server = false;
+    Bytes payload;
+  };
+
+  void forward(bool to_server, ByteSpan payload) {
+    // A refused send is just one more dropped datagram to the client.
+    if (to_server) {
+      (void)!server_side_.send_to(server_, payload).is_ok();
+    } else if (client_.port != 0) {
+      (void)!client_side_.send_to(client_, payload).is_ok();
+    }
+  }
+
+  // Applies the fault schedule to one datagram, then forwards it (and
+  // any datagram whose reordering hold ends with this one).
+  void apply(bool to_server, ByteSpan payload) {
+    if (chance(faults_.drop)) return;
+    const bool hold = chance(faults_.reorder);
+    if (hold) {
+      held_.push_back(Pending{to_server, Bytes(payload.begin(),
+                                               payload.end())});
+    } else {
+      forward(to_server, payload);
+      if (chance(faults_.dup)) forward(to_server, payload);
+    }
+    // Release anything held from before this datagram: the held one now
+    // arrives after its successor — a reorder.
+    while (held_.size() > (hold ? 1u : 0u)) {
+      Pending p = std::move(held_.front());
+      held_.pop_front();
+      forward(p.to_server, ByteSpan(p.payload.data(), p.payload.size()));
+      if (chance(faults_.dup)) {
+        forward(p.to_server, ByteSpan(p.payload.data(), p.payload.size()));
+      }
+    }
+  }
+
+  void pump() {
+    Bytes buf(65536);
+    while (!stop_.load(std::memory_order_acquire)) {
+      bool idle = true;
+      net::Addr src;
+      // Client -> server: remember the (single) client so replies can
+      // be routed back.
+      auto got = client_side_.recv_from(
+          &src, MutableByteSpan(buf.data(), buf.size()), 0);
+      if (got.is_ok()) {
+        client_ = src;
+        apply(/*to_server=*/true, ByteSpan(buf.data(), *got));
+        idle = false;
+      }
+      got = server_side_.recv_from(nullptr,
+                                   MutableByteSpan(buf.data(), buf.size()), 0);
+      if (got.is_ok()) {
+        apply(/*to_server=*/false, ByteSpan(buf.data(), *got));
+        idle = false;
+      }
+      if (idle) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Flush stragglers so a held reply is not silently lost at exit.
+    while (!held_.empty()) {
+      Pending p = std::move(held_.front());
+      held_.pop_front();
+      forward(p.to_server, ByteSpan(p.payload.data(), p.payload.size()));
+    }
+  }
+
+  net::Addr server_;
+  FaultParams faults_;
+  test::Rng rng_;
+  net::UdpSocket client_side_;  // faces the client
+  net::UdpSocket server_side_;  // faces the runtime
+  net::Addr client_{};          // learned from the first request
+  std::deque<Pending> held_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+// --------------------------- both runtimes behind one test surface ---
+
+enum class RuntimeKind { kThreaded, kReactor, kReactorSharded };
+
+const char* kind_name(RuntimeKind k) {
+  switch (k) {
+    case RuntimeKind::kThreaded:
+      return "threaded";
+    case RuntimeKind::kReactor:
+      return "reactor";
+    case RuntimeKind::kReactorSharded:
+      return "reactor4";
+  }
+  return "?";
+}
+
+class RuntimeUnderTest {
+ public:
+  virtual ~RuntimeUnderTest() = default;
+  virtual Status start() = 0;
+  virtual void stop() = 0;
+  virtual net::Addr udp_addr() const = 0;
+};
+
+template <typename RuntimeT, typename ConfigT>
+class RuntimeWrapper final : public RuntimeUnderTest {
+ public:
+  RuntimeWrapper(rpc::SvcRegistry& reg, ConfigT cfg) : rt_(reg, cfg) {}
+  Status start() override { return rt_.start(); }
+  void stop() override { rt_.stop(); }
+  net::Addr udp_addr() const override { return rt_.udp_addr(); }
+
+ private:
+  RuntimeT rt_;
+};
+
+std::unique_ptr<RuntimeUnderTest> make_runtime(RuntimeKind kind,
+                                               rpc::SvcRegistry& reg) {
+  switch (kind) {
+    case RuntimeKind::kThreaded: {
+      rpc::ServerRuntimeConfig cfg;
+      cfg.workers = 2;
+      cfg.enable_tcp = false;
+      return std::make_unique<
+          RuntimeWrapper<rpc::ServerRuntime, rpc::ServerRuntimeConfig>>(reg,
+                                                                        cfg);
+    }
+    case RuntimeKind::kReactor:
+    case RuntimeKind::kReactorSharded: {
+      rpc::EventServerRuntimeConfig cfg;
+      cfg.workers = 2;
+      cfg.reactors = kind == RuntimeKind::kReactorSharded ? 4 : 1;
+      cfg.enable_tcp = false;
+      return std::make_unique<RuntimeWrapper<rpc::EventServerRuntime,
+                                             rpc::EventServerRuntimeConfig>>(
+          reg, cfg);
+    }
+  }
+  return nullptr;
+}
+
+// Shared fixture: a CachedSpecService echo server on the runtime under
+// test, so the fault traffic exercises the server's residual-plan
+// dispatch too, not just the client.
+class RuntimeFaults : public ::testing::TestWithParam<RuntimeKind> {
+ protected:
+  void SetUp() override {
+    cache_ = std::make_unique<core::SpecCache>(32, 4);
+    service_ = std::make_unique<core::CachedSpecService>(
+        *cache_, echo_array_proc(), kProg, kVers,
+        [](std::span<const std::uint32_t>, std::span<const std::uint32_t> args,
+           std::span<std::uint32_t> results) {
+          std::copy(args.begin(), args.end(), results.begin());
+          return true;
+        });
+    service_->install(reg_);
+    runtime_ = make_runtime(GetParam(), reg_);
+    ASSERT_NE(runtime_, nullptr);
+    ASSERT_TRUE(runtime_->start().is_ok());
+  }
+
+  void TearDown() override {
+    if (runtime_) runtime_->stop();
+  }
+
+  rpc::SvcRegistry reg_;
+  std::unique_ptr<core::SpecCache> cache_;
+  std::unique_ptr<core::CachedSpecService> service_;
+  std::unique_ptr<RuntimeUnderTest> runtime_;
+};
+
+// Aggressive per-leg loss: every call must still converge through the
+// retransmission path, results never corrupted.
+TEST_P(RuntimeFaults, DropScheduleDrivesRetransmission) {
+  FaultParams f;
+  f.drop = 0.35;
+  UdpFaultProxy proxy(runtime_->udp_addr(), f, /*seed=*/42);
+
+  const std::uint32_t n = 16;
+  auto iface = core::SpecializedInterface::build(echo_array_proc(), kProg,
+                                                 kVers, cfg_for(n));
+  ASSERT_TRUE(iface.is_ok());
+  net::UdpSocket sock;
+  ASSERT_TRUE(sock.ok());
+  rpc::CallOptions opts;
+  opts.retry_timeout_ms = 50;
+  opts.total_timeout_ms = 10000;
+  core::SpecializedClient client(sock, proxy.addr(), *iface, opts);
+
+  std::vector<std::uint32_t> args(n), results(n, 0);
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      args[i] = static_cast<std::uint32_t>(round * 77 + i);
+    }
+    std::fill(results.begin(), results.end(), 0);
+    Status st = client.call(args, results);
+    ASSERT_TRUE(st.is_ok()) << kind_name(GetParam()) << " round " << round
+                            << ": " << st.to_string();
+    ASSERT_EQ(results, args);
+  }
+  EXPECT_GT(client.stats().retransmissions, 0);
+}
+
+// Every datagram delivered twice: duplicated replies show up while the
+// client waits for the NEXT call's reply.  The residual decode plan's
+// XID guard must fire (stale_replies) and stale bytes must never leak
+// into results.
+TEST_P(RuntimeFaults, DuplicatedRepliesSurfaceAsStaleRetries) {
+  FaultParams f;
+  f.dup = 1.0;
+  UdpFaultProxy proxy(runtime_->udp_addr(), f, /*seed=*/11);
+
+  const std::uint32_t n = 16;
+  auto iface = core::SpecializedInterface::build(echo_array_proc(), kProg,
+                                                 kVers, cfg_for(n));
+  ASSERT_TRUE(iface.is_ok());
+  net::UdpSocket sock;
+  ASSERT_TRUE(sock.ok());
+  core::SpecializedClient client(sock, proxy.addr(), *iface);
+
+  std::vector<std::uint32_t> args(n), results(n, 0);
+  for (int round = 0; round < 8; ++round) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      args[i] = static_cast<std::uint32_t>(round * 1000 + i);
+    }
+    std::fill(results.begin(), results.end(), 0);
+    Status st = client.call(args, results);
+    ASSERT_TRUE(st.is_ok()) << kind_name(GetParam()) << " round " << round
+                            << ": " << st.to_string();
+    ASSERT_EQ(results, args);  // stale duplicates never leak into results
+  }
+  EXPECT_GT(client.stats().stale_replies, 0);
+}
+
+// Replies held back and released out of order are stale traffic from
+// the client's point of view: calls converge and results stay correct.
+TEST_P(RuntimeFaults, ReorderedRepliesNeverCorruptResults) {
+  FaultParams f;
+  f.reorder = 0.5;
+  f.dup = 0.3;
+  UdpFaultProxy proxy(runtime_->udp_addr(), f, /*seed=*/77);
+
+  const std::uint32_t n = 12;
+  auto iface = core::SpecializedInterface::build(echo_array_proc(), kProg,
+                                                 kVers, cfg_for(n));
+  ASSERT_TRUE(iface.is_ok());
+  net::UdpSocket sock;
+  ASSERT_TRUE(sock.ok());
+  rpc::CallOptions opts;
+  opts.retry_timeout_ms = 100;
+  opts.total_timeout_ms = 10000;
+  core::SpecializedClient client(sock, proxy.addr(), *iface, opts);
+
+  std::vector<std::uint32_t> args(n), results(n, 0);
+  for (int round = 0; round < 12; ++round) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      args[i] = static_cast<std::uint32_t>(round * 31 + i * 7);
+    }
+    std::fill(results.begin(), results.end(), 0);
+    Status st = client.call(args, results);
+    ASSERT_TRUE(st.is_ok()) << kind_name(GetParam()) << " round " << round
+                            << ": " << st.to_string();
+    ASSERT_EQ(results, args);
+  }
+}
+
+// The generic layered client must survive the same fault parameters the
+// specialized one does — same protocol, same convergence — against the
+// same live runtime (guarded specialization means the two are
+// observationally equivalent under faults).
+TEST_P(RuntimeFaults, GenericClientConvergesUnderSameFaults) {
+  FaultParams f;
+  f.drop = 0.3;
+  f.dup = 0.5;
+  UdpFaultProxy proxy(runtime_->udp_addr(), f, /*seed=*/7);
+
+  net::UdpSocket sock;
+  ASSERT_TRUE(sock.ok());
+  rpc::CallOptions opts;
+  opts.retry_timeout_ms = 50;
+  opts.total_timeout_ms = 10000;
+  rpc::UdpClient client(sock, proxy.addr(), kProg, kVers, opts);
+
+  const std::uint32_t n = 16;
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::int32_t> sent(n), got;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      sent[i] = static_cast<std::int32_t>(round * 13 + i);
+    }
+    Status st = client.call(
+        kProc,
+        [&](xdr::XdrStream& x) {
+          std::uint32_t count = n;
+          if (!xdr::xdr_u_int(x, count)) return false;
+          for (auto& v : sent) {
+            if (!xdr::xdr_int(x, v)) return false;
+          }
+          return true;
+        },
+        [&](xdr::XdrStream& x) {
+          std::uint32_t count = 0;
+          if (!xdr::xdr_u_int(x, count) || count != n) return false;
+          got.resize(count);
+          for (auto& v : got) {
+            if (!xdr::xdr_int(x, v)) return false;
+          }
+          return true;
+        });
+    ASSERT_TRUE(st.is_ok()) << kind_name(GetParam()) << " round " << round
+                            << ": " << st.to_string();
+    ASSERT_EQ(got, sent);
+  }
+  EXPECT_GT(client.stats().retransmissions + client.stats().stale_replies, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothRuntimes, RuntimeFaults,
+                         ::testing::Values(RuntimeKind::kThreaded,
+                                           RuntimeKind::kReactor,
+                                           RuntimeKind::kReactorSharded),
+                         [](const auto& info) {
+                           return kind_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace tempo

@@ -694,6 +694,393 @@ TEST(EventServerRuntime, SlowPeerDoesNotStallOtherClients) {
   runtime.stop();
 }
 
+// ----------------------------------------- multi-reactor sharding ------
+
+// Raw-conn helpers for the adversarial TCP tests: build a framed
+// echo-int call record and read one framed reply off the wire.
+Bytes framed_int_call(std::uint32_t xid, std::int32_t v) {
+  Bytes msg(128);
+  xdr::XdrMem x(MutableByteSpan(msg.data() + 4, msg.size() - 4),
+                xdr::XdrOp::kEncode);
+  rpc::CallHeader hdr;
+  hdr.xid = xid;
+  hdr.prog = kProg;
+  hdr.vers = kVers;
+  hdr.proc = kProc;
+  EXPECT_TRUE(rpc::xdr_call_header(x, hdr));
+  EXPECT_TRUE(xdr::xdr_int(x, v));
+  store_be32(msg.data(),
+             xdr::XdrRec::kLastFragFlag |
+                 static_cast<std::uint32_t>(x.getpos()));
+  msg.resize(4 + x.getpos());
+  return msg;
+}
+
+// Reads one record-marked reply; empty on timeout/disconnect.
+Bytes read_framed_reply(net::TcpConn& conn, int timeout_ms = 3000) {
+  auto read_exact = [&](std::uint8_t* dst, std::size_t n) {
+    std::size_t off = 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (off < n && std::chrono::steady_clock::now() < deadline) {
+      auto r = conn.read_some(MutableByteSpan(dst + off, n - off), 50);
+      if (!r.is_ok()) {
+        if (r.status().code() != StatusCode::kTimeout) return false;
+        continue;
+      }
+      if (*r == 0) return false;
+      off += *r;
+    }
+    return off == n;
+  };
+  std::uint8_t hdr[4];
+  if (!read_exact(hdr, 4)) return {};
+  const std::uint32_t word = load_be32(hdr);
+  const std::uint32_t len = word & ~xdr::XdrRec::kLastFragFlag;
+  Bytes body(len);
+  if (len > 0 && !read_exact(body.data(), len)) return {};
+  return body;
+}
+
+// N reactor shards, each with its own event loop and (with REUSEPORT)
+// its own UDP socket; TCP connections partition across shards by fd.
+// The whole client mix of the single-loop e2e must still be served, and
+// the per-shard stats must aggregate into one coherent view.
+TEST(EventServerRuntime, MultiReactorServesUdpAndTcpAcrossShards) {
+  core::SpecCache cache(32, /*shards=*/4);
+  rpc::SvcRegistry reg;
+  core::CachedSpecService service(
+      cache, echo_array_proc(), kProg, kVers,
+      [](std::span<const std::uint32_t>, std::span<const std::uint32_t> args,
+         std::span<std::uint32_t> results) {
+        std::copy(args.begin(), args.end(), results.begin());
+        return true;
+      });
+  service.install(reg);
+
+  rpc::EventServerRuntimeConfig cfg;
+  cfg.workers = 4;
+  cfg.reactors = 4;
+  rpc::EventServerRuntime runtime(reg, cfg);
+  ASSERT_TRUE(runtime.start().is_ok());
+  EXPECT_EQ(runtime.reactor_count(), 4);
+#if defined(__linux__)
+  // Every Linux this project supports has SO_REUSEPORT (3.9+): the UDP
+  // plane must actually shard, not silently fall back.
+  EXPECT_TRUE(runtime.udp_sharded());
+#endif
+
+  const std::vector<std::uint32_t> sizes = {25, 50, 75, 100};
+  constexpr int kCallsPerClient = 25;
+  constexpr int kTcpClients = 3;
+  constexpr int kTcpCallsPerClient = 10;
+  std::atomic<int> bad{0};
+
+  std::vector<std::thread> clients;
+  for (auto n : sizes) {
+    clients.emplace_back([&, n] {
+      auto iface = core::SpecializedInterface::build(echo_array_proc(), kProg,
+                                                     kVers, cfg_for(n));
+      net::UdpSocket sock;
+      if (!iface.is_ok() || !sock.ok()) {
+        ++bad;
+        return;
+      }
+      core::SpecializedClient client(sock, runtime.udp_addr(), *iface);
+      std::vector<std::uint32_t> args(n), results(n, 0);
+      for (std::uint32_t i = 0; i < n; ++i) args[i] = n * 1000 + i;
+      for (int round = 0; round < kCallsPerClient; ++round) {
+        std::fill(results.begin(), results.end(), 0);
+        if (!client.call(args, results).is_ok() || results != args) {
+          ++bad;
+          return;
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kTcpClients; ++t) {
+    clients.emplace_back([&, t] {
+      rpc::TcpClient client(runtime.tcp_addr(), kProg, kVers);
+      if (!client.ok()) {
+        ++bad;
+        return;
+      }
+      const std::uint32_t n = 30;
+      for (int round = 0; round < kTcpCallsPerClient; ++round) {
+        std::vector<std::int32_t> sent(n, t * 100 + round), got;
+        Status st = client.call(
+            kProc,
+            [&](xdr::XdrStream& x) {
+              std::uint32_t count = n;
+              if (!xdr::xdr_u_int(x, count)) return false;
+              for (auto& v : sent) {
+                if (!xdr::xdr_int(x, v)) return false;
+              }
+              return true;
+            },
+            [&](xdr::XdrStream& x) {
+              std::uint32_t count = 0;
+              if (!xdr::xdr_u_int(x, count) || count != n) return false;
+              got.resize(count);
+              for (auto& v : got) {
+                if (!xdr::xdr_int(x, v)) return false;
+              }
+              return true;
+            });
+        if (!st.is_ok() || got != sent) {
+          ++bad;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(bad.load(), 0);
+  // Stats aggregate across shards into one coherent set of counters.
+  EXPECT_GE(runtime.stats().udp_datagrams.load(),
+            static_cast<std::int64_t>(sizes.size()) * kCallsPerClient);
+  EXPECT_EQ(runtime.stats().tcp_connections.load(), kTcpClients);
+  EXPECT_EQ(runtime.stats().tcp_calls.load(),
+            kTcpClients * kTcpCallsPerClient);
+  EXPECT_EQ(runtime.stats().reply_send_failures.load(), 0);
+  runtime.stop();
+}
+
+// Regression: EventServerRuntime::stop() with N>1 shards must drain
+// in-flight requests on EVERY shard.  Eight connections partition over
+// four shards (round-robin assignment puts exactly two on each); each
+// has one request queued behind two slow workers when stop() lands.  A
+// drain that only joined or flushed shard 0 would orphan the replies
+// owned by shards 1..3 and fail 6 of the 8 calls.
+TEST(EventServerRuntime, MultiShardStopDrainsEveryShard) {
+  rpc::SvcRegistry reg;
+  reg.register_proc(kProg, kVers, kProc,
+                    [](xdr::XdrStream& in, xdr::XdrStream& out) {
+                      std::int32_t v = 0;
+                      if (!xdr::xdr_int(in, v)) return false;
+                      std::this_thread::sleep_for(
+                          std::chrono::milliseconds(100));
+                      return xdr::xdr_int(out, v);
+                    });
+
+  rpc::EventServerRuntimeConfig cfg;
+  cfg.workers = 2;
+  cfg.reactors = 4;
+  cfg.enable_udp = false;
+  rpc::EventServerRuntime runtime(reg, cfg);
+  ASSERT_TRUE(runtime.start().is_ok());
+
+  constexpr int kConns = 8;
+  std::vector<Status> statuses(kConns, unavailable("not run"));
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kConns; ++i) {
+    threads.emplace_back([&, i] {
+      rpc::TcpClient client(runtime.tcp_addr(), kProg, kVers);
+      if (!client.ok()) {
+        statuses[static_cast<std::size_t>(i)] = unavailable("connect failed");
+        return;
+      }
+      statuses[static_cast<std::size_t>(i)] = client.call(
+          kProc,
+          [&](xdr::XdrStream& x) {
+            std::int32_t v = 1000 + i;
+            return xdr::xdr_int(x, v);
+          },
+          [&](xdr::XdrStream& x) {
+            std::int32_t v = 0;
+            return xdr::xdr_int(x, v) && v == 1000 + i;
+          });
+    });
+  }
+  // Let every request reach the worker queue (records parse and push
+  // immediately; only two can be in a handler at once).
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  runtime.stop();  // must drain all shards, not just shard 0
+  for (auto& t : threads) t.join();
+
+  for (int i = 0; i < kConns; ++i) {
+    EXPECT_TRUE(statuses[static_cast<std::size_t>(i)].is_ok())
+        << "conn " << i << ": "
+        << statuses[static_cast<std::size_t>(i)].to_string();
+  }
+}
+
+// ------------------------------------------ adversarial TCP peers ------
+
+// A peer that dies mid-record — either inside the 4-byte fragment
+// header or inside the promised payload — must be reaped without
+// disturbing anyone, and the server must keep serving.
+TEST(EventServerRuntime, MidRecordDisconnectLeavesServerHealthy) {
+  rpc::SvcRegistry reg;
+  reg.register_proc(kProg, kVers, kProc,
+                    [](xdr::XdrStream& in, xdr::XdrStream& out) {
+                      std::int32_t v = 0;
+                      if (!xdr::xdr_int(in, v)) return false;
+                      return xdr::xdr_int(out, v);
+                    });
+
+  rpc::EventServerRuntimeConfig cfg;
+  cfg.workers = 2;
+  cfg.reactors = 2;
+  rpc::EventServerRuntime runtime(reg, cfg);
+  ASSERT_TRUE(runtime.start().is_ok());
+
+  {
+    // Dies two bytes into the fragment header.
+    auto conn = net::TcpConn::connect(runtime.tcp_addr());
+    ASSERT_NE(conn, nullptr);
+    const std::uint8_t half_header[2] = {0x80, 0x00};
+    ASSERT_TRUE(conn->write_all(ByteSpan(half_header, 2)).is_ok());
+    conn->close();
+  }
+  {
+    // Promises 4000 payload bytes, delivers 100, dies.
+    auto conn = net::TcpConn::connect(runtime.tcp_addr());
+    ASSERT_NE(conn, nullptr);
+    Bytes partial(4 + 100, 0x42);
+    store_be32(partial.data(), xdr::XdrRec::kLastFragFlag | 4000u);
+    ASSERT_TRUE(conn->write_all(ByteSpan(partial.data(), partial.size()))
+                    .is_ok());
+    conn->close();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // The server still answers a well-behaved client.
+  rpc::TcpClient client(runtime.tcp_addr(), kProg, kVers);
+  ASSERT_TRUE(client.ok());
+  Status st = client.call(
+      kProc,
+      [](xdr::XdrStream& x) {
+        std::int32_t v = 123;
+        return xdr::xdr_int(x, v);
+      },
+      [](xdr::XdrStream& x) {
+        std::int32_t v = 0;
+        return xdr::xdr_int(x, v) && v == 123;
+      });
+  EXPECT_TRUE(st.is_ok()) << st.to_string();
+  EXPECT_EQ(runtime.stats().tcp_connections.load(), 3);
+  runtime.stop();
+}
+
+// A record trickled one byte per write must still assemble into exactly
+// one served call with a correct reply — the reassembly path crosses
+// ~50 reads instead of one.
+TEST(EventServerRuntime, OneByteTrickleStillCompletesTheCall) {
+  rpc::SvcRegistry reg;
+  reg.register_proc(kProg, kVers, kProc,
+                    [](xdr::XdrStream& in, xdr::XdrStream& out) {
+                      std::int32_t v = 0;
+                      if (!xdr::xdr_int(in, v)) return false;
+                      return xdr::xdr_int(out, v);
+                    });
+
+  rpc::EventServerRuntimeConfig cfg;
+  cfg.workers = 2;
+  rpc::EventServerRuntime runtime(reg, cfg);
+  ASSERT_TRUE(runtime.start().is_ok());
+
+  auto conn = net::TcpConn::connect(runtime.tcp_addr());
+  ASSERT_NE(conn, nullptr);
+  const Bytes call = framed_int_call(0xAA55, 777);
+  for (std::size_t i = 0; i < call.size(); ++i) {
+    ASSERT_TRUE(conn->write_all(ByteSpan(call.data() + i, 1)).is_ok());
+  }
+  const Bytes reply = read_framed_reply(*conn);
+  ASSERT_GE(reply.size(), 12u);
+  EXPECT_EQ(load_be32(reply.data()), 0xAA55u);  // xid
+  // Echoed int is the last word of a SUCCESS reply.
+  EXPECT_EQ(load_be32(reply.data() + reply.size() - 4), 777u);
+  EXPECT_EQ(runtime.stats().tcp_calls.load(), 1);
+  EXPECT_EQ(runtime.stats().conn_resets.load(), 0);
+  runtime.stop();
+}
+
+// A peer that fires pipelined read-style requests and never reads a
+// byte of its replies: the write buffer absorbs what the socket won't
+// take (counted in write_stalls), and at max_write_buffer the peer is
+// reset (counted in conn_resets) — it can never OOM the server or
+// wedge a reactor shard.
+TEST(EventServerRuntime, PeerThatNeverReadsIsStalledThenCapped) {
+  // Read-style proc: a tiny call asking for `count` ints back.
+  rpc::SvcRegistry reg;
+  reg.register_proc(kProg, kVers, kProc,
+                    [](xdr::XdrStream& in, xdr::XdrStream& out) {
+                      std::uint32_t count = 0;
+                      if (!xdr::xdr_u_int(in, count) || count > (1u << 18)) {
+                        return false;
+                      }
+                      if (!xdr::xdr_u_int(out, count)) return false;
+                      for (std::uint32_t i = 0; i < count; ++i) {
+                        std::int32_t v = static_cast<std::int32_t>(i);
+                        if (!xdr::xdr_int(out, v)) return false;
+                      }
+                      return true;
+                    });
+
+  rpc::EventServerRuntimeConfig cfg;
+  cfg.workers = 2;
+  cfg.max_write_buffer = 256 * 1024;  // small cap so the test converges
+  rpc::EventServerRuntime runtime(reg, cfg);
+  ASSERT_TRUE(runtime.start().is_ok());
+
+  auto conn = net::TcpConn::connect(runtime.tcp_addr());
+  ASSERT_NE(conn, nullptr);
+  // 40 requests, each producing a ~128 KB reply (~5 MB total): far more
+  // than kernel socket buffers + max_write_buffer can hold.
+  constexpr std::uint32_t kReplyInts = 32768;
+  for (int i = 0; i < 40; ++i) {
+    Bytes msg(128);
+    xdr::XdrMem x(MutableByteSpan(msg.data() + 4, msg.size() - 4),
+                  xdr::XdrOp::kEncode);
+    rpc::CallHeader hdr;
+    hdr.xid = 0x5000u + static_cast<std::uint32_t>(i);
+    hdr.prog = kProg;
+    hdr.vers = kVers;
+    hdr.proc = kProc;
+    std::uint32_t count = kReplyInts;
+    ASSERT_TRUE(rpc::xdr_call_header(x, hdr));
+    ASSERT_TRUE(xdr::xdr_u_int(x, count));
+    store_be32(msg.data(), xdr::XdrRec::kLastFragFlag |
+                               static_cast<std::uint32_t>(x.getpos()));
+    if (!conn->write_all(ByteSpan(msg.data(), 4 + x.getpos())).is_ok()) {
+      break;  // already reset: fine, that is the expected endgame
+    }
+  }
+
+  // Never read.  The server must stall-account, then cut us off.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (runtime.stats().conn_resets.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(runtime.stats().conn_resets.load(), 1);
+  EXPECT_GE(runtime.stats().write_stalls.load(), 1);
+
+  // Nobody else was harmed: a fresh, well-behaved client is served.
+  rpc::TcpClient client(runtime.tcp_addr(), kProg, kVers);
+  ASSERT_TRUE(client.ok());
+  std::uint32_t got = 0;
+  Status st = client.call(
+      kProc,
+      [](xdr::XdrStream& x) {
+        std::uint32_t count = 3;
+        return xdr::xdr_u_int(x, count);
+      },
+      [&](xdr::XdrStream& x) {
+        if (!xdr::xdr_u_int(x, got) || got != 3) return false;
+        for (std::uint32_t i = 0; i < got; ++i) {
+          std::int32_t v = 0;
+          if (!xdr::xdr_int(x, v)) return false;
+        }
+        return true;
+      });
+  EXPECT_TRUE(st.is_ok()) << st.to_string();
+  runtime.stop();
+}
+
 // -------------------------------- ServerRuntime shutdown drain (fix) ---
 
 // Regression: stop() must serve already-queued jobs, not drop them.  A

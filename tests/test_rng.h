@@ -1,0 +1,28 @@
+// Deterministic splitmix64 RNG shared by the fault/stress harnesses:
+// one instance per client/proxy, seed-stable across platforms, so a
+// failing schedule is exactly reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+
+namespace tempo::test {
+
+struct Rng {
+  std::uint64_t s;
+  std::uint64_t next() {
+    std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  std::uint32_t below(std::uint32_t n) {
+    return static_cast<std::uint32_t>(next() % n);
+  }
+  // True with probability p (53 uniform mantissa bits).
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    return static_cast<double>(next() >> 11) / 9007199254740992.0 < p;
+  }
+};
+
+}  // namespace tempo::test

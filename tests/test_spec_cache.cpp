@@ -341,6 +341,240 @@ TEST(SpecCacheSharding, OneBuildPerKeyUnder8ThreadContention) {
   }
 }
 
+// ---- the RCU-style hot-spec slot ------------------------------------------
+
+// After kHotPublishEpoch locked hits on one key, the cache publishes it
+// through the atomic hot slot: later lookups of that key are served
+// lock-free (counted in hot_hits) and still return the same instance.
+TEST(SpecCacheHotSlot, PublishesAfterEpochAndServesLockFree) {
+  SpecCache cache(32, /*shards=*/4);
+  const auto proc = echo_array_proc();
+
+  auto first = cache.get_or_build(proc, kProg, kVers, cfg_for(10));
+  ASSERT_TRUE(first.is_ok());
+  const auto* instance = first->get();
+
+  // Epoch-1 locked hits leave the slot unpublished...
+  for (std::int64_t i = 0; i < SpecCache::kHotPublishEpoch - 1; ++i) {
+    auto r = cache.get_or_build(proc, kProg, kVers, cfg_for(10));
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r->get(), instance);
+  }
+  EXPECT_EQ(cache.stats().hot_hits, 0);
+
+  // ...the epoch-boundary hit publishes...
+  ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(10)).is_ok());
+
+  // ...and every later hit of this key is lock-free.
+  constexpr int kHotRounds = 10;
+  for (int i = 0; i < kHotRounds; ++i) {
+    auto r = cache.get_or_build(proc, kProg, kVers, cfg_for(10));
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r->get(), instance);  // same shared instance, slot or shard
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hot_hits, kHotRounds);
+  EXPECT_EQ(stats.misses, 1);
+  // hits includes the hot-slot hits.
+  EXPECT_EQ(stats.hits, SpecCache::kHotPublishEpoch + kHotRounds);
+
+  // A different key never matches the slot: correct instance, no
+  // hot-hit accounting drift.
+  auto other = cache.get_or_build(proc, kProg, kVers, cfg_for(20));
+  ASSERT_TRUE(other.is_ok());
+  EXPECT_NE(other->get(), instance);
+  EXPECT_EQ(cache.stats().hot_hits, kHotRounds);
+}
+
+// The slot holds a SpecHandle, so the published interface survives LRU
+// eviction exactly like a caller-held handle: the hot key keeps being
+// served (without a rebuild) even after distinct-key flooding pushed it
+// out of every shard.
+TEST(SpecCacheHotSlot, HotKeySurvivesEvictionWithoutRebuild) {
+  SpecCache cache(4, /*shards=*/1);
+  const auto proc = echo_array_proc();
+
+  auto hot = cache.get_or_build(proc, kProg, kVers, cfg_for(10));
+  ASSERT_TRUE(hot.is_ok());
+  const auto* instance = hot->get();
+  for (std::int64_t i = 0; i < SpecCache::kHotPublishEpoch; ++i) {
+    ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(10)).is_ok());
+  }
+
+  // Flood with 8 distinct keys: capacity 4, so key 10 is long evicted.
+  for (std::uint32_t n = 100; n < 108; ++n) {
+    ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(n)).is_ok());
+  }
+  EXPECT_LE(cache.size(), 4u);
+  const auto before = cache.stats();
+
+  auto again = cache.get_or_build(proc, kProg, kVers, cfg_for(10));
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again->get(), instance);  // not rebuilt, not resurrected
+  const auto after = cache.stats();
+  EXPECT_EQ(after.misses, before.misses);  // no pipeline run
+  EXPECT_EQ(after.hot_hits, before.hot_hits + 1);
+}
+
+// Every kHotRefreshPeriod-th slot read takes the locked path to
+// re-touch the hot key's LRU entry: the hottest key must not decay
+// into the shard's eviction victim just because its hits bypass the
+// shard, and after a slot displacement it must still be served from
+// the shard without a rebuild.
+TEST(SpecCacheHotSlot, RefreshKeepsHotKeyWarmInShardLru) {
+  SpecCache cache(4, /*shards=*/1);
+  const auto proc = echo_array_proc();
+
+  auto a = cache.get_or_build(proc, kProg, kVers, cfg_for(10));  // miss 1
+  ASSERT_TRUE(a.is_ok());
+  const auto* instance = a->get();
+  for (std::int64_t i = 0; i < SpecCache::kHotPublishEpoch; ++i) {
+    ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(10)).is_ok());
+  }
+  // Slot published; burn kHotRefreshPeriod - 1 hot reads...
+  for (std::int64_t i = 0; i < SpecCache::kHotRefreshPeriod - 1; ++i) {
+    ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(10)).is_ok());
+  }
+  // ...then fill the other three slots, leaving key 10 LRU-coldest.
+  for (std::uint32_t n : {20u, 30u, 40u}) {  // misses 2..4
+    ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(n)).is_ok());
+  }
+  // The next slot read is the refresh tick: it re-touches key 10.
+  ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(10)).is_ok());
+  // A fifth key now evicts the true LRU victim (20), NOT the hot key.
+  ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers,
+                                 cfg_for(50)).is_ok());  // miss 5
+  EXPECT_EQ(cache.stats().evictions, 1);
+
+  // Displace the slot (key 50 earns it), then fetch the old hot key:
+  // it must come from the SHARD — no rebuild — with the same instance.
+  for (std::int64_t i = 0; i < SpecCache::kHotPublishEpoch; ++i) {
+    ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(50)).is_ok());
+  }
+  auto again = cache.get_or_build(proc, kProg, kVers, cfg_for(10));
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again->get(), instance);
+  EXPECT_EQ(cache.stats().misses, 5);  // no rebuild of the hot key
+}
+
+// A refresh tick that lands AFTER the hot key was evicted must
+// reinsert the published handle, not re-run the pipeline: the shard
+// miss path consults the slot the lookup fell through from.
+TEST(SpecCacheHotSlot, RefreshTickReinsertsEvictedHotKeyWithoutRebuild) {
+  SpecCache cache(4, /*shards=*/1);
+  const auto proc = echo_array_proc();
+
+  auto a = cache.get_or_build(proc, kProg, kVers, cfg_for(10));  // miss 1
+  ASSERT_TRUE(a.is_ok());
+  const auto* instance = a->get();
+  for (std::int64_t i = 0; i < SpecCache::kHotPublishEpoch; ++i) {
+    ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(10)).is_ok());
+  }
+  // Burn all pre-refresh slot reads while the key is still cached...
+  for (std::int64_t i = 0; i < SpecCache::kHotRefreshPeriod - 1; ++i) {
+    ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(10)).is_ok());
+  }
+  // ...then evict it: five fresh keys through a 4-slot shard push the
+  // untouched hot key out first.
+  for (std::uint32_t n : {20u, 30u, 40u, 50u, 60u}) {  // misses 2..6
+    ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(n)).is_ok());
+  }
+  const auto before = cache.stats();
+  ASSERT_EQ(before.misses, 6);
+
+  // The refresh tick finds the shard entry gone and reinserts the
+  // published handle: a hit, not a rebuild.
+  auto again = cache.get_or_build(proc, kProg, kVers, cfg_for(10));
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again->get(), instance);
+  const auto after = cache.stats();
+  EXPECT_EQ(after.misses, 6);             // no pipeline run
+  EXPECT_EQ(after.hits, before.hits + 1);  // counted as a shard hit
+  EXPECT_EQ(cache.size(), 4u);             // reinserted under the cap
+}
+
+// When traffic shifts, the new hot key takes the slot over (its locked
+// hits accumulate while the old key's don't), and the displaced key is
+// still served correctly through its shard.
+TEST(SpecCacheHotSlot, WorkloadShiftHandsTheSlotOver) {
+  SpecCache cache(32, /*shards=*/4);
+  const auto proc = echo_array_proc();
+
+  ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(10)).is_ok());
+  for (std::int64_t i = 0; i < SpecCache::kHotPublishEpoch; ++i) {
+    ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(10)).is_ok());
+  }
+  const auto hot10 = cache.stats().hot_hits;
+
+  // Key 20 becomes the traffic: it accumulates locked hits (key 10
+  // holds the slot, so 20's lookups go through its shard) until it
+  // publishes itself at its own epoch boundary.
+  ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(20)).is_ok());
+  for (std::int64_t i = 0; i < SpecCache::kHotPublishEpoch; ++i) {
+    ASSERT_TRUE(cache.get_or_build(proc, kProg, kVers, cfg_for(20)).is_ok());
+  }
+  // Now 20 owns the slot...
+  const auto before = cache.stats();
+  auto r20 = cache.get_or_build(proc, kProg, kVers, cfg_for(20));
+  ASSERT_TRUE(r20.is_ok());
+  EXPECT_EQ(cache.stats().hot_hits, before.hot_hits + 1);
+  // ...and 10, displaced, is still served correctly from its shard.
+  auto r10 = cache.get_or_build(proc, kProg, kVers, cfg_for(10));
+  ASSERT_TRUE(r10.is_ok());
+  EXPECT_NE(r10->get(), r20->get());
+  EXPECT_EQ(cache.stats().hot_hits, before.hot_hits + 1);  // not via slot
+  EXPECT_GE(cache.stats().hot_hits, hot10);
+  EXPECT_EQ(cache.stats().misses, 2);
+}
+
+// 8 threads hammer a skewed workload (one dominant key + churn keys)
+// while the slot publishes and republishes underneath them: every
+// lookup must still return the one shared instance per key.  This is
+// the test the TSan CI job pins the publication protocol with.
+TEST(SpecCacheHotSlot, ConcurrentSkewedTrafficStaysConsistent) {
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 400;
+  SpecCache cache(64, /*shards=*/4);
+  const auto proc = echo_array_proc();
+
+  std::atomic<int> failures{0};
+  std::vector<const SpecializedInterface*> dominant(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        // 7 of 8 lookups hit the dominant key; the rest churn.
+        const std::uint32_t n =
+            (i % 8 != 0) ? 10u : 30u + static_cast<std::uint32_t>((i + t) % 4);
+        auto r = cache.get_or_build(proc, kProg, kVers, cfg_for(n));
+        if (!r.is_ok()) {
+          ++failures;
+          continue;
+        }
+        if (n == 10) {
+          if (dominant[static_cast<std::size_t>(t)] == nullptr) {
+            dominant[static_cast<std::size_t>(t)] = r->get();
+          } else if (dominant[static_cast<std::size_t>(t)] != r->get()) {
+            ++failures;  // instance changed: memoization broken
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(dominant[static_cast<std::size_t>(t)], dominant[0]);
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 5);  // key 10 + churn keys 30..33
+  EXPECT_GT(stats.hot_hits, 0);
+  EXPECT_EQ(stats.hits,
+            static_cast<std::int64_t>(kThreads) * kItersPerThread - 5);
+}
+
 // ---- the cache under the concurrent server runtime -----------------------
 
 TEST(ServerRuntime, CachedServiceOverLoopbackUdp) {

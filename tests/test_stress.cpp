@@ -1,0 +1,388 @@
+// Randomized soak of the multi-reactor event runtime.
+//
+// Mixed UDP and TCP clients hammer a 4-shard EventServerRuntime with
+// random procedures, random array sizes, random truncated ("garbage")
+// calls and random mid-record TCP aborts for a bounded wall-clock
+// window, then the books must balance:
+//
+//   * XID accounting — every UDP reply's XID must be one we sent and
+//     never seen before (no duplicated replies, no replies minted from
+//     thin air), and the number of missing replies must be exactly the
+//     number of losses the server itself accounted (queue-overload
+//     drops + refused sends); nothing disappears silently;
+//   * TCP calls that ran to completion must all have received their
+//     correct in-order replies, with aborted connections harming
+//     nobody;
+//   * the runtime survives to serve a clean call afterwards.
+//
+// Deterministic by default: the schedule derives from TEMPO_STRESS_SEED
+// (default 0xC0FFEE) and runs for TEMPO_STRESS_MS (default 2000 ms), so
+// CI pins one reproducible schedule — the short deterministic-seed
+// variant — while a soak box can crank the duration up.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/endian.h"
+#include "net/tcp.h"
+#include "net/udp.h"
+#include "rpc/event_runtime.h"
+#include "rpc/rpc_msg.h"
+#include "rpc/svc.h"
+#include "test_rng.h"
+#include "xdr/primitives.h"
+#include "xdr/xdrmem.h"
+#include "xdr/xdrrec.h"
+
+namespace tempo {
+namespace {
+
+constexpr std::uint32_t kProg = 0x20000AAA;
+constexpr std::uint32_t kVers = 1;
+constexpr std::uint32_t kProcEchoInt = 1;
+constexpr std::uint32_t kProcEchoArray = 2;
+constexpr std::uint32_t kProcRead = 3;  // tiny call -> count-int reply
+
+int stress_ms() {
+  const char* e = std::getenv("TEMPO_STRESS_MS");
+  const int v = e ? std::atoi(e) : 2000;
+  return v > 0 ? v : 2000;
+}
+
+std::uint64_t stress_seed() {
+  const char* e = std::getenv("TEMPO_STRESS_SEED");
+  if (e) return std::strtoull(e, nullptr, 0);
+  return 0xC0FFEEull;
+}
+
+// One RNG instance per client thread: deterministic given the seed,
+// uncorrelated across clients.
+using test::Rng;
+
+void install_procs(rpc::SvcRegistry& reg) {
+  reg.register_proc(kProg, kVers, kProcEchoInt,
+                    [](xdr::XdrStream& in, xdr::XdrStream& out) {
+                      std::int32_t v = 0;
+                      if (!xdr::xdr_int(in, v)) return false;
+                      return xdr::xdr_int(out, v);
+                    });
+  reg.register_proc(kProg, kVers, kProcEchoArray,
+                    [](xdr::XdrStream& in, xdr::XdrStream& out) {
+                      std::uint32_t count = 0;
+                      if (!xdr::xdr_u_int(in, count) || count > 4096) {
+                        return false;
+                      }
+                      if (!xdr::xdr_u_int(out, count)) return false;
+                      for (std::uint32_t i = 0; i < count; ++i) {
+                        std::int32_t v = 0;
+                        if (!xdr::xdr_int(in, v) || !xdr::xdr_int(out, v)) {
+                          return false;
+                        }
+                      }
+                      return true;
+                    });
+  reg.register_proc(kProg, kVers, kProcRead,
+                    [](xdr::XdrStream& in, xdr::XdrStream& out) {
+                      std::uint32_t count = 0;
+                      if (!xdr::xdr_u_int(in, count) || count > 4096) {
+                        return false;
+                      }
+                      if (!xdr::xdr_u_int(out, count)) return false;
+                      for (std::uint32_t i = 0; i < count; ++i) {
+                        std::int32_t v = static_cast<std::int32_t>(i ^ count);
+                        if (!xdr::xdr_int(out, v)) return false;
+                      }
+                      return true;
+                    });
+}
+
+// Encodes one random call (possibly truncated into a GARBAGE_ARGS case
+// — the server still replies, with an error status, so it stays in the
+// XID books).  Returns the encoded length.
+std::size_t encode_random_call(Rng& rng, std::uint32_t xid, Bytes& buf) {
+  const std::uint32_t pick = rng.below(3);
+  const std::uint32_t proc =
+      pick == 0 ? kProcEchoInt : (pick == 1 ? kProcEchoArray : kProcRead);
+  xdr::XdrMem x(MutableByteSpan(buf.data(), buf.size()), xdr::XdrOp::kEncode);
+  rpc::CallHeader hdr;
+  hdr.xid = xid;
+  hdr.prog = kProg;
+  hdr.vers = kVers;
+  hdr.proc = proc;
+  EXPECT_TRUE(rpc::xdr_call_header(x, hdr));
+  if (proc == kProcEchoInt) {
+    std::int32_t v = static_cast<std::int32_t>(rng.next());
+    EXPECT_TRUE(xdr::xdr_int(x, v));
+  } else if (proc == kProcEchoArray) {
+    std::uint32_t n = 1 + rng.below(300);
+    EXPECT_TRUE(xdr::xdr_u_int(x, n));
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::int32_t v = static_cast<std::int32_t>(rng.next());
+      EXPECT_TRUE(xdr::xdr_int(x, v));
+    }
+  } else {
+    std::uint32_t n = 1 + rng.below(300);
+    EXPECT_TRUE(xdr::xdr_u_int(x, n));
+  }
+  std::size_t len = x.getpos();
+  // ~5% of calls arrive truncated mid-arguments: the handler fails to
+  // decode and the server answers GARBAGE_ARGS — still a reply, still
+  // carrying our XID, so accounting is unaffected.
+  if (len > 44 && rng.chance(0.05)) len -= 4;
+  return len;
+}
+
+TEST(StressSoak, MixedRandomTrafficBalancesTheBooks) {
+  rpc::SvcRegistry reg;
+  install_procs(reg);
+
+  rpc::EventServerRuntimeConfig cfg;
+  cfg.workers = 4;
+  cfg.reactors = 4;
+  rpc::EventServerRuntime runtime(reg, cfg);
+  ASSERT_TRUE(runtime.start().is_ok());
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(stress_ms());
+  const std::uint64_t seed = stress_seed();
+
+  // ---- UDP clients: windowed pipelining with strict XID books -------
+  constexpr int kUdpClients = 4;
+  std::atomic<std::int64_t> udp_sent{0}, udp_received{0};
+  std::atomic<int> duplicate_replies{0}, foreign_replies{0};
+  std::atomic<int> client_errors{0};
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kUdpClients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng{seed + static_cast<std::uint64_t>(c) * 0x1234567ull};
+      net::UdpSocket sock;
+      if (!sock.ok()) {
+        ++client_errors;
+        return;
+      }
+      const net::Addr server = runtime.udp_addr();
+      // XIDs are globally unique across clients by construction.
+      std::uint32_t next_xid = 0x10000000u * static_cast<std::uint32_t>(c + 1);
+      std::unordered_set<std::uint32_t> sent_xids, received_xids;
+      Bytes send_buf(8192), recv_buf(65000);
+      std::int64_t my_sent = 0, my_received = 0;
+
+      auto drain = [&](int timeout_ms) {
+        for (;;) {
+          auto r = sock.recv_from(
+              nullptr, MutableByteSpan(recv_buf.data(), recv_buf.size()),
+              timeout_ms);
+          if (!r.is_ok()) return;
+          if (*r < 4) continue;
+          const std::uint32_t xid = load_be32(recv_buf.data());
+          if (sent_xids.count(xid) == 0) {
+            ++foreign_replies;  // a reply we never asked for
+          } else if (!received_xids.insert(xid).second) {
+            ++duplicate_replies;  // the same reply twice
+          } else {
+            ++my_received;
+          }
+        }
+      };
+
+      // Self-clocking: cap the requests outstanding per client so that
+      // even on a starved box (TSan CI) unserved datagrams can never
+      // pile past a socket's SO_RCVBUF — a kernel-level drop there
+      // would be a loss no server counter accounts for, and the books
+      // below must stay exact.  Sized for the worst case: the reuseport
+      // flow hash may land ALL clients on one shard socket, so
+      // kUdpClients * kMaxOutstanding datagrams (~2-4 KB skb truesize
+      // each) must fit one default ~212 KB rcvbuf.
+      constexpr std::int64_t kMaxOutstanding = 8;
+      while (std::chrono::steady_clock::now() < deadline) {
+        const int window = 1 + static_cast<int>(rng.below(8));
+        for (int i = 0; i < window; ++i) {
+          const std::uint32_t xid = next_xid++;
+          const std::size_t len = encode_random_call(rng, xid, send_buf);
+          if (!sock.send_to(server, ByteSpan(send_buf.data(), len)).is_ok()) {
+            ++client_errors;
+            break;
+          }
+          sent_xids.insert(xid);
+          ++my_sent;
+        }
+        // Collect what has arrived; replies may trickle across windows.
+        drain(20);
+        while (my_sent - my_received > kMaxOutstanding &&
+               std::chrono::steady_clock::now() < deadline) {
+          drain(50);
+        }
+      }
+      // Final quiet-period drain so in-flight replies get counted.
+      for (int i = 0; i < 10 && my_received < my_sent; ++i) drain(100);
+      udp_sent += my_sent;
+      udp_received += my_received;
+    });
+  }
+
+  // ---- TCP clients: random calls, random mid-record aborts ----------
+  constexpr int kTcpClients = 2;
+  std::atomic<std::int64_t> tcp_completed{0}, tcp_aborts{0};
+  for (int c = 0; c < kTcpClients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng{seed + 0xABCDEFull + static_cast<std::uint64_t>(c) * 0x777ull};
+      std::uint32_t next_xid = 0x60000000u + 0x01000000u *
+                                                static_cast<std::uint32_t>(c);
+      Bytes frame(16384), reply(16384);
+
+      auto read_exact = [&](net::TcpConn& conn, std::uint8_t* dst,
+                            std::size_t n) {
+        std::size_t off = 0;
+        const auto give_up = std::chrono::steady_clock::now() +
+                             std::chrono::seconds(5);
+        while (off < n && std::chrono::steady_clock::now() < give_up) {
+          auto r = conn.read_some(MutableByteSpan(dst + off, n - off), 50);
+          if (!r.is_ok()) {
+            if (r.status().code() != StatusCode::kTimeout) return false;
+            continue;
+          }
+          if (*r == 0) return false;
+          off += *r;
+        }
+        return off == n;
+      };
+
+      while (std::chrono::steady_clock::now() < deadline) {
+        auto conn = net::TcpConn::connect(runtime.tcp_addr());
+        if (!conn) {
+          ++client_errors;
+          return;
+        }
+        const int calls = 1 + static_cast<int>(rng.below(5));
+        for (int i = 0; i < calls; ++i) {
+          if (std::chrono::steady_clock::now() >= deadline) break;
+          const std::uint32_t xid = next_xid++;
+          xdr::XdrMem x(MutableByteSpan(frame.data() + 4, frame.size() - 4),
+                        xdr::XdrOp::kEncode);
+          rpc::CallHeader hdr;
+          hdr.xid = xid;
+          hdr.prog = kProg;
+          hdr.vers = kVers;
+          hdr.proc = kProcEchoArray;
+          const std::uint32_t n = 1 + rng.below(400);
+          std::uint32_t count = n;
+          bool ok = rpc::xdr_call_header(x, hdr) && xdr::xdr_u_int(x, count);
+          for (std::uint32_t j = 0; ok && j < n; ++j) {
+            std::int32_t v = static_cast<std::int32_t>(j * 2654435761u);
+            ok = xdr::xdr_int(x, v);
+          }
+          if (!ok) {
+            ++client_errors;
+            break;
+          }
+          const std::uint32_t len = static_cast<std::uint32_t>(x.getpos());
+          store_be32(frame.data(), xdr::XdrRec::kLastFragFlag | len);
+          // ~10% of calls abort mid-record: write a prefix, hang up.
+          if (rng.chance(0.10)) {
+            const std::size_t cut = 1 + rng.below(len);
+            (void)!conn->write_all(ByteSpan(frame.data(), cut)).is_ok();
+            ++tcp_aborts;
+            break;  // reconnect
+          }
+          if (!conn->write_all(ByteSpan(frame.data(), 4 + len)).is_ok()) {
+            break;  // server may have reset a previous abort; reconnect
+          }
+          std::uint8_t rhdr[4];
+          if (!read_exact(*conn, rhdr, 4)) {
+            ++client_errors;  // a completed call must get its reply
+            break;
+          }
+          const std::uint32_t rlen =
+              load_be32(rhdr) & ~xdr::XdrRec::kLastFragFlag;
+          if (rlen > reply.size()) reply.resize(rlen);
+          if (!read_exact(*conn, reply.data(), rlen)) {
+            ++client_errors;
+            break;
+          }
+          // In-order stream: the reply must match THIS call's XID and
+          // echo the n we sent (the count word sits right before the
+          // n-int payload at the reply's tail).
+          if (load_be32(reply.data()) != xid || rlen < 4u * n + 8u ||
+              load_be32(reply.data() + rlen - 4 * n - 4) != n) {
+            ++client_errors;
+            break;
+          }
+          ++tcp_completed;
+        }
+        conn->close();
+      }
+    });
+  }
+
+  for (auto& t : threads) t.join();
+
+  // ---- the books ----------------------------------------------------
+  EXPECT_EQ(client_errors.load(), 0);
+  EXPECT_EQ(duplicate_replies.load(), 0);
+  EXPECT_EQ(foreign_replies.load(), 0);
+  EXPECT_GT(udp_sent.load(), 0);
+  EXPECT_GT(tcp_completed.load(), 0);
+
+  // Every request either got its one reply or was lost somewhere the
+  // SERVER accounted: queue-overload drops or twice-refused sends.  (A
+  // reply datagram cannot vanish on loopback without one of those
+  // counters moving.)
+  const std::int64_t lost = udp_sent.load() - udp_received.load();
+  const std::int64_t accounted =
+      runtime.stats().overload_drops.load() +
+      runtime.stats().reply_send_failures.load();
+  EXPECT_GE(lost, 0);
+  EXPECT_LE(lost, accounted)
+      << "replies vanished without server-side accounting: sent="
+      << udp_sent.load() << " received=" << udp_received.load()
+      << " overload_drops=" << runtime.stats().overload_drops.load()
+      << " reply_send_failures="
+      << runtime.stats().reply_send_failures.load();
+
+  // The runtime survives the soak and still serves.
+  {
+    net::UdpSocket sock;
+    ASSERT_TRUE(sock.ok());
+    Bytes msg(128);
+    xdr::XdrMem x(MutableByteSpan(msg.data(), msg.size()),
+                  xdr::XdrOp::kEncode);
+    rpc::CallHeader hdr;
+    hdr.xid = 0xFEEDF00Du;
+    hdr.prog = kProg;
+    hdr.vers = kVers;
+    hdr.proc = kProcEchoInt;
+    std::int32_t v = 31337;
+    ASSERT_TRUE(rpc::xdr_call_header(x, hdr));
+    ASSERT_TRUE(xdr::xdr_int(x, v));
+    ASSERT_TRUE(sock.send_to(runtime.udp_addr(),
+                             ByteSpan(msg.data(), x.getpos()))
+                    .is_ok());
+    Bytes reply(256);
+    auto r = sock.recv_from(nullptr,
+                            MutableByteSpan(reply.data(), reply.size()), 2000);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(load_be32(reply.data()), 0xFEEDF00Du);
+  }
+
+  std::printf(
+      "soak: %lld UDP sent, %lld received (%lld lost, %lld accounted), "
+      "%lld TCP calls, %lld aborts, %lld conns, %lld resets\n",
+      static_cast<long long>(udp_sent.load()),
+      static_cast<long long>(udp_received.load()),
+      static_cast<long long>(lost), static_cast<long long>(accounted),
+      static_cast<long long>(tcp_completed.load()),
+      static_cast<long long>(tcp_aborts.load()),
+      static_cast<long long>(runtime.stats().tcp_connections.load()),
+      static_cast<long long>(runtime.stats().conn_resets.load()));
+  runtime.stop();
+}
+
+}  // namespace
+}  // namespace tempo
