@@ -35,8 +35,20 @@
 // loop saturates.  Each JSON point records its `reactors` and `backend`
 // so artifacts from different configurations stay distinguishable.
 //
+// --workers-per-shard N pins each reactor shard's worker pool size
+// (default: the worker count splits across shards); --shared-queue
+// collapses the shard-local queues back onto one global queue (the
+// PR 4 shape) so the shard-local-vs-shared dispatch cost is directly
+// A/B-measurable at equal thread counts.
+//
+// --tcp-depth N switches the workload from UDP to pipelined TCP: each
+// client keeps N calls in flight on one connection (1 = classic
+// closed-loop TCP).  Compare --tcp-depth 1 vs 8 to measure what
+// overlapping execution under the ordered reply ring buys.
+//
 // Usage: bench_concurrent [--duration-ms N] [--dwell-us N] [--window N]
-//                         [--reactors N]
+//                         [--reactors N] [--workers-per-shard N]
+//                         [--shared-queue] [--tcp-depth N]
 //                         [--runtime threaded|reactor|both] [--json PATH]
 #include <algorithm>
 #include <atomic>
@@ -54,9 +66,11 @@
 #include "core/service.h"
 #include "core/spec_cache.h"
 #include "core/spec_client.h"
+#include "net/tcp.h"
 #include "net/udp.h"
 #include "rpc/event_runtime.h"
 #include "rpc/svc.h"
+#include "xdr/xdrrec.h"
 
 namespace tempo::bench {
 namespace {
@@ -66,6 +80,9 @@ struct Point {
   int workers = 0;
   int clients = 0;
   int reactors = 0;     // event-loop shards (1 for the threaded runtime)
+  int workers_per_shard = 0;  // 0 = derived from workers
+  int tcp_depth = 0;          // 0 = UDP workload
+  bool shared_queue = false;
   std::string backend;  // "threads", "epoll" or "poll"
   double calls_per_sec = 0.0;
 };
@@ -75,6 +92,9 @@ struct Options {
   int dwell_us = 200;
   int window = 0;  // 0 = closed loop; N>0 = N pipelined calls per burst
   int reactors = 1;  // reactor-runtime shards
+  int workers_per_shard = 0;  // 0 = derive from the workers total
+  int tcp_depth = 0;  // 0 = UDP; N>0 = TCP with N pipelined calls/client
+  bool shared_queue = false;  // reactor A/B: one global queue (PR 4 shape)
   std::string runtime = "both";  // threaded | reactor | both
   std::string json_path;         // empty = no JSON
 };
@@ -104,9 +124,13 @@ Point run_point(const char* runtime_name, core::SpecCache& cache,
 
   ConfigT cfg;
   cfg.workers = workers;
-  cfg.enable_tcp = false;
+  cfg.enable_tcp = opt.tcp_depth > 0;
+  cfg.enable_udp = opt.tcp_depth == 0;
   if constexpr (std::is_same_v<ConfigT, rpc::EventServerRuntimeConfig>) {
     cfg.reactors = opt.reactors;
+    cfg.workers_per_shard = opt.workers_per_shard;
+    cfg.shared_queue = opt.shared_queue;
+    if (opt.tcp_depth > 0) cfg.tcp_pipeline_depth = opt.tcp_depth;
   }
   RuntimeT runtime(reg, cfg);
   if (!runtime.start().is_ok()) {
@@ -122,6 +146,95 @@ Point run_point(const char* runtime_name, core::SpecCache& cache,
   threads.reserve(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&] {
+      if (opt.tcp_depth > 0) {
+        // Pipelined TCP: keep `tcp_depth` calls in flight on one
+        // connection (1 = classic closed loop).  The server's ordered
+        // reply ring overlaps their execution while keeping wire
+        // order, so depth>1 measures exactly what pipelining buys.
+        auto conn = net::TcpConn::connect(runtime.tcp_addr());
+        if (!conn) {
+          ++errors;
+          return;
+        }
+        std::vector<std::int32_t> args(kArraySize);
+        Rng rng(static_cast<std::uint64_t>(kArraySize));
+        for (auto& a : args) a = static_cast<std::int32_t>(rng.next_u32());
+        Bytes send_buf(65000), recv_buf(65000);
+        const std::size_t len = generic_encode_call(
+            args, 1, MutableByteSpan(send_buf.data() + 4,
+                                     send_buf.size() - 4));
+        store_be32(send_buf.data(), xdr::XdrRec::kLastFragFlag |
+                                        static_cast<std::uint32_t>(len));
+        std::uint32_t xid = 1;
+        auto send_one = [&] {
+          store_be32(send_buf.data() + 4, ++xid);  // xid: first call word
+          return conn->write_all(ByteSpan(send_buf.data(), 4 + len)).is_ok();
+        };
+        auto read_exact = [&](std::uint8_t* dst, std::size_t n) {
+          std::size_t off = 0;
+          int empty_rounds = 0;
+          while (off < n) {
+            auto r = conn->read_some(MutableByteSpan(dst + off, n - off), 100);
+            if (!r.is_ok()) {
+              if (r.status().code() != StatusCode::kTimeout ||
+                  ++empty_rounds >= 20) {
+                return false;
+              }
+              continue;
+            }
+            empty_rounds = 0;
+            off += *r;
+          }
+          return true;
+        };
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        int outstanding = 0;
+        for (; outstanding < opt.tcp_depth; ++outstanding) {
+          if (!send_one()) {
+            ++errors;
+            return;
+          }
+        }
+        std::int64_t mine = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+          std::uint8_t rhdr[4];
+          if (!read_exact(rhdr, 4)) {
+            ++errors;
+            total_calls += mine;
+            return;
+          }
+          const std::uint32_t rlen =
+              load_be32(rhdr) & ~xdr::XdrRec::kLastFragFlag;
+          if (rlen > recv_buf.size() || !read_exact(recv_buf.data(), rlen)) {
+            ++errors;
+            total_calls += mine;
+            return;
+          }
+          ++mine;
+          --outstanding;
+          if (!send_one()) {
+            ++errors;
+            total_calls += mine;
+            return;
+          }
+          ++outstanding;
+        }
+        // Drain what is still in flight so the connection closes clean.
+        for (; outstanding > 0; --outstanding) {
+          std::uint8_t rhdr[4];
+          if (!read_exact(rhdr, 4)) break;
+          const std::uint32_t rlen =
+              load_be32(rhdr) & ~xdr::XdrRec::kLastFragFlag;
+          if (rlen > recv_buf.size() || !read_exact(recv_buf.data(), rlen)) {
+            break;
+          }
+          ++mine;
+        }
+        total_calls += mine;
+        return;
+      }
       net::UdpSocket sock;
       if (!sock.ok()) {
         ++errors;
@@ -220,8 +333,11 @@ Point run_point(const char* runtime_name, core::SpecCache& cache,
   p.runtime = runtime_name;
   p.workers = workers;
   p.clients = clients;
+  p.tcp_depth = opt.tcp_depth;
   if constexpr (std::is_same_v<RuntimeT, rpc::EventServerRuntime>) {
     p.reactors = opt.reactors;
+    p.workers_per_shard = opt.workers_per_shard;
+    p.shared_queue = opt.shared_queue;
     p.backend = backend;
   } else {
     p.reactors = 1;
@@ -240,7 +356,16 @@ template <typename RuntimeT, typename ConfigT>
 RuntimeReport run_runtime(const char* name, const Options& opt) {
   core::SpecCache cache(64, kCacheShards);
 
-  const std::vector<int> worker_counts = {1, 4};
+  // --workers-per-shard pins the pool size exactly (the reactor
+  // runtime ignores the legacy total when it is set), so the 1/4-worker
+  // grid axis would run two identical configurations under different
+  // labels: collapse it to the one true thread count.
+  std::vector<int> worker_counts = {1, 4};
+  if constexpr (std::is_same_v<ConfigT, rpc::EventServerRuntimeConfig>) {
+    if (opt.workers_per_shard > 0) {
+      worker_counts = {opt.workers_per_shard * opt.reactors};
+    }
+  }
   const std::vector<int> client_counts = {1, 4, 16};
 
   RuntimeReport report;
@@ -268,18 +393,33 @@ double rate_at(const std::vector<Point>& points, const std::string& runtime,
 }
 
 void run(const Options& opt) {
-  const bool want_threaded =
-      opt.runtime == "threaded" || opt.runtime == "both";
+  bool want_threaded = opt.runtime == "threaded" || opt.runtime == "both";
   const bool want_reactor = opt.runtime == "reactor" || opt.runtime == "both";
+  if (opt.tcp_depth > 0 && want_threaded) {
+    // The threaded runtime parks one worker per connection, so any
+    // point with clients > workers would sit in accept queues instead
+    // of measuring dispatch: the TCP-depth comparison is reactor-only.
+    std::printf("note: --tcp-depth is reactor-only; skipping threaded\n");
+    want_threaded = false;
+  }
 
   std::printf(
-      "bench_concurrent: echo-array n=%u over loopback UDP, "
-      "dwell=%dus, %dms per point, cache shards=%zu, reactors=%d, %s\n\n",
-      kArraySize, opt.dwell_us, opt.duration_ms, kCacheShards, opt.reactors,
-      opt.window > 0 ? "pipelined bursts" : "closed loop");
-  if (opt.window > 0) {
+      "bench_concurrent: echo-array n=%u over loopback %s, "
+      "dwell=%dus, %dms per point, cache shards=%zu, reactors=%d, "
+      "workers/shard=%d, queue=%s, %s\n\n",
+      kArraySize, opt.tcp_depth > 0 ? "TCP" : "UDP", opt.dwell_us,
+      opt.duration_ms, kCacheShards, opt.reactors, opt.workers_per_shard,
+      opt.shared_queue ? "shared" : "shard-local",
+      opt.tcp_depth > 0
+          ? "pipelined TCP"
+          : (opt.window > 0 ? "pipelined bursts" : "closed loop"));
+  if (opt.window > 0 && opt.tcp_depth == 0) {
     std::printf("burst window: %d calls in flight per client\n\n",
                 opt.window);
+  }
+  if (opt.tcp_depth > 0) {
+    std::printf("tcp pipeline depth: %d calls in flight per connection\n\n",
+                opt.tcp_depth);
   }
   std::printf("%-10s %-10s %-10s %-10s %-8s %14s\n", "runtime", "workers",
               "clients", "reactors", "backend", "calls/sec");
@@ -317,7 +457,7 @@ void run(const Options& opt) {
   for (const char* name : {"threaded", "reactor"}) {
     const double r1 = rate_at(points, name, 1, 16);
     const double r4 = rate_at(points, name, 4, 16);
-    if (r1 == 0.0 && r4 == 0.0) continue;
+    if (r1 == 0.0 || r4 == 0.0) continue;  // axis not part of this run
     std::printf("%s scaling 1->4 workers @16 clients: %.0f -> %.0f "
                 "(%.2fx) %s\n",
                 name, r1, r4, r1 > 0 ? r4 / r1 : 0.0,
@@ -347,16 +487,23 @@ void run(const Options& opt) {
                  "  \"array_size\": %u,\n  \"dwell_us\": %d,\n"
                  "  \"duration_ms\": %d,\n  \"cache_shards\": %zu,\n"
                  "  \"window\": %d,\n  \"reactors\": %d,\n"
+                 "  \"workers_per_shard\": %d,\n  \"tcp_depth\": %d,\n"
+                 "  \"queue\": \"%s\",\n"
                  "  \"points\": [\n",
                  kArraySize, opt.dwell_us, opt.duration_ms, kCacheShards,
-                 opt.window, opt.reactors);
+                 opt.window, opt.reactors, opt.workers_per_shard,
+                 opt.tcp_depth, opt.shared_queue ? "shared" : "shard-local");
     for (std::size_t i = 0; i < points.size(); ++i) {
       std::fprintf(f,
                    "    {\"runtime\": \"%s\", \"workers\": %d, "
-                   "\"clients\": %d, \"reactors\": %d, \"backend\": \"%s\", "
+                   "\"clients\": %d, \"reactors\": %d, "
+                   "\"workers_per_shard\": %d, \"tcp_depth\": %d, "
+                   "\"queue\": \"%s\", \"backend\": \"%s\", "
                    "\"calls_per_sec\": %.1f}%s\n",
                    points[i].runtime.c_str(), points[i].workers,
                    points[i].clients, points[i].reactors,
+                   points[i].workers_per_shard, points[i].tcp_depth,
+                   points[i].shared_queue ? "shared" : "shard-local",
                    points[i].backend.c_str(), points[i].calls_per_sec,
                    i + 1 < points.size() ? "," : "");
     }
@@ -384,6 +531,13 @@ int main(int argc, char** argv) {
       opt.window = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--reactors") == 0 && i + 1 < argc) {
       opt.reactors = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers-per-shard") == 0 &&
+               i + 1 < argc) {
+      opt.workers_per_shard = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--tcp-depth") == 0 && i + 1 < argc) {
+      opt.tcp_depth = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shared-queue") == 0) {
+      opt.shared_queue = true;
     } else if (std::strcmp(argv[i], "--runtime") == 0 && i + 1 < argc) {
       opt.runtime = argv[++i];
     } else if (std::strncmp(argv[i], "--runtime=", 10) == 0) {
@@ -393,7 +547,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--duration-ms N] [--dwell-us N] "
-                   "[--window N] [--reactors N] "
+                   "[--window N] [--reactors N] [--workers-per-shard N] "
+                   "[--shared-queue] [--tcp-depth N] "
                    "[--runtime threaded|reactor|both] [--json PATH|-]\n",
                    argv[0]);
       return 2;

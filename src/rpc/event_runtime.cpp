@@ -30,6 +30,10 @@ Status EventServerRuntime::start() {
   pending_jobs_.store(0, std::memory_order_release);
   udp_sharded_ = false;
   next_conn_shard_ = 0;
+  pipeline_depth_ =
+      cfg_.tcp_pipeline_depth < 1
+          ? 1
+          : static_cast<std::size_t>(cfg_.tcp_pipeline_depth);
 
   const std::size_t nshards =
       cfg_.reactors < 1 ? 1 : static_cast<std::size_t>(cfg_.reactors);
@@ -73,9 +77,9 @@ Status EventServerRuntime::start() {
     }
     if (!udp_sharded_) {
       // Single-loop mode, or the REUSEPORT fallback: shard 0 is the one
-      // receiving shard.  Datagram JOBS still fan out over the shared
-      // worker pool, so dispatch parallelism survives — only the recv
-      // syscalls stay on one loop.
+      // receiving shard.  Datagram JOBS still fan out (shard 0's queue
+      // plus stealing siblings), so dispatch parallelism survives —
+      // only the recv syscalls stay on one loop.
       shards_[0]->udp = std::make_unique<net::UdpSocket>(cfg_.udp_port);
     }
     if (!shards_[0]->udp->ok()) {
@@ -115,10 +119,29 @@ Status EventServerRuntime::start() {
                             [this](unsigned) { on_accept_ready(); });
   }
 
-  const int workers = cfg_.workers < 1 ? 1 : cfg_.workers;
-  workers_.reserve(static_cast<std::size_t>(workers));
-  for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  // Shard-local worker pools.  workers_per_shard pins each shard's
+  // pool exactly; otherwise the legacy `workers` total is split as
+  // evenly as possible (remainder to the low shards, shards beyond the
+  // total get zero — their queues drain through stealing siblings), so
+  // the spawned thread count equals what the config asked for.  Under
+  // shared_queue every worker homes on shard 0 — the PR 4 shape — but
+  // the total stays identical so A/B runs compare queues, not thread
+  // counts.
+  worker_count_ = 0;
+  for (std::size_t i = 0; i < nshards; ++i) {
+    int count = cfg_.workers_per_shard;
+    if (count < 1) {
+      const std::size_t total =
+          static_cast<std::size_t>(cfg_.workers < 1 ? 1 : cfg_.workers);
+      count = static_cast<int>(total / nshards + (i < total % nshards));
+    }
+    const std::size_t home = cfg_.shared_queue ? 0 : i;
+    Shard& owner = *shards_[home];
+    owner.home_workers += count;
+    for (int w = 0; w < count; ++w) {
+      owner.workers.emplace_back([this, home] { worker_loop(home); });
+    }
+    worker_count_ += count;
   }
   for (auto& sp : shards_) {
     Shard* s = sp.get();
@@ -149,23 +172,25 @@ void EventServerRuntime::stop() {
 
   // Past the deadline the bound wins over the drain: drop whatever is
   // still queued so stop() cannot be held hostage by a slow handler.
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (!queue_.empty()) {
-      stats_.overload_drops += static_cast<std::int64_t>(queue_.size());
-      pending_jobs_.fetch_sub(static_cast<std::int64_t>(queue_.size()),
+  for (auto& sp : shards_) {
+    std::lock_guard<std::mutex> lock(sp->q_mu);
+    if (!sp->queue.empty()) {
+      stats_.overload_drops += static_cast<std::int64_t>(sp->queue.size());
+      pending_jobs_.fetch_sub(static_cast<std::int64_t>(sp->queue.size()),
                               std::memory_order_acq_rel);
-      queue_.clear();
+      sp->queue.clear();
     }
   }
 
   // Phase 3: workers down (only in-flight jobs remain).
   workers_stop_.store(true, std::memory_order_release);
-  queue_cv_.notify_all();
-  for (auto& t : workers_) {
-    if (t.joinable()) t.join();
+  for (auto& sp : shards_) sp->q_cv.notify_all();
+  for (auto& sp : shards_) {
+    for (auto& t : sp->workers) {
+      if (t.joinable()) t.join();
+    }
+    sp->workers.clear();
   }
-  workers_.clear();
 
   // Phase 4: every shard down; each loop flushes and closes its own
   // connections on the way out.  A drain that only covered shard 0
@@ -176,10 +201,6 @@ void EventServerRuntime::stop() {
     if (sp->thread.joinable()) sp->thread.join();
   }
 
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_.clear();
-  }
   shards_.clear();
   tcp_.reset();
   running_.store(false, std::memory_order_release);
@@ -194,6 +215,19 @@ net::Addr EventServerRuntime::udp_addr() const {
 
 net::Addr EventServerRuntime::tcp_addr() const {
   return tcp_ ? tcp_->local_addr() : net::Addr{};
+}
+
+common::BufferArenaStats EventServerRuntime::arena_stats() const {
+  common::BufferArenaStats total;
+  for (const auto& sp : shards_) {
+    const common::BufferArenaStats s = sp->arena.stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.recycles += s.recycles;
+    total.discards += s.discards;
+    total.bytes_pooled += s.bytes_pooled;
+  }
+  return total;
 }
 
 const char* EventServerRuntime::backend() const {
@@ -242,6 +276,9 @@ void EventServerRuntime::close_intake(Shard& s) {
   for (auto id : ids) {
     auto it = s.conns.find(id);
     if (it == s.conns.end()) continue;
+    for (auto& rec : it->second.ready_records) {
+      s.arena.recycle(std::move(rec.buf));
+    }
     it->second.ready_records.clear();
     it->second.stalled = false;
     finish_conn_if_idle(s, it->second);
@@ -249,17 +286,17 @@ void EventServerRuntime::close_intake(Shard& s) {
 }
 
 void EventServerRuntime::on_udp_readable(Shard& s) {
-  std::vector<net::Datagram> buf = take_batch_buffer();
+  std::vector<net::Datagram> buf = take_batch_buffer(s);
   const int n = s.udp->recv_many(buf, cfg_.udp_batch);
   if (n <= 0) {
-    recycle_batch_buffer(std::move(buf));
+    recycle_batch_buffer(s, std::move(buf));
     return;
   }
   ++stats_.udp_batches;
   stats_.udp_datagrams += n;
-  const int accepted = push_datagram_jobs(s.index, buf, n);
+  const int accepted = push_datagram_jobs(s, buf, n);
   if (accepted < n) stats_.overload_drops += n - accepted;
-  recycle_batch_buffer(std::move(buf));
+  recycle_batch_buffer(s, std::move(buf));
 }
 
 void EventServerRuntime::on_accept_ready() {
@@ -308,6 +345,7 @@ void EventServerRuntime::adopt_conn(Shard& s, int fd) {
   c.id = id;
   c.shard = s.index;
   c.sock = std::move(sock);
+  c.ring.resize(pipeline_depth_);
   const int cfd = c.sock->fd();
   Shard* sp = &s;
   auto [it, inserted] = s.conns.emplace(id, std::move(c));
@@ -345,7 +383,7 @@ void EventServerRuntime::read_conn(Shard& s, Conn& c) {
       if (r.status().code() != StatusCode::kTimeout) c.peer_eof = true;
       return;
     }
-    if (!parse_records(c, ByteSpan(chunk, *r))) {
+    if (!parse_records(s, c, ByteSpan(chunk, *r))) {
       ++stats_.conn_resets;
       destroy_conn(s, c.id);
       return;
@@ -353,7 +391,7 @@ void EventServerRuntime::read_conn(Shard& s, Conn& c) {
   }
 }
 
-bool EventServerRuntime::parse_records(Conn& c, ByteSpan chunk) {
+bool EventServerRuntime::parse_records(Shard& s, Conn& c, ByteSpan chunk) {
   while (!chunk.empty()) {
     if (c.frag_header_pending) {
       const std::size_t need = 4 - c.header_partial.size();
@@ -368,24 +406,40 @@ bool EventServerRuntime::parse_records(Conn& c, ByteSpan chunk) {
       c.last_frag = (word & xdr::XdrRec::kLastFragFlag) != 0;
       c.frag_remaining = word & ~xdr::XdrRec::kLastFragFlag;
       c.frag_header_pending = false;
-      if (c.record.size() + c.frag_remaining > cfg_.max_record_bytes) {
+      const std::size_t full = c.record.len + c.frag_remaining;
+      if (full > cfg_.max_record_bytes) {
         return false;  // oversized record: cut the peer off
+      }
+      // Reserve the whole fragment up front: the record buffer is an
+      // arena slice whose size never shrinks, so growth is a take +
+      // copy of the bytes assembled so far, not a realloc per chunk.
+      if (c.record.buf.size() < full) {
+        Bytes bigger = s.arena.take(full);
+        if (c.record.len > 0) {
+          std::memcpy(bigger.data(), c.record.buf.data(), c.record.len);
+        }
+        s.arena.recycle(std::move(c.record.buf));
+        c.record.buf = std::move(bigger);
       }
     }
     const std::size_t take =
         std::min<std::size_t>(c.frag_remaining, chunk.size());
-    c.record.insert(c.record.end(), chunk.begin(),
-                    chunk.begin() + static_cast<std::ptrdiff_t>(take));
-    chunk = chunk.subspan(take);
-    c.frag_remaining -= static_cast<std::uint32_t>(take);
+    if (take > 0) {
+      std::memcpy(c.record.buf.data() + c.record.len, chunk.data(), take);
+      c.record.len += take;
+      chunk = chunk.subspan(take);
+      c.frag_remaining -= static_cast<std::uint32_t>(take);
+    }
     if (c.frag_remaining == 0) {
       c.frag_header_pending = true;
       if (c.last_frag) {
         c.last_frag = false;
-        if (!c.record.empty()) {
+        if (c.record.len > 0) {
           c.ready_records.push_back(std::move(c.record));
+        } else if (!c.record.buf.empty()) {
+          s.arena.recycle(std::move(c.record.buf));
         }
-        c.record = Bytes();
+        c.record = Chunk{};
       }
     }
   }
@@ -393,11 +447,16 @@ bool EventServerRuntime::parse_records(Conn& c, ByteSpan chunk) {
 }
 
 void EventServerRuntime::dispatch_ready(Shard& s, Conn& c) {
-  // One request of a connection in flight at a time: replies go back in
-  // call order, matching the threaded runtime's stream semantics.
-  while (!c.busy && !c.ready_records.empty()) {
-    Job job = TcpRequestJob{s.index, c.id, std::move(c.ready_records.front())};
-    if (!push_job(job, /*droppable=*/false)) {
+  // Pipelined execution: up to tcp_pipeline_depth requests of this
+  // connection run concurrently across the workers.  Each dispatch
+  // reserves the next ring slot (seq); the ring emits replies strictly
+  // in seq order, so wire order matches arrival order exactly as if
+  // the calls had run one at a time.
+  while (c.inflight < pipeline_depth_ && !c.ready_records.empty()) {
+    const std::uint64_t seq = c.next_seq;
+    Job job = TcpRequestJob{s.index, c.id, seq,
+                            std::move(c.ready_records.front())};
+    if (!push_job(s.index, job)) {
       // Queue full: put the record back and park the conn on the
       // stalled list; shard_loop ticks until it re-dispatches (never
       // block the reactor thread).
@@ -409,7 +468,8 @@ void EventServerRuntime::dispatch_ready(Shard& s, Conn& c) {
       return;
     }
     c.ready_records.pop_front();
-    c.busy = true;
+    c.next_seq = seq + 1;
+    ++c.inflight;
   }
 }
 
@@ -428,9 +488,9 @@ void EventServerRuntime::retry_stalled(Shard& s) {
 }
 
 void EventServerRuntime::flush_conn(Shard& s, Conn& c) {
-  while (c.out_off < c.out_buf.size()) {
+  while (c.out_off < c.out_len) {
     auto r = c.sock->write_some(
-        ByteSpan(c.out_buf.data() + c.out_off, c.out_buf.size() - c.out_off),
+        ByteSpan(c.out_buf.data() + c.out_off, c.out_len - c.out_off),
         /*timeout_ms=*/0);
     if (!r.is_ok()) {
       if (r.status().code() != StatusCode::kTimeout) {
@@ -445,13 +505,20 @@ void EventServerRuntime::flush_conn(Shard& s, Conn& c) {
     }
     c.out_off += *r;
   }
-  c.out_buf.clear();
   c.out_off = 0;
+  c.out_len = 0;
+  // Fully drained: hand the buffer back so idle connections do not
+  // park arena slices (the next reply adopts its own frame anyway).
+  if (!c.out_buf.empty()) {
+    s.arena.recycle(std::move(c.out_buf));
+    c.out_buf = Bytes();
+  }
 }
 
 void EventServerRuntime::finish_conn_if_idle(Shard& s, Conn& c) {
-  const bool out_pending = c.out_off < c.out_buf.size();
-  if (c.peer_eof && !c.busy && c.ready_records.empty() && !out_pending) {
+  const bool out_pending = c.out_off < c.out_len;
+  if (c.peer_eof && c.inflight == 0 && c.ready_records.empty() &&
+      !out_pending) {
     destroy_conn(s, c.id);
     return;
   }
@@ -463,7 +530,7 @@ void EventServerRuntime::finish_conn_if_idle(Shard& s, Conn& c) {
     want |= net::kEventRead;
   }
   if (out_pending) want |= net::kEventWrite;
-  if (want == 0 && !c.busy && c.ready_records.empty()) {
+  if (want == 0 && c.inflight == 0 && c.ready_records.empty()) {
     // Intake is closed and nothing is queued: the connection can never
     // make progress again.
     destroy_conn(s, c.id);
@@ -475,7 +542,17 @@ void EventServerRuntime::finish_conn_if_idle(Shard& s, Conn& c) {
 void EventServerRuntime::destroy_conn(Shard& s, std::uint64_t id) {
   auto it = s.conns.find(id);
   if (it == s.conns.end()) return;
-  s.reactor.remove(it->second.sock->fd());
+  Conn& c = it->second;
+  // Give every arena slice the connection holds back to its shard:
+  // the half-assembled record, undispatched records, out-of-order
+  // replies parked in the ring, and the write buffer.
+  s.arena.recycle(std::move(c.record.buf));
+  for (auto& rec : c.ready_records) s.arena.recycle(std::move(rec.buf));
+  for (auto& slot : c.ring) {
+    if (slot.ready) s.arena.recycle(std::move(slot.frame.buf));
+  }
+  s.arena.recycle(std::move(c.out_buf));
+  s.reactor.remove(c.sock->fd());
   s.conns.erase(it);  // unique_ptr closes the socket
 }
 
@@ -487,115 +564,213 @@ void EventServerRuntime::set_conn_interest(Shard& s, Conn& c,
   }
 }
 
+bool EventServerRuntime::append_out(Shard& s, Conn& c, Chunk frame) {
+  const std::size_t pending = c.out_len - c.out_off;
+  if (pending + frame.len > cfg_.max_write_buffer) {
+    s.arena.recycle(std::move(frame.buf));
+    ++stats_.conn_resets;
+    destroy_conn(s, c.id);
+    return false;
+  }
+  if (pending == 0) {
+    // Common case (peer keeping up): adopt the worker's frame outright
+    // instead of copying it into the write buffer.
+    s.arena.recycle(std::move(c.out_buf));
+    c.out_buf = std::move(frame.buf);
+    c.out_off = 0;
+    c.out_len = frame.len;
+    return true;
+  }
+  if (c.out_len + frame.len > c.out_buf.size()) {
+    // Compact the unwritten tail into a bigger arena slice.
+    Bytes bigger = s.arena.take(pending + frame.len);
+    std::memcpy(bigger.data(), c.out_buf.data() + c.out_off, pending);
+    s.arena.recycle(std::move(c.out_buf));
+    c.out_buf = std::move(bigger);
+    c.out_off = 0;
+    c.out_len = pending;
+  }
+  std::memcpy(c.out_buf.data() + c.out_len, frame.buf.data(), frame.len);
+  c.out_len += frame.len;
+  s.arena.recycle(std::move(frame.buf));
+  return true;
+}
+
 void EventServerRuntime::on_reply(Shard& s, std::uint64_t conn_id,
-                                  Bytes framed) {
+                                  std::uint64_t seq, Chunk frame) {
   auto it = s.conns.find(conn_id);
-  if (it != s.conns.end()) {
-    Conn& c = it->second;
-    c.busy = false;
-    if (!framed.empty()) {
-      if (c.out_buf.size() - c.out_off + framed.size() >
-          cfg_.max_write_buffer) {
-        ++stats_.conn_resets;
-        destroy_conn(s, conn_id);
-        pending_jobs_.fetch_sub(1, std::memory_order_acq_rel);
-        return;
-      }
-      if (c.out_buf.empty()) {
-        // Common case (peer keeping up): adopt the worker's buffer
-        // outright instead of copying it into the write buffer.
-        c.out_buf = std::move(framed);
-        c.out_off = 0;
-      } else {
-        c.out_buf.insert(c.out_buf.end(), framed.begin(), framed.end());
-      }
+  if (it == s.conns.end()) {
+    // The connection died while this request was in a worker; the
+    // reply has nowhere to go, but its buffer still goes home.
+    s.arena.recycle(std::move(frame.buf));
+    pending_jobs_.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+  it->second.ring[seq % pipeline_depth_].ready = true;
+  it->second.ring[seq % pipeline_depth_].frame = std::move(frame);
+  // Emit every consecutively-complete reply, in seq order, flushing
+  // after each one (so the write-stall accounting and the
+  // max_write_buffer cap see the same per-reply growth as serial
+  // execution did).  A gap — an earlier request still executing —
+  // stops the sweep; its completion will resume it.  append_out and
+  // flush_conn can both destroy the connection, so re-resolve every
+  // round.
+  for (;;) {
+    auto cit = s.conns.find(conn_id);
+    if (cit == s.conns.end()) break;
+    Conn& c = cit->second;
+    ReplySlot& head = c.ring[c.emit_seq % pipeline_depth_];
+    if (!head.ready) break;
+    Chunk f = std::move(head.frame);
+    head.ready = false;
+    head.frame = Chunk{};
+    ++c.emit_seq;
+    --c.inflight;
+    if (f.len > 0) {
+      if (!append_out(s, c, std::move(f))) break;  // conn destroyed
       flush_conn(s, c);
+    } else {
+      // No reply for this request (undecodable header): the slot still
+      // held its place so later replies could not jump the order.
+      s.arena.recycle(std::move(f.buf));
     }
-    auto again = s.conns.find(conn_id);
-    if (again != s.conns.end()) {
-      dispatch_ready(s, again->second);
-      finish_conn_if_idle(s, again->second);
-    }
+  }
+  auto again = s.conns.find(conn_id);
+  if (again != s.conns.end()) {
+    dispatch_ready(s, again->second);
+    finish_conn_if_idle(s, again->second);
   }
   pending_jobs_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 // ------------------------------------------------------- worker side ---
 
-bool EventServerRuntime::push_job(Job& job, bool droppable) {
-  (void)droppable;  // both kinds fail fast; the reactor never blocks
+void EventServerRuntime::wake_stealer(std::size_t except) {
+  const std::size_t nshards = shards_.size();
+  if (nshards < 2 || cfg_.shared_queue) return;
+  // Skip the pushing shard and any shard with no workers of its own
+  // (possible when cfg.workers < reactors): notifying a cv nobody
+  // waits on would leave the job to the 50ms fallback tick.
+  std::size_t v = steal_wake_rr_.fetch_add(1, std::memory_order_relaxed) %
+                  nshards;
+  for (std::size_t k = 0; k < nshards; ++k, v = (v + 1) % nshards) {
+    if (v == except || shards_[v]->home_workers == 0) continue;
+    shards_[v]->q_cv.notify_one();
+    return;
+  }
+}
+
+bool EventServerRuntime::push_job(std::size_t origin, Job& job) {
+  Shard& t = job_queue_shard(origin);
+  std::size_t depth;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (queue_.size() >= cfg_.queue_capacity) return false;
-    queue_.push_back(std::move(job));
+    std::lock_guard<std::mutex> lock(t.q_mu);
+    if (t.queue.size() >= cfg_.queue_capacity) return false;
+    t.queue.push_back(std::move(job));
+    depth = t.queue.size();
   }
   pending_jobs_.fetch_add(1, std::memory_order_acq_rel);
-  queue_cv_.notify_one();
+  t.q_cv.notify_one();
+  // A backlog behind this shard's own workers (or a queue on a shard
+  // that has none) is exactly what stealing exists for — wake a
+  // sibling now instead of letting it find the work on its idle tick.
+  if (depth > 1 || t.home_workers == 0) wake_stealer(t.index);
   return true;
 }
 
-int EventServerRuntime::push_datagram_jobs(std::size_t shard,
+int EventServerRuntime::push_datagram_jobs(Shard& s,
                                            std::vector<net::Datagram>& batch,
                                            int n) {
+  Shard& t = job_queue_shard(s.index);
   int accepted = 0;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    while (accepted < n && queue_.size() < cfg_.queue_capacity) {
+    std::lock_guard<std::mutex> lock(t.q_mu);
+    while (accepted < n && t.queue.size() < cfg_.queue_capacity) {
       auto& d = batch[static_cast<std::size_t>(accepted)];
-      queue_.push_back(UdpDatagramJob{shard, d.src, std::move(d.payload),
-                                      d.len});
+      t.queue.push_back(UdpDatagramJob{s.index, d.src, std::move(d.payload),
+                                       d.len});
       ++accepted;
     }
   }
   if (accepted > 0) {
     pending_jobs_.fetch_add(accepted, std::memory_order_acq_rel);
-    queue_cv_.notify_all();
+    t.q_cv.notify_all();
+    // A burst is a backlog by construction: let siblings help.
+    if (accepted > 1 || t.home_workers == 0) wake_stealer(t.index);
   }
-  // Refill the moved-out slots from the payload pool (buffers the
-  // workers finished with, still full-size) so the next recv_many
-  // neither allocates nor zero-fills.
-  {
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    for (int i = 0; i < accepted && !payload_pool_.empty(); ++i) {
-      batch[static_cast<std::size_t>(i)].payload =
-          std::move(payload_pool_.back());
-      payload_pool_.pop_back();
-    }
+  // Refill the moved-out slots from this shard's arena (buffers the
+  // workers finished with come back here) so the next recv_many
+  // neither allocates nor zero-fills in steady state.
+  for (int i = 0; i < accepted; ++i) {
+    batch[static_cast<std::size_t>(i)].payload =
+        s.arena.take(net::kMaxDatagramBytes);
   }
   return accepted;
 }
 
-void EventServerRuntime::worker_loop() {
+bool EventServerRuntime::try_pop(std::size_t shard_idx, Job& out) {
+  Shard& s = *shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(s.q_mu);
+  if (s.queue.empty()) return false;
+  out = std::move(s.queue.front());
+  s.queue.pop_front();
+  return true;
+}
+
+void EventServerRuntime::worker_loop(std::size_t home) {
   // Per-worker reply accumulator: datagram replies collect here and go
-  // out in one sendmmsg per originating shard when the queue runs dry,
+  // out in one sendmmsg per originating shard when the queues run dry,
   // a TCP job interleaves, or a full recvmmsg batch's worth has piled
   // up.  Scheduling stays one-job-per-pop so a burst still fans out
   // across the pool; only the SEND syscall is batched.
   ReplyAccumulator acc;
   acc.per_shard.resize(shards_.size());
+  Shard& h = *shards_[home];
+  // Stream-reply encode scratch, taken lazily on the first TCP job and
+  // held for the worker's lifetime (see serve_tcp_request).
+  Bytes stream_scratch;
+  const std::size_t nshards = shards_.size();
+  // Stealing is pointless under shared_queue (every queue but 0 stays
+  // empty) and with a single shard.
+  const bool can_steal = nshards > 1 && !cfg_.shared_queue;
   for (;;) {
     Job job{UdpDatagramJob{}};
-    bool have_job = false;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      if (acc.total == 0) {
-        queue_cv_.wait(lock, [this] {
-          return !queue_.empty() ||
-                 workers_stop_.load(std::memory_order_acquire);
-        });
-        if (queue_.empty()) return;  // stopping and drained
-      }
-      if (!queue_.empty()) {
-        job = std::move(queue_.front());
-        queue_.pop_front();
-        have_job = true;
+    bool have = try_pop(home, job);
+    if (!have && can_steal) {
+      // Home queue dry: sweep the siblings so capacity stranded by a
+      // skewed flow hash (or one hot connection) still gets used.
+      for (std::size_t k = 1; k < nshards && !have; ++k) {
+        have = try_pop((home + k) % nshards, job);
+        if (have) ++stats_.work_steals;
       }
     }
-    if (!have_job) {
-      // Unflushed replies and an (momentarily) empty queue: flush now
-      // rather than sit on them — this bounds added reply latency to
-      // one handler execution.
-      flush_udp_replies(acc);
+    if (!have) {
+      if (acc.total > 0) {
+        // Unflushed replies and (momentarily) empty queues: flush now
+        // rather than sit on them — this bounds added reply latency to
+        // one handler execution.
+        flush_udp_replies(acc);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(h.q_mu);
+      if (h.queue.empty()) {
+        if (workers_stop_.load(std::memory_order_acquire)) {
+          lock.unlock();
+          h.arena.recycle(std::move(stream_scratch));
+          return;
+        }
+        if (can_steal) {
+          // Sibling backlogs signal this cv through wake_stealer; the
+          // timeout is only a fallback for a wakeup that raced the
+          // wait, so idle workers cost ~20 wakeups/s, not 1000.
+          h.q_cv.wait_for(lock, std::chrono::milliseconds(50));
+        } else {
+          h.q_cv.wait(lock, [this, &h] {
+            return !h.queue.empty() ||
+                   workers_stop_.load(std::memory_order_acquire);
+          });
+        }
+      }
       continue;
     }
     if (auto* d = std::get_if<UdpDatagramJob>(&job)) {
@@ -606,34 +781,32 @@ void EventServerRuntime::worker_loop() {
       }
     } else if (auto* t = std::get_if<TcpRequestJob>(&job)) {
       flush_udp_replies(acc);  // don't hold replies across a TCP call
-      serve_tcp_request(*t);
+      serve_tcp_request(*t, stream_scratch, h.arena);
     }
   }
 }
 
 void EventServerRuntime::serve_udp_datagram(UdpDatagramJob& job,
                                             ReplyAccumulator& acc) {
-  // Zero-copy dispatch: the worker exclusively owns the recycled
-  // receive payload, so arguments decode in place and the reply encodes
-  // straight into a pooled buffer — no scratch memset/memcpy on either
-  // side of the hot path.  pending_jobs_ is decremented when the reply
-  // actually flushes so stop()'s drain covers the accumulator too.
-  Bytes out = take_payload_buffer();
-  // Pooled buffers are kMaxDatagramBytes; only a near-max request needs
-  // the headroom growth the reply_capacity rule grants everywhere else.
+  // Zero-copy dispatch: the worker exclusively owns the arena payload,
+  // so arguments decode in place and the reply encodes straight into
+  // another arena slice — no scratch memset/memcpy on either side of
+  // the hot path.  pending_jobs_ is decremented when the reply actually
+  // flushes so stop()'s drain covers the accumulator too.
+  common::BufferArena& arena = shards_[job.shard]->arena;
   // Clamp at the UDP payload ceiling: letting a reply encode past what
   // a datagram can physically carry would trade an immediate
   // GARBAGE_ARGS error reply for a silent EMSGSIZE drop and a client
   // timeout.
   const std::size_t cap =
       std::min(reply_capacity(job.len), net::kMaxUdpPayloadBytes);
-  if (out.size() < cap) out.resize(cap);
+  Bytes out = arena.take(cap);
   const std::size_t n =
       registry_.handle_request(ByteSpan(job.payload.data(), job.len),
                                MutableByteSpan(out.data(), cap));
-  recycle_payload(std::move(job.payload));
+  arena.recycle(std::move(job.payload));
   if (n == 0) {
-    recycle_payload(std::move(out));
+    arena.recycle(std::move(out));
     pending_jobs_.fetch_sub(1, std::memory_order_acq_rel);
     return;
   }
@@ -673,12 +846,13 @@ void EventServerRuntime::flush_udp_replies(ReplyAccumulator& acc) {
                    .is_ok()) {
             ++stats_.reply_send_failures;
           }
-          recycle_payload(std::move(r.buf));
+          shard->arena.recycle(std::move(r.buf));
         }
       });
     }
     for (int i = 0; i < sent; ++i) {
-      recycle_payload(std::move(bucket[static_cast<std::size_t>(i)].buf));
+      shard->arena.recycle(
+          std::move(bucket[static_cast<std::size_t>(i)].buf));
     }
     pending_jobs_.fetch_sub(total, std::memory_order_acq_rel);
     bucket.clear();
@@ -686,76 +860,71 @@ void EventServerRuntime::flush_udp_replies(ReplyAccumulator& acc) {
   acc.total = 0;
 }
 
-void EventServerRuntime::serve_tcp_request(TcpRequestJob& job) {
-  // The record is a complete call message in one contiguous buffer, so
-  // the same zero-copy span path as UDP serves it — arguments decode in
-  // place (residual plans can XDR_INLINE them, unlike an xdrrec stream)
-  // and the reply encodes directly after the 4-byte record mark in a
-  // per-thread frame scratch.  TCP replies are not bounded by the
-  // request (a read-style proc turns a 100-byte call into a big blob),
-  // so the scratch provisions kMaxStreamReplyBytes like every other
-  // stream-path adapter — once per worker thread, not per request —
-  // and additionally scales with the record so a non-default
-  // max_record_bytes config keeps its echo-style replies too.
-  thread_local Bytes scratch;
+void EventServerRuntime::serve_tcp_request(TcpRequestJob& job, Bytes& scratch,
+                                           common::BufferArena& scratch_arena) {
+  // The record is a complete call message in one contiguous arena
+  // slice, so the same zero-copy span path as UDP serves it — arguments
+  // decode in place (residual plans can XDR_INLINE them, unlike an
+  // xdrrec stream) and the reply encodes directly after the 4-byte
+  // record mark in the worker's persistent scratch.  TCP replies are
+  // not bounded by the request (a read-style proc turns a 100-byte call
+  // into a big blob), so the SCRATCH provisions kMaxStreamReplyBytes
+  // like every other stream-path adapter — once per worker, not per
+  // request — and additionally scales with the record so a non-default
+  // max_record_bytes config keeps its echo-style replies too.  Only the
+  // framed bytes travel onward, in a frame sized to the reply: a deep
+  // pipeline keeps many replies in flight, and they must circulate as
+  // small arena slices, not per-request 1 MB provisions.
+  Shard& origin = *shards_[job.shard];
   const std::size_t cap =
-      std::max(kMaxStreamReplyBytes, reply_capacity(job.record.size()));
-  if (scratch.size() < 4 + cap) scratch.resize(4 + cap);
+      std::max(kMaxStreamReplyBytes, reply_capacity(job.record.len));
+  if (scratch.size() < 4 + cap) {
+    scratch_arena.recycle(std::move(scratch));
+    scratch = scratch_arena.take(4 + cap);
+  }
   const std::size_t len = registry_.handle_request(
-      ByteSpan(job.record.data(), job.record.size()),
+      ByteSpan(job.record.buf.data(), job.record.len),
       MutableByteSpan(scratch.data() + 4, cap));
-  Bytes framed;
+  origin.arena.recycle(std::move(job.record.buf));
+  Chunk frame;
   if (len > 0) {
     ++stats_.tcp_calls;
     store_be32(scratch.data(),
                xdr::XdrRec::kLastFragFlag | static_cast<std::uint32_t>(len));
-    framed.assign(scratch.begin(),
-                  scratch.begin() + static_cast<std::ptrdiff_t>(4 + len));
+    frame.len = 4 + len;
+    frame.buf = origin.arena.take(frame.len);
+    std::memcpy(frame.buf.data(), scratch.data(), frame.len);
   }
-  // Hand the reply (or just the busy-clear) back to the connection's
-  // owning shard, whose reactor thread owns all its state.
+  // Hand the reply (or the bare slot completion) back to the
+  // connection's owning shard, whose reactor thread owns all its state.
   // pending_jobs_ is decremented by on_reply so stop()'s drain covers
   // the write handoff too.
-  Shard* shard = shards_[job.shard].get();
-  shard->reactor.post([this, shard, conn_id = job.conn_id,
-                       framed = std::move(framed)]() mutable {
-    on_reply(*shard, conn_id, std::move(framed));
+  Shard* shard = &origin;
+  shard->reactor.post([this, shard, conn_id = job.conn_id, seq = job.seq,
+                       frame = std::move(frame)]() mutable {
+    on_reply(*shard, conn_id, seq, std::move(frame));
   });
 }
 
-std::vector<net::Datagram> EventServerRuntime::take_batch_buffer() {
-  std::lock_guard<std::mutex> lock(pool_mu_);
-  if (batch_pool_.empty()) return {};
-  auto buf = std::move(batch_pool_.back());
-  batch_pool_.pop_back();
+std::vector<net::Datagram> EventServerRuntime::take_batch_buffer(Shard& s) {
+  if (s.batch_pool.empty()) {
+    // Cold batch: pre-fill every slot from the arena so recv_many
+    // never allocates its own kMaxDatagramBytes payloads — those are
+    // off-class (65000 is not a power of two) and would demote to the
+    // 32 KiB class on recycle instead of serving later payload takes.
+    std::vector<net::Datagram> buf(
+        static_cast<std::size_t>(cfg_.udp_batch < 1 ? 1 : cfg_.udp_batch));
+    for (auto& d : buf) d.payload = s.arena.take(net::kMaxDatagramBytes);
+    return buf;
+  }
+  auto buf = std::move(s.batch_pool.back());
+  s.batch_pool.pop_back();
   return buf;
 }
 
-void EventServerRuntime::recycle_batch_buffer(std::vector<net::Datagram> buf) {
-  std::lock_guard<std::mutex> lock(pool_mu_);
-  if (batch_pool_.size() < 8) batch_pool_.push_back(std::move(buf));
-}
-
-Bytes EventServerRuntime::take_payload_buffer() {
-  {
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    if (!payload_pool_.empty()) {
-      Bytes buf = std::move(payload_pool_.back());
-      payload_pool_.pop_back();
-      if (buf.size() >= net::kMaxDatagramBytes) return buf;
-      // A short buffer can only enter the pool through a code change;
-      // grow it rather than propagate a truncated reply cap.
-      buf.resize(net::kMaxDatagramBytes);
-      return buf;
-    }
-  }
-  return Bytes(net::kMaxDatagramBytes);
-}
-
-void EventServerRuntime::recycle_payload(Bytes payload) {
-  if (payload.empty()) return;
-  std::lock_guard<std::mutex> lock(pool_mu_);
-  if (payload_pool_.size() < 64) payload_pool_.push_back(std::move(payload));
+void EventServerRuntime::recycle_batch_buffer(Shard& s,
+                                              std::vector<net::Datagram> buf) {
+  if (s.batch_pool.size() < 4) s.batch_pool.push_back(std::move(buf));
 }
 
 }  // namespace tempo::rpc

@@ -3,16 +3,21 @@
 // ServerRuntime (svc.h) burns one blocking thread per listener and
 // parks a whole worker on each TCP connection, so a peer that trickles
 // bytes pins a worker for its connection's lifetime.  This runtime puts
-// every socket behind net::Reactor shards instead:
+// every socket behind net::Reactor shards instead, and keeps a
+// request's whole life — recv, decode, specialize-lookup, execute,
+// reply — on one shard:
 //
 //   * N reactor shards (cfg.reactors), each with its OWN event loop
 //     thread, its own SO_REUSEPORT-bound UDP socket (the kernel
-//     disperses inbound datagrams across the group by flow hash) and
-//     its own partition of the accepted TCP connections — once one
-//     event loop saturates, the I/O plane scales out instead of
-//     becoming the throughput ceiling.  Where SO_REUSEPORT is
-//     unavailable the runtime falls back to a single receiving socket
-//     on shard 0 (TCP still shards);
+//     disperses inbound datagrams across the group by flow hash), its
+//     own partition of the accepted TCP connections, its own
+//     common::BufferArena feeding every request/reply buffer, AND its
+//     own worker pool (cfg.workers_per_shard) with its own bounded job
+//     queue — the per-request path crosses no global lock.  Idle
+//     workers steal from sibling shards' queues so a skewed flow-hash
+//     dispersal cannot strand capacity (stats().work_steals counts);
+//     cfg.shared_queue collapses all queues onto shard 0 for A/B
+//     comparison against the PR 4 single-shared-queue shape;
 //   * every UDP socket is non-blocking and drained in recvmmsg batches —
 //     one syscall per burst, not per datagram — and replies flush back
 //     out through per-worker, per-shard accumulators and sendmmsg
@@ -24,12 +29,18 @@
 //     connection carries its own record-reassembly buffer and
 //     pending-write buffer on its owning shard — a slow peer therefore
 //     delays nobody but itself;
-//   * workers (one shared pool across all shards) dispatch through
-//     SvcRegistry::handle_request — decoding each request IN PLACE from
-//     the receive buffer and encoding the reply into a caller-owned
-//     buffer, no scratch memset/memcpy — and post framed TCP replies
-//     back to the connection's owning shard, which writes them without
-//     ever blocking (leftover bytes wait for writability).
+//   * TCP connections are PIPELINED: up to cfg.tcp_pipeline_depth
+//     requests of one connection execute concurrently across the
+//     shard's workers, while a per-connection ordered reply ring
+//     (slot reserved at dispatch, flushed strictly in sequence)
+//     preserves wire order exactly as if the calls had run one at a
+//     time;
+//   * workers dispatch through SvcRegistry::handle_request — decoding
+//     each request IN PLACE from the receive buffer and encoding the
+//     reply into an arena buffer, no scratch memset/memcpy — and post
+//     framed TCP replies back to the connection's owning shard, which
+//     writes them without ever blocking (leftover bytes wait for
+//     writability).
 //
 // Because a TCP request reaches the worker as one contiguous record,
 // argument decode goes through XdrMem — XDR_INLINE succeeds and the
@@ -38,10 +49,13 @@
 //
 // Ownership (see src/net/README.md for the full model): each shard's
 // reactor thread exclusively owns that shard's connection state;
-// workers only ever own a copy of a request's bytes plus the (shard,
-// conn_id) pair naming its origin; handoff back is by that shard's
-// Reactor::post().  Stats are process-wide atomics every shard adds
-// into, so stats() aggregates across shards by construction.
+// workers only ever own a request's buffer plus the (shard, conn_id,
+// seq) triple naming its origin; handoff back is by that shard's
+// Reactor::post().  Buffers recycle into the origin shard's arena from
+// whichever thread finishes with them (the arena is the one
+// cross-thread-safe piece, one mutex per size class).  Stats are
+// process-wide atomics every shard adds into, so stats() aggregates
+// across shards by construction.
 #pragma once
 
 #include <atomic>
@@ -55,6 +69,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/status.h"
 #include "net/reactor.h"
 #include "net/tcp.h"
@@ -64,15 +79,32 @@
 namespace tempo::rpc {
 
 struct EventServerRuntimeConfig {
+  // Total workers across all shards, split as evenly as possible
+  // (remainder to the low shards; with workers < reactors the high
+  // shards get none and their queues drain through stealing siblings).
+  // Ignored when workers_per_shard is set.
   int workers = 4;
+  // Exact worker count PER SHARD; 0 derives it from `workers`.
+  int workers_per_shard = 0;
   // Reactor shards.  Each shard runs its own event loop thread with its
-  // own SO_REUSEPORT UDP socket and its own slice of the TCP
-  // connections; 1 keeps the single-loop behaviour of PR 2/3.
+  // own SO_REUSEPORT UDP socket, its own slice of the TCP connections,
+  // its own worker pool + job queue and its own buffer arena; 1 keeps
+  // the single-loop behaviour of PR 2/3.
   int reactors = 1;
+  // A/B knob: route every job through shard 0's queue (the PR 4 shape —
+  // one shared queue serving all shards) instead of shard-local queues.
+  // Workers all home on shard 0; the bench compares the two.
+  bool shared_queue = false;
+  // Requests of ONE TCP connection allowed in flight concurrently; the
+  // per-connection reply ring keeps wire order.  1 restores strictly
+  // serial per-connection execution.
+  int tcp_pipeline_depth = 8;
   std::uint16_t udp_port = 0;  // 0 = ephemeral
   std::uint16_t tcp_port = 0;
   bool enable_udp = true;
   bool enable_tcp = true;
+  // Capacity of EACH shard's job queue (of the one shared queue under
+  // shared_queue).
   std::size_t queue_capacity = 1024;
   // Datagrams pulled per recvmmsg syscall.
   int udp_batch = 32;
@@ -108,6 +140,10 @@ struct EventServerRuntimeStats {
   // while a reply sits in out_buf waiting for writability; a reset at
   // max_write_buffer is the cap this stall accounting leads up to.
   std::atomic<std::int64_t> write_stalls{0};
+  // Jobs an idle worker popped from a SIBLING shard's queue.  Zero when
+  // inbound load spreads evenly; growth means the flow hash (or a hot
+  // connection) is skewing work onto fewer shards than exist.
+  std::atomic<std::int64_t> work_steals{0};
 };
 
 class EventServerRuntime {
@@ -120,8 +156,8 @@ class EventServerRuntime {
   EventServerRuntime& operator=(const EventServerRuntime&) = delete;
 
   // Binds sockets, registers them with the per-shard reactors and
-  // spawns the reactor threads + worker pool.  Call after all
-  // register_proc calls.
+  // spawns the reactor threads + per-shard worker pools.  Call after
+  // all register_proc calls.
   Status start();
   // Stops intake on every shard, drains queued requests (bounded by
   // drain_timeout_ms), then joins everything.  Idempotent.
@@ -131,14 +167,39 @@ class EventServerRuntime {
   net::Addr udp_addr() const;
   net::Addr tcp_addr() const;
   const EventServerRuntimeStats& stats() const { return stats_; }
+  // Aggregate of every shard arena (valid between start() and stop()).
+  // `misses` is the runtimes' `arena_misses`: takes the pool could not
+  // serve and had to send to the allocator.
+  common::BufferArenaStats arena_stats() const;
   const char* backend() const;
   // Shards actually running (valid between start() and stop()).
   int reactor_count() const { return static_cast<int>(shards_.size()); }
+  // Worker threads actually running across all shards.
+  int worker_count() const { return worker_count_; }
   // True when every shard owns its own SO_REUSEPORT UDP socket; false
   // in the single-receiving-socket fallback (or with reactors == 1).
   bool udp_sharded() const { return udp_sharded_; }
 
  private:
+  // One complete record (or a reply frame): an arena buffer plus how
+  // many of its bytes are valid.  Arena buffers keep their class size
+  // for life — valid lengths ride alongside instead of resizing, so
+  // recycling never zero-fills.
+  struct Chunk {
+    Bytes buf;
+    std::size_t len = 0;
+  };
+
+  // One slot of a connection's ordered reply ring: reserved when the
+  // request dispatches (seq), filled by whichever worker finishes it,
+  // emitted strictly in seq order.  len == 0 marks "no reply" (an
+  // undecodable request) — the slot still occupies its place so later
+  // replies cannot jump the order.
+  struct ReplySlot {
+    bool ready = false;
+    Chunk frame;
+  };
+
   // ---- connection state (owning shard's reactor thread only) ----------
   struct Conn {
     std::uint64_t id = 0;
@@ -151,18 +212,47 @@ class EventServerRuntime {
     bool frag_header_pending = true;
     bool last_frag = false;
     Bytes header_partial;       // < 4 buffered header bytes
-    Bytes record;               // payload of the record being assembled
-    std::deque<Bytes> ready_records;  // complete, awaiting a worker
-    bool busy = false;          // one request of this conn is in a worker
+    Chunk record;               // record being assembled (arena buffer)
+    std::deque<Chunk> ready_records;  // complete, awaiting dispatch
+    // Pipelined execution: seqs [emit_seq, next_seq) are in flight (at
+    // most tcp_pipeline_depth), ring[seq % depth] is seq's reply slot.
+    std::uint64_t next_seq = 0;   // assigned at dispatch
+    std::uint64_t emit_seq = 0;   // next seq to append to out_buf
+    std::size_t inflight = 0;
+    std::vector<ReplySlot> ring;
     bool stalled = false;       // a ready record hit a full worker queue
     Bytes out_buf;              // framed replies not yet written
-    std::size_t out_off = 0;
+    std::size_t out_off = 0;    // [out_off, out_len) awaits the socket
+    std::size_t out_len = 0;
     bool peer_eof = false;      // stop reading; flush, then close
   };
 
+  // One datagram per job: the recvmmsg batch amortizes the syscall, but
+  // each request schedules on its own worker so a batch never serializes
+  // behind one thread.  The payload buffer is an arena buffer with
+  // `len` valid bytes; the worker recycles it into the origin shard's
+  // arena, so the receive path neither allocates nor zero-fills in
+  // steady state.  `shard` names the socket the datagram arrived on —
+  // the reply goes back out through that shard's socket (and its
+  // reactor on retry).
+  struct UdpDatagramJob {
+    std::size_t shard = 0;
+    net::Addr src;
+    Bytes payload;
+    std::size_t len = 0;
+  };
+  struct TcpRequestJob {
+    std::size_t shard = 0;
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;  // this request's slot in the conn's ring
+    Chunk record;
+  };
+  using Job = std::variant<UdpDatagramJob, TcpRequestJob>;
+
   // One reactor shard: an event loop thread plus everything it
-  // exclusively owns.  Shards live in unique_ptrs so Shard* captures in
-  // reactor callbacks stay stable.
+  // exclusively owns, and its slice of the execution pipeline (worker
+  // pool + bounded job queue + buffer arena).  Shards live in
+  // unique_ptrs so Shard* captures in reactor callbacks stay stable.
   struct Shard {
     explicit Shard(std::size_t idx, bool force_poll)
         : index(idx), reactor(force_poll) {}
@@ -174,34 +264,36 @@ class EventServerRuntime {
                                      // the global connection name
     bool intake_closed = false;
     std::vector<std::uint64_t> stalled_conns;
+    // recvmmsg batch buffers, reused across on_udp_readable calls;
+    // reactor-thread-only, so no lock.
+    std::vector<std::vector<net::Datagram>> batch_pool;
+    // Every request/reply buffer this shard hands out; recycled from
+    // whichever thread finishes with a buffer (thread-safe).
+    common::BufferArena arena;
+    // ---- shard-local execution pipeline ----
+    std::mutex q_mu;
+    std::condition_variable q_cv;
+    std::deque<Job> queue;
+    // Workers homed on this shard's queue.  home_workers mirrors the
+    // count and is written once in start() BEFORE any thread runs:
+    // push paths read it while stop() tears the vector down, so they
+    // must never touch `workers` itself.
+    std::vector<std::thread> workers;
+    int home_workers = 0;
     std::thread thread;
   };
 
-  // One datagram per job: the recvmmsg batch amortizes the syscall, but
-  // each request schedules on its own worker so a batch never serializes
-  // behind one thread.  The payload buffer is full-size with `len`
-  // valid bytes; workers recycle it through the payload pool so the
-  // receive path neither allocates nor zero-fills in steady state.
-  // `shard` names the socket the datagram arrived on — the reply goes
-  // back out through that shard's socket (and its reactor on retry).
-  struct UdpDatagramJob {
-    std::size_t shard = 0;
-    net::Addr src;
-    Bytes payload;
-    std::size_t len = 0;
-  };
-  struct TcpRequestJob {
-    std::size_t shard = 0;
-    std::uint64_t conn_id = 0;
-    Bytes record;
-  };
-  using Job = std::variant<UdpDatagramJob, TcpRequestJob>;
+  // Wakes one worker of a SIBLING shard so a backlog (or a queue on a
+  // worker-less shard) gets stolen promptly instead of waiting for the
+  // idle-tick fallback.
+  void wake_stealer(std::size_t except);
 
   // One encoded-but-unsent UDP reply in a worker's accumulator: `buf`
-  // is a pooled full-size buffer with `len` valid bytes.  Accumulated
-  // replies flush through UdpSocket::send_many so a served burst costs
-  // one sendmmsg, pairing with the recvmmsg receive path.  Accumulators
-  // are kept per shard so each flush goes out the right socket.
+  // is an arena buffer with `len` valid bytes.  Accumulated replies
+  // flush through UdpSocket::send_many so a served burst costs one
+  // sendmmsg, pairing with the recvmmsg receive path.  Accumulators are
+  // kept per shard so each flush goes out the right socket (work
+  // stealing means a worker can hold replies for several shards).
   struct UdpReply {
     net::Addr dst;
     Bytes buf;
@@ -223,35 +315,52 @@ class EventServerRuntime {
   void adopt_conn(Shard& s, int fd);
   void on_conn_event(Shard& s, std::uint64_t id, unsigned events);
   void read_conn(Shard& s, Conn& conn);
-  bool parse_records(Conn& conn, ByteSpan chunk);  // false = protocol violation
+  bool parse_records(Shard& s, Conn& conn,
+                     ByteSpan chunk);  // false = protocol violation
   void dispatch_ready(Shard& s, Conn& conn);
   void retry_stalled(Shard& s);    // re-dispatch conns parked on a full queue
   void flush_conn(Shard& s, Conn& conn);  // non-blocking write of out_buf
   void finish_conn_if_idle(Shard& s, Conn& conn);
   void destroy_conn(Shard& s, std::uint64_t id);
   void set_conn_interest(Shard& s, Conn& conn, unsigned interest);
-  void on_reply(Shard& s, std::uint64_t conn_id, Bytes framed);
+  // A worker finished seq for conn_id: fill its ring slot, emit every
+  // consecutively-complete reply into out_buf in order.
+  void on_reply(Shard& s, std::uint64_t conn_id, std::uint64_t seq,
+                Chunk frame);
+  // Appends frame's valid bytes to c.out_buf (arena-backed, grown via
+  // the shard arena); false when the write-buffer cap was exceeded and
+  // the connection was destroyed.
+  bool append_out(Shard& s, Conn& c, Chunk frame);
   void close_intake(Shard& s);     // stop reading new requests on `s`
 
   // ---- worker side ----------------------------------------------------
+  // The queue a job originating on shard `origin` is pushed to (shard 0
+  // under cfg.shared_queue).
+  Shard& job_queue_shard(std::size_t origin) {
+    return *shards_[cfg_.shared_queue ? 0 : origin];
+  }
   // Moves from `job` only on success so a failed push can be retried.
-  bool push_job(Job& job, bool droppable);
+  bool push_job(std::size_t origin, Job& job);
   // Queues the first n entries of `batch` as individual jobs under one
   // lock acquisition; returns how many fit (the rest are drops).
-  int push_datagram_jobs(std::size_t shard, std::vector<net::Datagram>& batch,
-                         int n);
-  void worker_loop();
+  int push_datagram_jobs(Shard& s, std::vector<net::Datagram>& batch, int n);
+  bool try_pop(std::size_t shard_idx, Job& out);
+  void worker_loop(std::size_t home);
   // Serves one datagram with the zero-copy span path; the reply lands
   // in `acc` (flushed by flush_udp_replies), not on the wire yet.
   void serve_udp_datagram(UdpDatagramJob& job, ReplyAccumulator& acc);
   // One send_many per non-empty shard bucket; refused tails are retried
   // once on that shard's reactor before counting as reply_send_failures.
   void flush_udp_replies(ReplyAccumulator& acc);
-  void serve_tcp_request(TcpRequestJob& job);
-  std::vector<net::Datagram> take_batch_buffer();
-  void recycle_batch_buffer(std::vector<net::Datagram> buf);
-  Bytes take_payload_buffer();
-  void recycle_payload(Bytes payload);
+  // `scratch` is the worker's persistent stream-reply encode buffer
+  // (grown through `scratch_arena`, the worker's home arena): the
+  // encode needs kMaxStreamReplyBytes of headroom, but only the framed
+  // bytes travel — in a right-sized arena frame — so deep pipelines
+  // circulate small buffers, not 1 MB provisions.
+  void serve_tcp_request(TcpRequestJob& job, Bytes& scratch,
+                         common::BufferArena& scratch_arena);
+  std::vector<net::Datagram> take_batch_buffer(Shard& s);
+  void recycle_batch_buffer(Shard& s, std::vector<net::Datagram> buf);
 
   SvcRegistry& registry_;
   EventServerRuntimeConfig cfg_;
@@ -260,6 +369,8 @@ class EventServerRuntime {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<net::TcpListener> tcp_;
   bool udp_sharded_ = false;
+  int worker_count_ = 0;
+  std::size_t pipeline_depth_ = 1;  // sanitized cfg.tcp_pipeline_depth
   // Round-robin accept counter (shard 0's thread only).
   std::size_t next_conn_shard_ = 0;
 
@@ -267,16 +378,8 @@ class EventServerRuntime {
   std::atomic<bool> reactor_stop_{false};
   std::atomic<bool> workers_stop_{false};
   std::atomic<std::int64_t> pending_jobs_{0};
-
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Job> queue_;
-
-  std::mutex pool_mu_;
-  std::vector<std::vector<net::Datagram>> batch_pool_;
-  std::vector<Bytes> payload_pool_;
-
-  std::vector<std::thread> workers_;
+  // Round-robin cursor for wake_stealer (any pushing thread).
+  std::atomic<std::size_t> steal_wake_rr_{0};
 };
 
 }  // namespace tempo::rpc

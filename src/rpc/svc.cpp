@@ -323,12 +323,12 @@ net::Addr ServerRuntime::tcp_addr() const {
   return tcp_ ? tcp_->local_addr() : net::Addr{};
 }
 
-bool ServerRuntime::push_job(Job job, bool droppable) {
+bool ServerRuntime::push_job(Job& job, bool droppable) {
   std::unique_lock<std::mutex> lock(queue_mu_);
   if (queue_.size() >= cfg_.queue_capacity) {
     if (droppable) {
       ++stats_.overload_drops;
-      return false;
+      return false;  // job not moved from: the caller keeps its buffer
     }
     queue_cv_.wait(lock, [this] {
       return queue_.size() < cfg_.queue_capacity ||
@@ -343,19 +343,27 @@ bool ServerRuntime::push_job(Job job, bool droppable) {
 }
 
 void ServerRuntime::udp_listen_loop() {
-  Bytes buf(net::kMaxDatagramBytes);
+  // Receive straight into an arena buffer and hand THAT buffer to the
+  // worker (with the valid length alongside): no per-datagram copy, no
+  // per-datagram allocation once the arena is warm — the worker
+  // recycles the payload after dispatch and the next take gets it back.
+  Bytes buf = arena_.take(net::kMaxDatagramBytes);
   while (!stopping_.load(std::memory_order_acquire)) {
     net::Addr peer;
     auto got = udp_->recv_from(
         &peer, MutableByteSpan(buf.data(), buf.size()), /*timeout_ms=*/50);
     if (!got.is_ok()) continue;
     ++stats_.udp_datagrams;
-    (void)push_job(
-        DatagramJob{peer, Bytes(buf.begin(),
-                                buf.begin() + static_cast<std::ptrdiff_t>(
-                                                  *got))},
-        /*droppable=*/true);
+    Job job = DatagramJob{peer, std::move(buf), *got};
+    if (push_job(job, /*droppable=*/true)) {
+      buf = arena_.take(net::kMaxDatagramBytes);
+    } else {
+      // Dropped: the job was not moved from; reuse its buffer for the
+      // next datagram instead of churning the arena on overload.
+      buf = std::move(std::get<DatagramJob>(job).payload);
+    }
   }
+  arena_.recycle(std::move(buf));
 }
 
 void ServerRuntime::tcp_accept_loop() {
@@ -363,11 +371,17 @@ void ServerRuntime::tcp_accept_loop() {
     auto conn = tcp_->accept(/*timeout_ms=*/50);
     if (!conn.is_ok()) continue;
     ++stats_.tcp_connections;
-    (void)push_job(ConnJob{std::move(*conn)}, /*droppable=*/false);
+    Job job = ConnJob{std::move(*conn)};
+    (void)push_job(job, /*droppable=*/false);
   }
 }
 
 void ServerRuntime::worker_loop() {
+  // Per-worker reply scratch, held for the worker's lifetime: one arena
+  // take instead of hand-rolled thread_local sizing, recycled on exit
+  // so a later runtime in the same process reuses it.  Sized at the
+  // datagram ceiling once — reply_capacity of any datagram fits.
+  Bytes reply_buf = arena_.take(net::kMaxUdpPayloadBytes);
   for (;;) {
     Job job{DatagramJob{}};
     {
@@ -379,33 +393,33 @@ void ServerRuntime::worker_loop() {
                (stopping_.load(std::memory_order_acquire) &&
                 intake_done_.load(std::memory_order_acquire));
       });
-      if (queue_.empty()) return;  // stopping and drained
+      if (queue_.empty()) break;  // stopping and drained
       job = std::move(queue_.front());
       queue_.pop_front();
     }
     queue_cv_.notify_all();  // wake a blocked pusher
     if (auto* d = std::get_if<DatagramJob>(&job)) {
-      // Zero-copy dispatch: the job owns its request bytes exclusively,
+      // Zero-copy dispatch: the job owns its arena payload exclusively,
       // so decode runs in place and the reply encodes straight into the
-      // per-thread send buffer — no scratch copy on either side.
-      // Clamp at the UDP payload ceiling, like the event runtime's
-      // datagram path: a reply that encodes past what a datagram can
-      // physically carry would trade an immediate GARBAGE_ARGS error
-      // reply for a silent EMSGSIZE drop and a client timeout.
-      thread_local Bytes reply_buf;
-      const std::size_t cap = std::min(reply_capacity(d->request.size()),
-                                       net::kMaxUdpPayloadBytes);
-      if (reply_buf.size() < cap) reply_buf.resize(cap);
+      // per-worker scratch — no copy on either side.  Clamp at the UDP
+      // payload ceiling, like the event runtime's datagram path: a
+      // reply that encodes past what a datagram can physically carry
+      // would trade an immediate GARBAGE_ARGS error reply for a silent
+      // EMSGSIZE drop and a client timeout.
+      const std::size_t cap =
+          std::min(reply_capacity(d->len), net::kMaxUdpPayloadBytes);
       const std::size_t n = registry_.handle_request(
-          ByteSpan(d->request.data(), d->request.size()),
+          ByteSpan(d->payload.data(), d->len),
           MutableByteSpan(reply_buf.data(), cap));
       if (n > 0) {
         (void)udp_->send_to(d->peer, ByteSpan(reply_buf.data(), n));
       }
+      arena_.recycle(std::move(d->payload));
     } else if (auto* c = std::get_if<ConnJob>(&job)) {
       serve_connection(*c->conn);
     }
   }
+  arena_.recycle(std::move(reply_buf));
 }
 
 void ServerRuntime::serve_connection(net::TcpConn& conn) {
@@ -437,12 +451,12 @@ void ServerRuntime::serve_connection(net::TcpConn& conn) {
   };
 
   // Reply sizing mirrors TcpServer::serve_one_connection: the request
-  // size is unknown until decoded, so provision for the largest record,
-  // per-thread so the cost is paid once per worker, not per connection.
-  thread_local Bytes out_buf;
-  if (out_buf.size() < kMaxStreamReplyBytes) {
-    out_buf.resize(kMaxStreamReplyBytes);
-  }
+  // size is unknown until decoded, so provision for the largest record.
+  // An arena take amortizes the ~1 MB allocation across connections the
+  // same way the old thread_local scratch amortized it across calls —
+  // and the SAME pooled buffer now also serves the event runtime's
+  // sizing rule, one contract instead of two.
+  Bytes out_buf = arena_.take(kMaxStreamReplyBytes);
   while (!past_drain_deadline()) {
     XdrMem out(MutableByteSpan(out_buf.data(), out_buf.size()),
                XdrOp::kEncode);
@@ -461,6 +475,7 @@ void ServerRuntime::serve_connection(net::TcpConn& conn) {
     }
     ++stats_.tcp_calls;
   }
+  arena_.recycle(std::move(out_buf));
 }
 
 }  // namespace tempo::rpc

@@ -21,6 +21,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/status.h"
 #include "net/simnet.h"
 #include "net/tcp.h"
@@ -208,18 +209,27 @@ class ServerRuntime {
   net::Addr udp_addr() const;
   net::Addr tcp_addr() const;
   const ServerRuntimeStats& stats() const { return stats_; }
+  // The runtime's buffer pool: `misses` is `arena_misses` — takes the
+  // pool could not serve and had to send to the allocator.
+  common::BufferArenaStats arena_stats() const { return arena_.stats(); }
 
  private:
+  // `payload` is an arena buffer with `len` valid bytes; the worker
+  // recycles it after dispatch, so the datagram intake path neither
+  // allocates nor copies per request.
   struct DatagramJob {
     net::Addr peer;
-    Bytes request;
+    Bytes payload;
+    std::size_t len = 0;
   };
   struct ConnJob {
     std::unique_ptr<net::TcpConn> conn;
   };
   using Job = std::variant<DatagramJob, ConnJob>;
 
-  bool push_job(Job job, bool droppable);
+  // Moves from `job` only on success, so a dropped datagram's arena
+  // buffer stays with the caller.
+  bool push_job(Job& job, bool droppable);
   void udp_listen_loop();
   void tcp_accept_loop();
   void worker_loop();
@@ -228,6 +238,10 @@ class ServerRuntime {
   SvcRegistry& registry_;
   ServerRuntimeConfig cfg_;
   ServerRuntimeStats stats_;
+  // Every receive payload and reply scratch comes from here (the same
+  // buffer contract as the event runtime's per-shard arenas; this
+  // runtime is unsharded so one pool serves all threads).
+  common::BufferArena arena_;
 
   std::unique_ptr<net::UdpSocket> udp_;
   std::unique_ptr<net::TcpListener> tcp_;

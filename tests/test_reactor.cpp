@@ -906,6 +906,102 @@ TEST(EventServerRuntime, MultiShardStopDrainsEveryShard) {
   }
 }
 
+// ------------------------------------- pipelined TCP (reply ring) ------
+
+// With tcp_pipeline_depth > 1, several requests of ONE connection
+// execute concurrently across the shard's workers — but the wire must
+// behave exactly as if they ran one at a time.  Make the first
+// requests deliberately slow so later ones FINISH first, then require
+// every reply to come back in send order with its own XID and its own
+// payload.  (Depth 1 is the serial regression: same assertions hold.)
+TEST(EventServerRuntime, PipelinedTcpRepliesStayInWireOrder) {
+  rpc::SvcRegistry reg;
+  reg.register_proc(kProg, kVers, kProc,
+                    [](xdr::XdrStream& in, xdr::XdrStream& out) {
+                      std::int32_t v = 0;
+                      if (!xdr::xdr_int(in, v)) return false;
+                      // Earlier requests dwell longer: without the
+                      // ordered reply ring, reply v would overtake
+                      // reply v-1 on the wire.
+                      if (v < 6) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(30 - 5 * v));
+                      }
+                      return xdr::xdr_int(out, v);
+                    });
+
+  for (const int depth : {8, 1}) {
+    rpc::EventServerRuntimeConfig cfg;
+    cfg.workers = 4;
+    cfg.tcp_pipeline_depth = depth;
+    cfg.enable_udp = false;
+    rpc::EventServerRuntime runtime(reg, cfg);
+    ASSERT_TRUE(runtime.start().is_ok());
+
+    auto conn = net::TcpConn::connect(runtime.tcp_addr());
+    ASSERT_NE(conn, nullptr);
+
+    constexpr int kCalls = 32;
+    Bytes wire;
+    for (int i = 0; i < kCalls; ++i) {
+      Bytes frame(256);
+      xdr::XdrMem x(MutableByteSpan(frame.data() + 4, frame.size() - 4),
+                    xdr::XdrOp::kEncode);
+      rpc::CallHeader hdr;
+      hdr.xid = 0x7A000000u + static_cast<std::uint32_t>(i);
+      hdr.prog = kProg;
+      hdr.vers = kVers;
+      hdr.proc = kProc;
+      std::int32_t v = i;
+      ASSERT_TRUE(rpc::xdr_call_header(x, hdr));
+      ASSERT_TRUE(xdr::xdr_int(x, v));
+      store_be32(frame.data(), xdr::XdrRec::kLastFragFlag |
+                                   static_cast<std::uint32_t>(x.getpos()));
+      wire.insert(wire.end(), frame.begin(),
+                  frame.begin() + static_cast<std::ptrdiff_t>(4 + x.getpos()));
+    }
+    // One burst: every call is on the socket before the first slow
+    // handler finishes.
+    ASSERT_TRUE(conn->write_all(ByteSpan(wire.data(), wire.size())).is_ok());
+
+    auto read_exact = [&](std::uint8_t* dst, std::size_t n) {
+      std::size_t off = 0;
+      const auto give_up =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (off < n && std::chrono::steady_clock::now() < give_up) {
+        auto r = conn->read_some(MutableByteSpan(dst + off, n - off), 50);
+        if (!r.is_ok()) {
+          if (r.status().code() != StatusCode::kTimeout) return false;
+          continue;
+        }
+        if (*r == 0) return false;
+        off += *r;
+      }
+      return off == n;
+    };
+
+    for (int i = 0; i < kCalls; ++i) {
+      std::uint8_t rhdr[4];
+      ASSERT_TRUE(read_exact(rhdr, 4)) << "depth=" << depth << " call " << i;
+      const std::uint32_t rlen = load_be32(rhdr) & ~xdr::XdrRec::kLastFragFlag;
+      Bytes reply(rlen);
+      ASSERT_TRUE(read_exact(reply.data(), rlen));
+      // Strict wire order: reply i IS call i.
+      EXPECT_EQ(load_be32(reply.data()),
+                0x7A000000u + static_cast<std::uint32_t>(i))
+          << "depth=" << depth;
+      // The last word is the echoed int.
+      EXPECT_EQ(load_be32(reply.data() + rlen - 4),
+                static_cast<std::uint32_t>(i));
+    }
+    EXPECT_EQ(runtime.stats().tcp_calls.load(), kCalls);
+    // Steady state runs on recycled arena slices: after 32 calls the
+    // pool must be serving takes, not the allocator.
+    EXPECT_GT(runtime.arena_stats().hits, 0);
+    runtime.stop();
+  }
+}
+
 // ------------------------------------------ adversarial TCP peers ------
 
 // A peer that dies mid-record — either inside the 4-byte fragment

@@ -61,6 +61,15 @@ std::uint64_t stress_seed() {
   return 0xC0FFEEull;
 }
 
+// TCP clients pipeline up to this many requests per burst (> 1 so the
+// per-connection reply ring is always under test; CI's TSan job cranks
+// it to the runtime's full default depth).
+int stress_tcp_depth() {
+  const char* e = std::getenv("TEMPO_STRESS_TCP_DEPTH");
+  const int v = e ? std::atoi(e) : 4;
+  return v > 1 ? v : 2;
+}
+
 // One RNG instance per client thread: deterministic given the seed,
 // uncorrelated across clients.
 using test::Rng;
@@ -227,15 +236,27 @@ TEST(StressSoak, MixedRandomTrafficBalancesTheBooks) {
     });
   }
 
-  // ---- TCP clients: random calls, random mid-record aborts ----------
+  // ---- TCP clients: PIPELINED random calls, random mid-record aborts --
+  //
+  // Each burst writes up to stress_tcp_depth() complete records before
+  // reading a single reply — the shape the per-connection reply ring
+  // reorders under the hood (requests execute concurrently across the
+  // shard workers).  The books are strict: reply i of a fully-written
+  // burst must carry EXACTLY call i's XID and echo call i's array (no
+  // reordering, no leaks, no replies minted from thin air), and every
+  // fully-written call must get its reply.  ~10% of calls still abort
+  // mid-record, killing the burst's connection — completed-but-unread
+  // predecessors in that burst are intentionally not counted.
   constexpr int kTcpClients = 2;
+  const int tcp_depth = stress_tcp_depth();
   std::atomic<std::int64_t> tcp_completed{0}, tcp_aborts{0};
+  std::atomic<int> tcp_order_violations{0};
   for (int c = 0; c < kTcpClients; ++c) {
     threads.emplace_back([&, c] {
       Rng rng{seed + 0xABCDEFull + static_cast<std::uint64_t>(c) * 0x777ull};
       std::uint32_t next_xid = 0x60000000u + 0x01000000u *
                                                 static_cast<std::uint32_t>(c);
-      Bytes frame(16384), reply(16384);
+      Bytes frame(16384), reply(16384), wire;
 
       auto read_exact = [&](net::TcpConn& conn, std::uint8_t* dst,
                             std::size_t n) {
@@ -254,67 +275,104 @@ TEST(StressSoak, MixedRandomTrafficBalancesTheBooks) {
         return off == n;
       };
 
+      struct Sent {
+        std::uint32_t xid = 0;
+        std::uint32_t n = 0;
+      };
+      std::vector<Sent> burst;
+
       while (std::chrono::steady_clock::now() < deadline) {
         auto conn = net::TcpConn::connect(runtime.tcp_addr());
         if (!conn) {
           ++client_errors;
           return;
         }
-        const int calls = 1 + static_cast<int>(rng.below(5));
-        for (int i = 0; i < calls; ++i) {
+        const int bursts = 1 + static_cast<int>(rng.below(4));
+        bool conn_dead = false;
+        for (int b = 0; b < bursts && !conn_dead; ++b) {
           if (std::chrono::steady_clock::now() >= deadline) break;
-          const std::uint32_t xid = next_xid++;
-          xdr::XdrMem x(MutableByteSpan(frame.data() + 4, frame.size() - 4),
-                        xdr::XdrOp::kEncode);
-          rpc::CallHeader hdr;
-          hdr.xid = xid;
-          hdr.prog = kProg;
-          hdr.vers = kVers;
-          hdr.proc = kProcEchoArray;
-          const std::uint32_t n = 1 + rng.below(400);
-          std::uint32_t count = n;
-          bool ok = rpc::xdr_call_header(x, hdr) && xdr::xdr_u_int(x, count);
-          for (std::uint32_t j = 0; ok && j < n; ++j) {
-            std::int32_t v = static_cast<std::int32_t>(j * 2654435761u);
-            ok = xdr::xdr_int(x, v);
+          const int calls =
+              1 + static_cast<int>(rng.below(
+                      static_cast<std::uint32_t>(tcp_depth)));
+          burst.clear();
+          wire.clear();
+          for (int i = 0; i < calls && !conn_dead; ++i) {
+            const std::uint32_t xid = next_xid++;
+            xdr::XdrMem x(MutableByteSpan(frame.data() + 4, frame.size() - 4),
+                          xdr::XdrOp::kEncode);
+            rpc::CallHeader hdr;
+            hdr.xid = xid;
+            hdr.prog = kProg;
+            hdr.vers = kVers;
+            hdr.proc = kProcEchoArray;
+            const std::uint32_t n = 1 + rng.below(400);
+            std::uint32_t count = n;
+            bool ok = rpc::xdr_call_header(x, hdr) && xdr::xdr_u_int(x, count);
+            for (std::uint32_t j = 0; ok && j < n; ++j) {
+              std::int32_t v = static_cast<std::int32_t>(j * 2654435761u);
+              ok = xdr::xdr_int(x, v);
+            }
+            if (!ok) {
+              ++client_errors;
+              conn_dead = true;
+              break;
+            }
+            const std::uint32_t len = static_cast<std::uint32_t>(x.getpos());
+            store_be32(frame.data(), xdr::XdrRec::kLastFragFlag | len);
+            // ~10% of calls abort mid-record: ship the burst so far
+            // plus a prefix of this record, hang up.  Predecessors in
+            // the burst reached the server complete and execute there;
+            // their replies die with the connection — harming nobody.
+            if (rng.chance(0.10)) {
+              const std::size_t cut = 1 + rng.below(len);
+              wire.insert(wire.end(), frame.begin(),
+                          frame.begin() + static_cast<std::ptrdiff_t>(cut));
+              (void)!conn->write_all(ByteSpan(wire.data(), wire.size()))
+                  .is_ok();
+              ++tcp_aborts;
+              conn_dead = true;
+              break;
+            }
+            wire.insert(wire.end(), frame.begin(),
+                        frame.begin() +
+                            static_cast<std::ptrdiff_t>(4 + len));
+            burst.push_back(Sent{xid, n});
           }
-          if (!ok) {
-            ++client_errors;
-            break;
-          }
-          const std::uint32_t len = static_cast<std::uint32_t>(x.getpos());
-          store_be32(frame.data(), xdr::XdrRec::kLastFragFlag | len);
-          // ~10% of calls abort mid-record: write a prefix, hang up.
-          if (rng.chance(0.10)) {
-            const std::size_t cut = 1 + rng.below(len);
-            (void)!conn->write_all(ByteSpan(frame.data(), cut)).is_ok();
-            ++tcp_aborts;
-            break;  // reconnect
-          }
-          if (!conn->write_all(ByteSpan(frame.data(), 4 + len)).is_ok()) {
+          if (conn_dead) break;
+          if (!conn->write_all(ByteSpan(wire.data(), wire.size())).is_ok()) {
             break;  // server may have reset a previous abort; reconnect
           }
-          std::uint8_t rhdr[4];
-          if (!read_exact(*conn, rhdr, 4)) {
-            ++client_errors;  // a completed call must get its reply
-            break;
+          // Drain the whole burst: replies must land 1:1, in exactly
+          // the order the calls went out.
+          for (std::size_t i = 0; i < burst.size(); ++i) {
+            std::uint8_t rhdr[4];
+            if (!read_exact(*conn, rhdr, 4)) {
+              ++client_errors;  // a fully-written call must get a reply
+              conn_dead = true;
+              break;
+            }
+            const std::uint32_t rlen =
+                load_be32(rhdr) & ~xdr::XdrRec::kLastFragFlag;
+            if (rlen > reply.size()) reply.resize(rlen);
+            if (!read_exact(*conn, reply.data(), rlen)) {
+              ++client_errors;
+              conn_dead = true;
+              break;
+            }
+            const std::uint32_t n = burst[i].n;
+            if (load_be32(reply.data()) != burst[i].xid) {
+              ++tcp_order_violations;  // wrong position in the stream
+              conn_dead = true;
+              break;
+            }
+            if (rlen < 4u * n + 8u ||
+                load_be32(reply.data() + rlen - 4 * n - 4) != n) {
+              ++client_errors;  // right XID, wrong payload
+              conn_dead = true;
+              break;
+            }
+            ++tcp_completed;
           }
-          const std::uint32_t rlen =
-              load_be32(rhdr) & ~xdr::XdrRec::kLastFragFlag;
-          if (rlen > reply.size()) reply.resize(rlen);
-          if (!read_exact(*conn, reply.data(), rlen)) {
-            ++client_errors;
-            break;
-          }
-          // In-order stream: the reply must match THIS call's XID and
-          // echo the n we sent (the count word sits right before the
-          // n-int payload at the reply's tail).
-          if (load_be32(reply.data()) != xid || rlen < 4u * n + 8u ||
-              load_be32(reply.data() + rlen - 4 * n - 4) != n) {
-            ++client_errors;
-            break;
-          }
-          ++tcp_completed;
         }
         conn->close();
       }
@@ -327,6 +385,8 @@ TEST(StressSoak, MixedRandomTrafficBalancesTheBooks) {
   EXPECT_EQ(client_errors.load(), 0);
   EXPECT_EQ(duplicate_replies.load(), 0);
   EXPECT_EQ(foreign_replies.load(), 0);
+  EXPECT_EQ(tcp_order_violations.load(), 0)
+      << "a pipelined reply overtook an earlier call on the wire";
   EXPECT_GT(udp_sent.load(), 0);
   EXPECT_GT(tcp_completed.load(), 0);
 
@@ -371,16 +431,20 @@ TEST(StressSoak, MixedRandomTrafficBalancesTheBooks) {
     EXPECT_EQ(load_be32(reply.data()), 0xFEEDF00Du);
   }
 
+  const auto arena = runtime.arena_stats();
   std::printf(
       "soak: %lld UDP sent, %lld received (%lld lost, %lld accounted), "
-      "%lld TCP calls, %lld aborts, %lld conns, %lld resets\n",
+      "%lld TCP calls @depth %d, %lld aborts, %lld conns, %lld resets, "
+      "%lld steals, arena %lld hits / %lld misses\n",
       static_cast<long long>(udp_sent.load()),
       static_cast<long long>(udp_received.load()),
       static_cast<long long>(lost), static_cast<long long>(accounted),
-      static_cast<long long>(tcp_completed.load()),
+      static_cast<long long>(tcp_completed.load()), tcp_depth,
       static_cast<long long>(tcp_aborts.load()),
       static_cast<long long>(runtime.stats().tcp_connections.load()),
-      static_cast<long long>(runtime.stats().conn_resets.load()));
+      static_cast<long long>(runtime.stats().conn_resets.load()),
+      static_cast<long long>(runtime.stats().work_steals.load()),
+      static_cast<long long>(arena.hits), static_cast<long long>(arena.misses));
   runtime.stop();
 }
 
