@@ -11,6 +11,7 @@
 //     compile-time templates (the modern rpcgen-style codegen endpoint).
 #include "bench/bench_util.h"
 #include "core/tspec.h"
+#include "pe/compile.h"
 
 namespace tempo::bench {
 namespace {
@@ -62,8 +63,8 @@ void event_breakdown() {
 void flavor_comparison() {
   print_header(
       "Ablation 2: marshaling flavors on this host (ms per encode)");
-  std::printf("%-8s %14s %14s %14s %14s\n", "size", "procedure-drv",
-              "table-driven", "plan(Tempo)", "template");
+  std::printf("%-8s %14s %14s %14s %14s %14s\n", "size", "procedure-drv",
+              "table-driven", "plan(Tempo)", "compiled", "template");
   const idl::TypePtr arr_t = echo_proc().arg_type;
 
   auto run_size = [&]<std::size_t N>() {
@@ -95,20 +96,28 @@ void flavor_comparison() {
           iface.encode_call_plan(), slots, ++xid,
           MutableByteSpan(out.data(), out.size()), nullptr));
     });
+    double jit_ms = 0;
+    if (const pe::CompiledPlan* jit = iface.encode_call_jit()) {
+      jit_ms = time_ms_per_call([&] {
+        benchmark::DoNotOptimize(jit->run_encode(
+            slots, ++xid, MutableByteSpan(out.data(), out.size())));
+      });
+    }
     using Call = core::tspec::IntArrayCall<kProg, kVers, kProc, N>;
     const double tmpl_ms = time_ms_per_call([&] {
       benchmark::DoNotOptimize(Call::encode(
           ++xid, slots, std::span<std::uint8_t>(out.data(), out.size())));
     });
-    std::printf("%-8zu %14.5f %14.5f %14.5f %14.5f\n", N, proc_ms, table_ms,
-                plan_ms, tmpl_ms);
+    std::printf("%-8zu %14.5f %14.5f %14.5f %14.5f %14.5f\n", N, proc_ms,
+                table_ms, plan_ms, jit_ms, tmpl_ms);
   };
   run_size.operator()<20>();
   run_size.operator()<250>();
   run_size.operator()<2000>();
   std::printf(
       "\nExpected ordering: table-driven >= procedure-driven > plan > "
-      "template\n(each step removes one level of interpretation)\n");
+      "compiled ~ template\n(each step removes one level of "
+      "interpretation; compiled is the JIT'd plan)\n");
 }
 
 void guard_cost() {

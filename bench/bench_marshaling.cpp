@@ -2,8 +2,8 @@
 // specialized, on both platform profiles.
 //
 //   pc-native : wall-clock on this host — generic layered C++ encode vs
-//               residual-plan encode (plus template-specialized and
-//               table-driven reference flavors),
+//               residual-plan encode vs the native compiled stub (plus
+//               template-specialized and table-driven reference flavors),
 //   ipx-sim   : virtual time from the 40 MHz/SBus cost model — generic
 //               IR execution vs cost-counted plan execution.
 //
@@ -11,57 +11,101 @@
 // is several times faster everywhere; on the memory-bound IPX profile
 // the speedup *peaks near 250 elements and then declines*; on the
 // CPU-bound native profile it grows with size and then bends.
+//
+// `--json` emits the interpret-vs-plan-vs-compiled measurements as a
+// machine-readable document (the CI artifact; BENCH_marshaling.json at
+// the repo root is a checked-in baseline of its shape).
+#include <cstring>
+
 #include "bench/bench_util.h"
 #include "core/tspec.h"
+#include "pe/compile.h"
 
 namespace tempo::bench {
 namespace {
+
+// One array size, all native encode tiers measured on this host.
+struct TierSample {
+  std::uint32_t n = 0;
+  double generic_ms = 0;   // layered xdr_* path (tier "interpret")
+  double table_ms = 0;     // table-driven reference flavor
+  double plan_ms = 0;      // residual plan, plan executor (tier "plan")
+  double compiled_ms = 0;  // native stub, 0 when not compiled ("compiled")
+  std::size_t plan_code_bytes = 0;    // in-memory PInstr footprint
+  std::size_t packed_code_bytes = 0;  // serialized Table-3 analog
+  std::size_t compiled_code_bytes = 0;
+  std::size_t compiled_tmpl_bytes = 0;
+};
+
+TierSample measure_encode_tiers(const core::SpecializedInterface& iface,
+                                std::uint32_t n) {
+  TierSample s;
+  s.n = n;
+  const pe::Plan& plan = iface.encode_call_plan();
+  s.plan_code_bytes = plan.code_bytes();
+  s.packed_code_bytes = plan.packed_code_bytes();
+
+  std::vector<std::int32_t> args(n);
+  Rng rng(n);
+  for (auto& a : args) a = static_cast<std::int32_t>(rng.next_u32());
+  std::vector<std::uint32_t> slots(args.begin(), args.end());
+  idl::Value value;
+  {
+    idl::ValueList l(n);
+    for (std::uint32_t i = 0; i < n; ++i) l[i].v = args[i];
+    value.v = std::move(l);
+  }
+  const idl::TypePtr arr_t = echo_proc().arg_type;
+
+  Bytes out(65000);
+  std::uint32_t xid = 0;
+
+  s.generic_ms = time_ms_per_call([&] {
+    benchmark::DoNotOptimize(generic_encode_call(
+        args, ++xid, MutableByteSpan(out.data(), out.size())));
+  });
+  s.table_ms = time_ms_per_call([&] {
+    benchmark::DoNotOptimize(table_driven_encode_call(
+        *arr_t, value, ++xid, MutableByteSpan(out.data(), out.size())));
+  });
+  s.plan_ms = time_ms_per_call([&] {
+    benchmark::DoNotOptimize(
+        run_plan_encode(plan, slots, ++xid,
+                        MutableByteSpan(out.data(), out.size()), nullptr));
+  });
+  if (const pe::CompiledPlan* jit = iface.encode_call_jit()) {
+    s.compiled_code_bytes = jit->code_size();
+    s.compiled_tmpl_bytes = jit->template_size();
+    s.compiled_ms = time_ms_per_call([&] {
+      benchmark::DoNotOptimize(jit->run_encode(
+          slots, ++xid, MutableByteSpan(out.data(), out.size())));
+    });
+  }
+  return s;
+}
 
 void run() {
   print_header("Table 1: Client marshaling performance in ms");
 
   std::vector<SpeedupRow> native_rows, ipx_rows, p166_rows, tspec_rows,
-      table_rows;
+      table_rows, jit_rows, plan_vs_jit_rows;
 
   for (std::uint32_t n : paper_sizes()) {
     core::SpecializedInterface iface = make_iface(n);
     const pe::Plan& plan = iface.encode_call_plan();
+    const TierSample s = measure_encode_tiers(iface, n);
 
-    std::vector<std::int32_t> args(n);
-    Rng rng(n);
-    for (auto& a : args) a = static_cast<std::int32_t>(rng.next_u32());
-    std::vector<std::uint32_t> slots(args.begin(), args.end());
-
-    Bytes out(65000);
-    std::uint32_t xid = 0;
-
-    // -- pc-native: wall clock --
-    const double generic_ms = time_ms_per_call([&] {
-      benchmark::DoNotOptimize(generic_encode_call(
-          args, ++xid, MutableByteSpan(out.data(), out.size())));
-    });
-    const double plan_ms = time_ms_per_call([&] {
-      benchmark::DoNotOptimize(
-          run_plan_encode(plan, slots, ++xid,
-                          MutableByteSpan(out.data(), out.size()), nullptr));
-    });
-    native_rows.push_back({n, generic_ms, plan_ms});
-
-    // -- table-driven reference (related work §7) --
-    idl::Value value;
-    {
-      idl::ValueList l(n);
-      for (std::uint32_t i = 0; i < n; ++i) l[i].v = args[i];
-      value.v = std::move(l);
+    native_rows.push_back({n, s.generic_ms, s.plan_ms});
+    table_rows.push_back({n, s.table_ms, s.plan_ms});
+    if (s.compiled_ms > 0) {
+      jit_rows.push_back({n, s.generic_ms, s.compiled_ms});
+      plan_vs_jit_rows.push_back({n, s.plan_ms, s.compiled_ms});
     }
-    const idl::TypePtr arr_t = echo_proc().arg_type;
-    const double table_ms = time_ms_per_call([&] {
-      benchmark::DoNotOptimize(table_driven_encode_call(
-          *arr_t, value, ++xid, MutableByteSpan(out.data(), out.size())));
-    });
-    table_rows.push_back({n, table_ms, plan_ms});
 
     // -- ipx-sim and p166-sim: cost model --
+    std::vector<std::uint32_t> slots(n);
+    Rng rng(n);
+    for (auto& w : slots) w = rng.next_u32();
     ipx_rows.push_back(
         {n, sim_generic_encode_ms(iface, slots, n, CostParams::ipx_sunos()),
          sim_plan_encode_ms(plan, slots, CostParams::ipx_sunos())});
@@ -109,6 +153,17 @@ void run() {
   std::printf("\n");
   print_speedup_table("pc-native, table-driven baseline vs plan",
                       table_rows);
+  if (!jit_rows.empty()) {
+    std::printf("\n");
+    print_speedup_table("pc-native, generic vs compiled stub (JIT tier)",
+                        jit_rows);
+    std::printf("\n");
+    print_speedup_table("pc-native, plan executor vs compiled stub",
+                        plan_vs_jit_rows);
+  } else {
+    std::printf("\n(compiled-stub tier inactive: unsupported host or "
+                "TEMPO_PLAN_JIT off)\n");
+  }
 
   print_header("Figure 6-1: marshaling time, original code");
   print_series("IPX/Sunos original (ms)", ipx_rows, false);
@@ -131,6 +186,9 @@ void run() {
   print_series("IPX/Sunos speedup", ipx_rows, true);
   print_series("PC/Linux speedup", p166_rows, true);
   print_series("this-host-native speedup", native_rows, true);
+  if (!jit_rows.empty()) {
+    print_series("this-host-compiled speedup", jit_rows, true);
+  }
 
   // Shape checks (reported, also asserted in EXPERIMENTS.md):
   const auto peak = std::max_element(
@@ -142,10 +200,47 @@ void run() {
               peak->n);
 }
 
+// Machine-readable interpret-vs-plan-vs-compiled document for CI.
+void run_json() {
+  const bool host = pe::jit_supported_host();
+  const bool env = pe::jit_enabled_by_env();
+  std::printf("{\n");
+  std::printf("  \"bench\": \"marshaling\",\n");
+  std::printf("  \"workload\": \"echo int-array call encode\",\n");
+  std::printf("  \"tiers\": [\"interpret\", \"plan\", \"compiled\"],\n");
+  std::printf("  \"jit\": {\"host_supported\": %s, \"env_enabled\": %s},\n",
+              host ? "true" : "false", env ? "true" : "false");
+  std::printf("  \"sizes\": [\n");
+  const auto& sizes = paper_sizes();
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::uint32_t n = sizes[i];
+    core::SpecializedInterface iface = make_iface(n);
+    const TierSample s = measure_encode_tiers(iface, n);
+    std::printf(
+        "    {\"n\": %u, \"interpret_ms\": %.6f, \"table_ms\": %.6f, "
+        "\"plan_ms\": %.6f, \"compiled_ms\": %.6f,\n"
+        "     \"speedup_plan\": %.3f, \"speedup_compiled\": %.3f,\n"
+        "     \"plan_code_bytes\": %zu, \"packed_code_bytes\": %zu, "
+        "\"compiled_code_bytes\": %zu, \"compiled_tmpl_bytes\": %zu}%s\n",
+        n, s.generic_ms, s.table_ms, s.plan_ms, s.compiled_ms,
+        s.plan_ms > 0 ? s.generic_ms / s.plan_ms : 0.0,
+        s.compiled_ms > 0 ? s.generic_ms / s.compiled_ms : 0.0,
+        s.plan_code_bytes, s.packed_code_bytes, s.compiled_code_bytes,
+        s.compiled_tmpl_bytes, i + 1 < sizes.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
 }  // namespace
 }  // namespace tempo::bench
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      tempo::bench::run_json();
+      return 0;
+    }
+  }
   tempo::bench::run();
   return 0;
 }

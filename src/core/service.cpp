@@ -26,17 +26,17 @@ bool SpecializedService::handle(xdr::XdrStream& in, xdr::XdrStream& out) {
   if (dplan.expected_in != 0 && in_bytes != nullptr) {
     std::vector<std::uint32_t> args(
         static_cast<std::size_t>(iface_.arg_slots()));
-    if (run_plan_decode(dplan, ByteSpan(in_bytes, dplan.expected_in),
-                        /*xid=*/0, args, nullptr) == ExecStatus::kOk) {
+    if (iface_.exec_decode_args(ByteSpan(in_bytes, dplan.expected_in),
+                                args) == ExecStatus::kOk) {
       std::vector<std::uint32_t> results(
           static_cast<std::size_t>(iface_.res_slots()));
       if (!handler_(args, results)) return false;
       std::uint8_t* out_bytes = out.inline_bytes(eplan.out_size);
       if (out_bytes != nullptr) {
         ++stats_.fast_path;
-        return run_plan_encode(eplan, results, /*xid=*/0,
-                               MutableByteSpan(out_bytes, eplan.out_size),
-                               nullptr) == ExecStatus::kOk;
+        return iface_.exec_encode_results(
+                   results, MutableByteSpan(out_bytes, eplan.out_size)) ==
+               ExecStatus::kOk;
       }
       // Buffer not inlinable for the reply: encode generically.
       ++stats_.generic_path;
@@ -100,9 +100,9 @@ bool CachedSpecService::encode_results(const SpecializedInterface& iface,
   const pe::Plan& eplan = iface.encode_results_plan();
   std::uint8_t* out_bytes = out.inline_bytes(eplan.out_size);
   if (out_bytes != nullptr) {
-    return run_plan_encode(eplan, results, /*xid=*/0,
-                           MutableByteSpan(out_bytes, eplan.out_size),
-                           nullptr) == ExecStatus::kOk;
+    return iface.exec_encode_results(
+               results, MutableByteSpan(out_bytes, eplan.out_size)) ==
+           ExecStatus::kOk;
   }
   auto value = pe::unflatten_value(iface.res_type(),
                                    iface.config().res_counts, results);
@@ -130,8 +130,8 @@ bool CachedSpecService::handle(xdr::XdrStream& in, xdr::XdrStream& out) {
     if (in_bytes != nullptr) {
       std::vector<std::uint32_t> args(
           static_cast<std::size_t>(h->arg_slots()));
-      if (run_plan_decode(dplan, ByteSpan(in_bytes, dplan.expected_in),
-                          /*xid=*/0, args, nullptr) == ExecStatus::kOk) {
+      if (h->exec_decode_args(ByteSpan(in_bytes, dplan.expected_in), args) ==
+          ExecStatus::kOk) {
         std::vector<std::uint32_t> results(
             static_cast<std::size_t>(h->res_slots()));
         if (!handler_(h->config().arg_counts, args, results)) {
@@ -148,6 +148,9 @@ bool CachedSpecService::handle(xdr::XdrStream& in, xdr::XdrStream& out) {
     switch (r) {
       case PathResult::kServed:
         stats_.fast_path.fetch_add(1, std::memory_order_relaxed);
+        if (h->jit_active()) {
+          stats_.jit_fast_path.fetch_add(1, std::memory_order_relaxed);
+        }
         return true;
       case PathResult::kHandlerFault:
         return false;

@@ -88,6 +88,10 @@ class CachedSpecService {
     std::atomic<std::int64_t> generic_path{0};  // interpreter decode
     std::atomic<std::int64_t> plan_fallbacks{0};  // hot-spec guard misses
     std::atomic<std::int64_t> spec_unavailable{0};  // cache build failed
+    // Subset of fast_path served by an interface with compiled stubs
+    // (the third tier; equals fast_path when the JIT is on and the
+    // shape compiled, 0 when TEMPO_PLAN_JIT is off).
+    std::atomic<std::int64_t> jit_fast_path{0};
   };
 
   CachedSpecService(SpecCache& cache, idl::ProcDef proc, std::uint32_t prog,

@@ -164,6 +164,7 @@ Result<SpecHandle> SpecCache::get_or_build(const idl::ProcDef& proc,
     if (built.is_ok()) {
       entry->iface =
           std::make_shared<const SpecializedInterface>(std::move(*built));
+      shard.stats.jit_stubs += entry->iface->jit_stub_count();
       shard.insert_lru_locked(entry, key);
     } else {
       entry->error = built.status();
@@ -190,6 +191,7 @@ SpecCacheStats SpecCache::stats() const {
     total.misses += s->stats.misses;
     total.evictions += s->stats.evictions;
     total.build_failures += s->stats.build_failures;
+    total.jit_stubs += s->stats.jit_stubs;
   }
   // Hot-slot hits bypass the shards entirely; fold them in so `hits`
   // keeps meaning "every lookup served without a build".

@@ -90,6 +90,9 @@ struct SpecCacheStats {
   std::int64_t build_failures = 0;
   std::int64_t hot_hits = 0;    // subset of hits served lock-free from
                                 // the published hot-spec slot
+  std::int64_t jit_stubs = 0;   // native stubs compiled across all builds
+                                // (up to 4 per interface; 0 with the
+                                // TEMPO_PLAN_JIT knob off)
 };
 
 using SpecHandle = std::shared_ptr<const SpecializedInterface>;

@@ -63,11 +63,12 @@ Status SpecializedClient::call(std::span<const std::uint32_t> args,
   ++stats_.calls;
   ++xid_;
 
-  // ---- residual encode (paper Fig. 5 equivalent) ----
+  // ---- residual encode (paper Fig. 5 equivalent), compiled tier when
+  // available ----
   const pe::Plan& eplan = iface_.encode_call_plan();
-  if (run_plan_encode(eplan, args, xid_,
-                      MutableByteSpan(send_buf_.data(), send_buf_.size()),
-                      nullptr) != ExecStatus::kOk) {
+  if (iface_.exec_encode_call(
+          args, xid_, MutableByteSpan(send_buf_.data(), send_buf_.size())) !=
+      ExecStatus::kOk) {
     return internal_error("encode plan rejected inputs");
   }
 
@@ -76,7 +77,6 @@ Status SpecializedClient::call(std::span<const std::uint32_t> args,
   TEMPO_RETURN_IF_ERROR(transport_.send_to(
       server_, ByteSpan(send_buf_.data(), eplan.out_size)));
 
-  const pe::Plan& dplan = iface_.decode_reply_plan();
   for (;;) {
     const auto remaining =
         std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -102,7 +102,7 @@ Status SpecializedClient::call(std::span<const std::uint32_t> args,
 
     // ---- residual decode with guarded fallback ----
     const ByteSpan payload(recv_buf_.data(), *got);
-    switch (run_plan_decode(dplan, payload, xid_, results, nullptr)) {
+    switch (iface_.exec_decode_reply(payload, xid_, results)) {
       case ExecStatus::kOk:
         return Status::ok();
       case ExecStatus::kRetryXid:

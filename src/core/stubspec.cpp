@@ -95,8 +95,68 @@ Result<SpecializedInterface> SpecializedInterface::build(
     out.encode_results_ = std::move(plan);
   }
 
+  // Third tier: lower each plan to a native stub.  Strictly
+  // best-effort — any null (unsupported host, W^X failure, plan outside
+  // the compilable subset) leaves that entry point on the plan executor.
+  if (config.enable_jit && pe::jit_enabled_by_env() &&
+      pe::jit_supported_host()) {
+    out.encode_call_jit_ = pe::CompiledPlan::compile(out.encode_call_);
+    out.decode_reply_jit_ = pe::CompiledPlan::compile(out.decode_reply_);
+    out.decode_args_jit_ = pe::CompiledPlan::compile(out.decode_args_);
+    out.encode_results_jit_ = pe::CompiledPlan::compile(out.encode_results_);
+  }
+
   out.corpus_ = std::move(corpus);
   return out;
+}
+
+pe::ExecStatus SpecializedInterface::exec_encode_call(
+    std::span<const std::uint32_t> words, std::uint32_t xid,
+    MutableByteSpan out) const {
+  if (encode_call_jit_) return encode_call_jit_->run_encode(words, xid, out);
+  return pe::run_plan_encode(encode_call_, words, xid, out, nullptr);
+}
+
+pe::ExecStatus SpecializedInterface::exec_decode_reply(
+    ByteSpan in, std::uint32_t xid, std::span<std::uint32_t> words) const {
+  if (decode_reply_jit_) return decode_reply_jit_->run_decode(in, xid, words);
+  return pe::run_plan_decode(decode_reply_, in, xid, words, nullptr);
+}
+
+pe::ExecStatus SpecializedInterface::exec_decode_args(
+    ByteSpan in, std::span<std::uint32_t> words) const {
+  if (decode_args_jit_) {
+    return decode_args_jit_->run_decode(in, /*xid=*/0, words);
+  }
+  return pe::run_plan_decode(decode_args_, in, /*xid=*/0, words, nullptr);
+}
+
+pe::ExecStatus SpecializedInterface::exec_encode_results(
+    std::span<const std::uint32_t> words, MutableByteSpan out) const {
+  if (encode_results_jit_) {
+    return encode_results_jit_->run_encode(words, /*xid=*/0, out);
+  }
+  return pe::run_plan_encode(encode_results_, words, /*xid=*/0, out, nullptr);
+}
+
+int SpecializedInterface::jit_stub_count() const {
+  return (encode_call_jit_ ? 1 : 0) + (decode_reply_jit_ ? 1 : 0) +
+         (decode_args_jit_ ? 1 : 0) + (encode_results_jit_ ? 1 : 0);
+}
+
+std::size_t SpecializedInterface::packed_code_bytes() const {
+  return encode_call_.packed_code_bytes() +
+         decode_reply_.packed_code_bytes() + decode_args_.packed_code_bytes() +
+         encode_results_.packed_code_bytes();
+}
+
+std::size_t SpecializedInterface::compiled_code_bytes() const {
+  std::size_t total = 0;
+  for (const auto* jit : {encode_call_jit_.get(), decode_reply_jit_.get(),
+                          decode_args_jit_.get(), encode_results_jit_.get()}) {
+    if (jit != nullptr) total += jit->code_size();
+  }
+  return total;
 }
 
 Result<std::string> SpecializedInterface::annotated_encode_listing() const {

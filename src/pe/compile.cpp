@@ -1,0 +1,1103 @@
+// Plan -> native code lowering.  See compile.h for the design overview.
+//
+// The backend is split so each half stays testable:
+//   fuse_plan()     Plan -> FusedProgram: unroll/merge/bake + eligibility.
+//                   Pure data transformation, byte-exact semantics match
+//                   with the plan executor is decided HERE.
+//   emit_x86_64()   FusedProgram -> machine code bytes.  Pure byte
+//   emit_aarch64()  generation; both emitters build on every host so the
+//                   byte-level tests run everywhere, and the host arch
+//                   only selects which one gets executed.
+//   ExecMem         W^X page handling (mmap RW, copy, mprotect RX).
+//
+// Calling conventions of the generated stubs (SysV / AAPCS64):
+//   encode: uint32_t fn(const uint32_t* words, uint32_t xid,
+//                       uint8_t* out, const uint8_t* tmpl)
+//   decode: uint32_t fn(const uint8_t* in, uint64_t inlen,
+//                       uint32_t xid, uint32_t* words)
+// The return value is the ExecStatus numeric code (0 ok, 1 fallback,
+// 2 retry-xid), which keeps the wrapper a single cast.
+
+#include "pe/compile.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/endian.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define TEMPO_JIT_HAVE_MMAP 1
+#else
+#define TEMPO_JIT_HAVE_MMAP 0
+#endif
+
+namespace tempo::pe {
+
+namespace jit_internal {
+
+namespace {
+
+// Displacements are emitted as 32-bit immediates on both targets; cap
+// well below INT32_MAX so offset+length arithmetic can never wrap.
+constexpr std::uint64_t kMaxDisp = 1u << 30;
+
+using K = FusedOp::K;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Stage 1: Plan -> FusedProgram
+// ---------------------------------------------------------------------------
+
+bool fuse_plan(const Plan& plan, FusedProgram* prog) {
+  prog->is_encode = plan.is_encode;
+  prog->out_size = plan.out_size;
+  prog->expected_in = plan.expected_in;
+  prog->words_needed = plan.words_needed;
+  prog->ops.clear();
+  prog->tmpl.clear();
+  if (plan.out_size > kMaxDisp || plan.expected_in > kMaxDisp ||
+      plan.words_needed > kMaxDisp / 4) {
+    return false;
+  }
+  const std::uint64_t word_bytes = std::uint64_t{plan.words_needed} * 4;
+  std::vector<std::uint8_t> baked;
+  if (plan.is_encode) {
+    prog->tmpl.assign(plan.out_size, 0);
+    baked.assign(plan.out_size, 0);
+  }
+
+  // True while lowering the body of a loop kept in residual form; ops
+  // then run once per iteration with the displacement registers added,
+  // so range checks must cover the final iteration too.
+  bool in_kept_loop = false;
+  std::uint64_t kept_max_doff = 0;    // (iters-1) * off_stride
+  std::uint64_t kept_max_dwbytes = 0; // (iters-1) * word_stride * 4
+
+  auto push_or_merge = [&](FusedOp op) {
+    if (!prog->ops.empty()) {
+      FusedOp& prev = prog->ops.back();
+      const bool contiguous_tmpl = prev.k == K::kCopyTmpl &&
+                                   op.k == K::kCopyTmpl &&
+                                   op.off == prev.off + prev.b;
+      // Bulk copies only chain when the earlier op had no pad tail
+      // (b % 4 == 0) and both the buffer and the word-array sides are
+      // contiguous; the merged op keeps the new op's pad.
+      const bool contiguous_copy =
+          (prev.k == K::kCopyArgBytes || prev.k == K::kCopyResBytes) &&
+          op.k == prev.k && prev.b % 4 == 0 && op.off == prev.off + prev.b &&
+          op.a == prev.a + prev.b;
+      if (contiguous_tmpl || contiguous_copy) {
+        prev.b += op.b;
+        return;
+      }
+    }
+    prog->ops.push_back(op);
+  };
+
+  // Lower one plan instruction with loop displacements already applied
+  // (doff in bytes, dword in word slots).  Mirrors apply_encode /
+  // apply_decode in plan.cpp op for op; anything the executor would
+  // reject (direction mixing) or that the JIT cannot express in its
+  // displacement range refuses compilation instead of diverging.
+  auto lower_one = [&](const PInstr& ins, std::uint64_t doff,
+                       std::uint64_t dword) -> bool {
+    const std::uint64_t off = ins.off + doff;
+    if (off > kMaxDisp) return false;
+    const auto off32 = static_cast<std::uint32_t>(off);
+    switch (ins.op) {
+      case POp::kPutConst: {
+        if (!plan.is_encode) return false;
+        if (off + 4 + kept_max_doff > plan.out_size) return false;
+        std::uint8_t be[4];
+        store_be32(be, static_cast<std::uint32_t>(ins.imm));
+        for (int i = 0; i < 4; ++i) {
+          // Two different constants landing on the same template byte
+          // cannot share one image; bail (never happens for plans the
+          // specializer emits, where const offsets are distinct).
+          if (baked[off + i] && prog->tmpl[off + i] != be[i]) return false;
+          prog->tmpl[off + i] = be[i];
+          baked[off + i] = 1;
+        }
+        push_or_merge({K::kCopyTmpl, off32, 0, 4, 0});
+        return true;
+      }
+      case POp::kPutWord: {
+        if (!plan.is_encode) return false;
+        const std::uint64_t slot = ins.a + dword;
+        const std::uint64_t sbytes = slot * 4;
+        if (off + 4 + kept_max_doff > plan.out_size) return false;
+        if (sbytes + 4 + kept_max_dwbytes > word_bytes) return false;
+        push_or_merge(
+            {K::kStoreWord, off32, static_cast<std::uint32_t>(sbytes), 0, 0});
+        return true;
+      }
+      case POp::kPutXid: {
+        if (!plan.is_encode) return false;
+        if (off + 4 + kept_max_doff > plan.out_size) return false;
+        push_or_merge({K::kStoreXid, off32, 0, 0, 0});
+        return true;
+      }
+      case POp::kPutBytes: {
+        if (!plan.is_encode) return false;
+        const std::uint64_t src = ins.a + dword * 4;
+        const std::uint64_t padded = xdr_pad4(ins.b);
+        if (off + padded + kept_max_doff > plan.out_size) return false;
+        if (src + ins.b + kept_max_dwbytes > word_bytes) return false;
+        if (src > kMaxDisp) return false;
+        push_or_merge({K::kCopyArgBytes, off32,
+                       static_cast<std::uint32_t>(src), ins.b, 0});
+        return true;
+      }
+      case POp::kGetWord: {
+        if (plan.is_encode) return false;
+        const std::uint64_t slot = ins.a + dword;
+        const std::uint64_t dbytes = slot * 4;
+        if (dbytes + 4 + kept_max_dwbytes > word_bytes) return false;
+        if (plan.expected_in != 0 &&
+            off + 4 + kept_max_doff > plan.expected_in) {
+          return false;
+        }
+        push_or_merge(
+            {K::kLoadWord, off32, static_cast<std::uint32_t>(dbytes), 0, 0});
+        return true;
+      }
+      case POp::kSetWordConst: {
+        if (plan.is_encode) return false;
+        const std::uint64_t slot = ins.a + dword;
+        const std::uint64_t dbytes = slot * 4;
+        if (dbytes + 4 + kept_max_dwbytes > word_bytes) return false;
+        push_or_merge({K::kSetWord, 0, static_cast<std::uint32_t>(dbytes), 0,
+                       static_cast<std::uint32_t>(ins.imm)});
+        return true;
+      }
+      case POp::kGetBytes: {
+        if (plan.is_encode) return false;
+        const std::uint64_t dst = ins.a + dword * 4;
+        const std::uint64_t padded = xdr_pad4(ins.b);
+        if (dst + padded + kept_max_dwbytes > word_bytes) return false;
+        if (dst > kMaxDisp) return false;
+        if (plan.expected_in != 0 &&
+            off + ins.b + kept_max_doff > plan.expected_in) {
+          return false;
+        }
+        push_or_merge({K::kCopyResBytes, off32,
+                       static_cast<std::uint32_t>(dst), ins.b, 0});
+        return true;
+      }
+      case POp::kGuardConstEq: {
+        if (plan.is_encode) return false;
+        if (plan.expected_in != 0 &&
+            off + 4 + kept_max_doff > plan.expected_in) {
+          return false;
+        }
+        // The executor compares against the low 32 bits of imm.
+        prog->ops.push_back({K::kGuardEq, off32, 0, 0,
+                             static_cast<std::uint32_t>(ins.imm)});
+        return true;
+      }
+      case POp::kGuardXid: {
+        if (plan.is_encode) return false;
+        if (plan.expected_in != 0 &&
+            off + 4 + kept_max_doff > plan.expected_in) {
+          return false;
+        }
+        prog->ops.push_back({K::kGuardXid, off32, 0, 0, 0});
+        return true;
+      }
+      case POp::kGuardBool: {
+        if (plan.is_encode) return false;
+        if (plan.expected_in != 0 &&
+            off + 4 + kept_max_doff > plan.expected_in) {
+          return false;
+        }
+        prog->ops.push_back({K::kGuardBool, off32, 0, 0, 0});
+        return true;
+      }
+      case POp::kGuardLen: {
+        if (plan.is_encode) return false;
+        prog->ops.push_back({K::kGuardLen, 0, 0, 0, ins.imm});
+        return true;
+      }
+      case POp::kLoop:
+        return false;  // nested loop: executor rejects, we refuse
+    }
+    return false;
+  };
+
+  const std::size_t n = plan.instrs.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const PInstr& ins = plan.instrs[i];
+    if (ins.op != POp::kLoop) {
+      if (!lower_one(ins, 0, 0)) return false;
+      ++i;
+      continue;
+    }
+    const std::uint32_t iters = ins.a;
+    const std::uint32_t body = ins.b;
+    if (i + 1 + body > n) return false;
+    const LoopStrides s = unpack_loop_strides(ins.imm);
+    if (iters == 0 || body == 0) {  // executor skips the body entirely
+      i += 1 + body;
+      continue;
+    }
+    if (std::uint64_t{iters} * body <= kJitFullUnrollOps) {
+      for (std::uint32_t it = 0; it < iters; ++it) {
+        for (std::uint32_t j = 0; j < body; ++j) {
+          if (!lower_one(plan.instrs[i + 1 + j],
+                         std::uint64_t{it} * s.off_stride,
+                         std::uint64_t{it} * s.word_stride)) {
+            return false;
+          }
+        }
+      }
+    } else {
+      if (s.off_stride > kMaxDisp ||
+          std::uint64_t{s.word_stride} * 4 > kMaxDisp) {
+        return false;
+      }
+      in_kept_loop = true;
+      kept_max_doff = std::uint64_t{iters - 1} * s.off_stride;
+      kept_max_dwbytes = std::uint64_t{iters - 1} * s.word_stride * 4;
+      if (kept_max_doff > kMaxDisp || kept_max_dwbytes > kMaxDisp) {
+        return false;
+      }
+      prog->ops.push_back({K::kLoopBegin, 0, iters, 0, ins.imm});
+      for (std::uint32_t j = 0; j < body; ++j) {
+        if (!lower_one(plan.instrs[i + 1 + j], 0, 0)) return false;
+      }
+      prog->ops.push_back({K::kLoopEnd, 0, 0, 0, 0});
+      in_kept_loop = false;
+      kept_max_doff = 0;
+      kept_max_dwbytes = 0;
+    }
+    i += 1 + body;
+  }
+  (void)in_kept_loop;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Stage 2a: x86-64 emitter
+// ---------------------------------------------------------------------------
+//
+// Register plan (SysV args are moved out of the rep-movsb registers up
+// front, so rax/rcx/rdx/rsi/rdi stay free as scratch):
+//   encode: r9 = words, r10d = xid, r11 = out,   r8 = tmpl
+//   decode: r9 = in,    r10 = inlen, r11d = xid, r8 = words
+// A residual loop pushes rbx/r12/r13: rbx = down-counter, r12 = buffer
+// byte displacement, r13 = word-array byte displacement; memory
+// operands then take the form [base + r12/r13 + disp32].
+
+namespace {
+
+constexpr int kRax = 0, kRcx = 1, kRdx = 2, kRbx = 3, kRsi = 6, kRdi = 7;
+constexpr int kR8 = 8, kR9 = 9, kR10 = 10, kR11 = 11, kR12 = 12, kR13 = 13;
+
+// Copies at or above this size use rep movsb; below it, an unrolled
+// 8/4/2/1-byte mov sequence (no setup latency, no flag clobber).
+constexpr std::uint32_t kRepMovsCutoff = 64;
+
+class X86 {
+ public:
+  std::vector<std::uint8_t> code;
+
+  struct Mem {
+    int base;
+    int index;  // -1 = none; scale is always 1
+    std::int32_t disp;
+  };
+
+  std::size_t pos() const { return code.size(); }
+  void u8(std::uint8_t b) { code.push_back(b); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void rex(bool w, int reg, int index, int base) {
+    const std::uint8_t r =
+        0x40 | (w ? 8 : 0) | (((reg >> 3) & 1) << 2) |
+        ((index >= 0 ? (index >> 3) & 1 : 0) << 1) | ((base >> 3) & 1);
+    if (r != 0x40) u8(r);
+  }
+
+  // ModRM (+ SIB) with a mandatory disp32: uniform and simple; the
+  // stubs are straight-line enough that the size cost is noise.
+  void modrm_mem(int reg, const Mem& m) {
+    if (m.index >= 0) {
+      u8(0x80 | ((reg & 7) << 3) | 4);
+      u8(((m.index & 7) << 3) | (m.base & 7));  // scale = 1
+    } else if ((m.base & 7) == 4) {
+      u8(0x80 | ((reg & 7) << 3) | 4);
+      u8(0x24);
+    } else {
+      u8(0x80 | ((reg & 7) << 3) | (m.base & 7));
+    }
+    u32(static_cast<std::uint32_t>(m.disp));
+  }
+  void modrm_reg(int reg, int rm) { u8(0xC0 | ((reg & 7) << 3) | (rm & 7)); }
+
+  void mov_rr64(int dst, int src) {
+    rex(true, src, -1, dst);
+    u8(0x89);
+    modrm_reg(src, dst);
+  }
+  void mov_rr32(int dst, int src) {
+    rex(false, src, -1, dst);
+    u8(0x89);
+    modrm_reg(src, dst);
+  }
+  void load(int bits, int reg, const Mem& m) {
+    if (bits == 16) u8(0x66);
+    rex(bits == 64, reg, m.index, m.base);
+    u8(bits == 8 ? 0x8A : 0x8B);
+    modrm_mem(reg, m);
+  }
+  void store(int bits, const Mem& m, int reg) {
+    if (bits == 16) u8(0x66);
+    rex(bits == 64, reg, m.index, m.base);
+    u8(bits == 8 ? 0x88 : 0x89);
+    modrm_mem(reg, m);
+  }
+  void store8_imm(const Mem& m, std::uint8_t v) {
+    rex(false, 0, m.index, m.base);
+    u8(0xC6);
+    modrm_mem(0, m);
+    u8(v);
+  }
+  void store32_imm(const Mem& m, std::uint32_t v) {
+    rex(false, 0, m.index, m.base);
+    u8(0xC7);
+    modrm_mem(0, m);
+    u32(v);
+  }
+  void bswap32(int r) {
+    rex(false, 0, -1, r);
+    u8(0x0F);
+    u8(0xC8 | (r & 7));
+  }
+  void mov_imm32(int r, std::uint32_t v) {
+    rex(false, 0, -1, r);
+    u8(0xB8 | (r & 7));
+    u32(v);
+  }
+  void mov_imm64(int r, std::uint64_t v) {
+    rex(true, 0, -1, r);
+    u8(0xB8 | (r & 7));
+    u64(v);
+  }
+  void lea(int r, const Mem& m) {
+    rex(true, r, m.index, m.base);
+    u8(0x8D);
+    modrm_mem(r, m);
+  }
+  void add_r64_imm32(int r, std::int32_t v) {
+    rex(true, 0, -1, r);
+    u8(0x81);
+    modrm_reg(0, r);
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void cmp_r32_imm32(int r, std::uint32_t v) {
+    rex(false, 0, -1, r);
+    u8(0x81);
+    modrm_reg(7, r);
+    u32(v);
+  }
+  void cmp_r64_imm32(int r, std::int32_t v) {
+    rex(true, 0, -1, r);
+    u8(0x81);
+    modrm_reg(7, r);
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void cmp_rr32(int a, int b) {  // cmp a, b
+    rex(false, b, -1, a);
+    u8(0x39);
+    modrm_reg(b, a);
+  }
+  void cmp_rr64(int a, int b) {
+    rex(true, b, -1, a);
+    u8(0x39);
+    modrm_reg(b, a);
+  }
+  void xor_self32(int r) {
+    rex(false, r, -1, r);
+    u8(0x31);
+    modrm_reg(r, r);
+  }
+  void dec32(int r) {
+    rex(false, 0, -1, r);
+    u8(0xFF);
+    modrm_reg(1, r);
+  }
+  void push64(int r) {
+    if (r >= 8) u8(0x41);
+    u8(0x50 | (r & 7));
+  }
+  void pop64(int r) {
+    if (r >= 8) u8(0x41);
+    u8(0x58 | (r & 7));
+  }
+  void rep_movsb() {
+    u8(0xF3);
+    u8(0xA4);
+  }
+  void ret() { u8(0xC3); }
+
+  // Forward jumps: emit with a zero rel32, patch once targets are laid
+  // out.  Backward jumps know their target immediately.
+  std::size_t jcc_fwd(std::uint8_t cc) {
+    u8(0x0F);
+    u8(0x80 | cc);
+    const std::size_t at = pos();
+    u32(0);
+    return at;
+  }
+  std::size_t jmp_fwd() {
+    u8(0xE9);
+    const std::size_t at = pos();
+    u32(0);
+    return at;
+  }
+  void jcc_back(std::uint8_t cc, std::size_t target) {
+    u8(0x0F);
+    u8(0x80 | cc);
+    u32(static_cast<std::uint32_t>(target - (pos() + 4)));
+  }
+  void patch(std::size_t at, std::size_t target) {
+    const auto rel = static_cast<std::uint32_t>(target - (at + 4));
+    for (int i = 0; i < 4; ++i) {
+      code[at + i] = static_cast<std::uint8_t>(rel >> (8 * i));
+    }
+  }
+};
+
+constexpr std::uint8_t kCcNe = 5;  // jne
+constexpr std::uint8_t kCcA = 7;   // ja (unsigned above)
+
+void x86_copy(X86& a, int src_base, int src_idx, std::uint32_t src_off,
+              int dst_base, int dst_idx, std::uint32_t dst_off,
+              std::uint32_t len) {
+  if (len >= kRepMovsCutoff) {
+    a.lea(kRsi, {src_base, src_idx, static_cast<std::int32_t>(src_off)});
+    a.lea(kRdi, {dst_base, dst_idx, static_cast<std::int32_t>(dst_off)});
+    a.mov_imm32(kRcx, len);
+    a.rep_movsb();  // DF is 0 on entry per the ABI
+    return;
+  }
+  std::uint32_t o = 0;
+  for (int bits : {64, 32, 16, 8}) {
+    const std::uint32_t step = static_cast<std::uint32_t>(bits) / 8;
+    while (len - o >= step) {
+      a.load(bits, kRax,
+             {src_base, src_idx, static_cast<std::int32_t>(src_off + o)});
+      a.store(bits, {dst_base, dst_idx, static_cast<std::int32_t>(dst_off + o)},
+              kRax);
+      o += step;
+      if (bits < 64) break;  // at most one of each tail size
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> emit_x86_64(const FusedProgram& p) {
+  X86 a;
+  bool has_loop = false;
+  for (const FusedOp& op : p.ops) {
+    if (op.k == K::kLoopBegin) has_loop = true;
+  }
+  if (has_loop) {
+    a.push64(kRbx);
+    a.push64(kR12);
+    a.push64(kR13);
+  }
+  // Move args out of the scratch/string registers (see register plan).
+  if (p.is_encode) {
+    a.mov_rr64(kR9, kRdi);   // words
+    a.mov_rr32(kR10, kRsi);  // xid
+    a.mov_rr64(kR11, kRdx);  // out
+    a.mov_rr64(kR8, kRcx);   // tmpl
+  } else {
+    a.mov_rr64(kR9, kRdi);   // in
+    a.mov_rr64(kR10, kRsi);  // inlen
+    a.mov_rr32(kR11, kRdx);  // xid
+    a.mov_rr64(kR8, kRcx);   // words
+  }
+  const int buf = p.is_encode ? kR11 : kR9;  // out (encode) / in (decode)
+  const int words = p.is_encode ? kR9 : kR8;
+
+  enum Target { kFb = 0, kRx = 1, kEpi = 2 };
+  std::vector<std::pair<std::size_t, Target>> fixups;
+  auto jcc_to = [&](std::uint8_t cc, Target t) {
+    fixups.emplace_back(a.jcc_fwd(cc), t);
+  };
+
+  bool in_loop = false;
+  std::size_t loop_top = 0;
+  LoopStrides loop_s;
+  const auto bidx = [&]() { return in_loop ? kR12 : -1; };
+  const auto widx = [&]() { return in_loop ? kR13 : -1; };
+  const auto d32 = [](std::uint32_t v) { return static_cast<std::int32_t>(v); };
+
+  for (const FusedOp& op : p.ops) {
+    switch (op.k) {
+      case K::kCopyTmpl:
+        // Template bytes live at the iteration-0 offset; only the
+        // output cursor advances across iterations.
+        x86_copy(a, kR8, -1, op.off, kR11, bidx(), op.off, op.b);
+        break;
+      case K::kStoreWord:
+        a.load(32, kRax, {words, widx(), d32(op.a)});
+        a.bswap32(kRax);
+        a.store(32, {buf, bidx(), d32(op.off)}, kRax);
+        break;
+      case K::kStoreXid:
+        a.mov_rr32(kRax, kR10);
+        a.bswap32(kRax);
+        a.store(32, {buf, bidx(), d32(op.off)}, kRax);
+        break;
+      case K::kCopyArgBytes: {
+        x86_copy(a, words, widx(), op.a, buf, bidx(), op.off, op.b);
+        const auto padded = static_cast<std::uint32_t>(xdr_pad4(op.b));
+        for (std::uint32_t i = op.b; i < padded; ++i) {
+          a.store8_imm({buf, bidx(), d32(op.off + i)}, 0);
+        }
+        break;
+      }
+      case K::kLoadWord:
+        a.load(32, kRax, {buf, bidx(), d32(op.off)});
+        a.bswap32(kRax);
+        a.store(32, {words, widx(), d32(op.a)}, kRax);
+        break;
+      case K::kSetWord:
+        a.store32_imm({words, widx(), d32(op.a)},
+                      static_cast<std::uint32_t>(op.imm));
+        break;
+      case K::kCopyResBytes: {
+        x86_copy(a, buf, bidx(), op.off, words, widx(), op.a, op.b);
+        const auto padded = static_cast<std::uint32_t>(xdr_pad4(op.b));
+        for (std::uint32_t i = op.b; i < padded; ++i) {
+          a.store8_imm({words, widx(), d32(op.a + i)}, 0);
+        }
+        break;
+      }
+      case K::kGuardEq:
+        a.load(32, kRax, {buf, bidx(), d32(op.off)});
+        a.bswap32(kRax);
+        a.cmp_r32_imm32(kRax, static_cast<std::uint32_t>(op.imm));
+        jcc_to(kCcNe, kFb);
+        break;
+      case K::kGuardXid:
+        a.load(32, kRax, {buf, bidx(), d32(op.off)});
+        a.bswap32(kRax);
+        a.cmp_rr32(kRax, kR11);
+        jcc_to(kCcNe, kRx);
+        break;
+      case K::kGuardBool:
+        a.load(32, kRax, {buf, bidx(), d32(op.off)});
+        a.bswap32(kRax);
+        a.cmp_r32_imm32(kRax, 1);
+        jcc_to(kCcA, kFb);
+        break;
+      case K::kGuardLen:
+        if (op.imm <= 0x7FFFFFFFull) {
+          a.cmp_r64_imm32(kR10, static_cast<std::int32_t>(op.imm));
+        } else {
+          a.mov_imm64(kRax, op.imm);
+          a.cmp_rr64(kR10, kRax);
+        }
+        jcc_to(kCcNe, kFb);
+        break;
+      case K::kLoopBegin:
+        a.mov_imm32(kRbx, op.a);
+        a.xor_self32(kR12);
+        a.xor_self32(kR13);
+        loop_top = a.pos();
+        loop_s = unpack_loop_strides(op.imm);
+        in_loop = true;
+        break;
+      case K::kLoopEnd:
+        a.add_r64_imm32(kR12, d32(loop_s.off_stride));
+        a.add_r64_imm32(kR13, d32(loop_s.word_stride * 4));
+        a.dec32(kRbx);
+        a.jcc_back(kCcNe, loop_top);
+        in_loop = false;
+        break;
+    }
+  }
+
+  a.xor_self32(kRax);  // ExecStatus::kOk
+  fixups.emplace_back(a.jmp_fwd(), kEpi);
+  const std::size_t fb_at = a.pos();
+  a.mov_imm32(kRax, 1);  // ExecStatus::kFallback
+  fixups.emplace_back(a.jmp_fwd(), kEpi);
+  const std::size_t rx_at = a.pos();
+  a.mov_imm32(kRax, 2);  // ExecStatus::kRetryXid
+  const std::size_t epi_at = a.pos();
+  if (has_loop) {
+    a.pop64(kR13);
+    a.pop64(kR12);
+    a.pop64(kRbx);
+  }
+  a.ret();
+  for (const auto& [at, t] : fixups) {
+    a.patch(at, t == kFb ? fb_at : t == kRx ? rx_at : epi_at);
+  }
+  return std::move(a.code);
+}
+
+// ---------------------------------------------------------------------------
+// Stage 2b: aarch64 emitter
+// ---------------------------------------------------------------------------
+//
+// Args stay where AAPCS64 puts them (we never call out):
+//   encode: x0 = words, w1 = xid, x2 = out,   x3 = tmpl
+//   decode: x0 = in,    x1 = inlen, w2 = xid, x3 = words
+// x9/x11 hold materialized addresses, x10 data, w12 copy counters;
+// loops use w13 (counter), x14 (buffer disp), x15 (word disp).  All of
+// x9-x15 are temporaries, so there is no prologue.  Addresses are
+// always built with explicit adds and accessed at offset 0 — no scaled
+// immediate offsets to get subtly wrong.
+
+namespace {
+
+class A64 {
+ public:
+  std::vector<std::uint8_t> code;
+
+  std::size_t pos() const { return code.size(); }
+  void ins(std::uint32_t w) {
+    for (int i = 0; i < 4; ++i) {
+      code.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+    }
+  }
+
+  void movz_w(int rd, std::uint16_t imm, int hw) {
+    ins(0x52800000u | (static_cast<std::uint32_t>(hw) << 21) |
+        (static_cast<std::uint32_t>(imm) << 5) | static_cast<std::uint32_t>(rd));
+  }
+  void movk_w(int rd, std::uint16_t imm, int hw) {
+    ins(0x72800000u | (static_cast<std::uint32_t>(hw) << 21) |
+        (static_cast<std::uint32_t>(imm) << 5) | static_cast<std::uint32_t>(rd));
+  }
+  void movz_x(int rd, std::uint16_t imm, int hw) {
+    ins(0xD2800000u | (static_cast<std::uint32_t>(hw) << 21) |
+        (static_cast<std::uint32_t>(imm) << 5) | static_cast<std::uint32_t>(rd));
+  }
+  void movk_x(int rd, std::uint16_t imm, int hw) {
+    ins(0xF2800000u | (static_cast<std::uint32_t>(hw) << 21) |
+        (static_cast<std::uint32_t>(imm) << 5) | static_cast<std::uint32_t>(rd));
+  }
+  void mov_imm_w(int rd, std::uint32_t v) {
+    movz_w(rd, static_cast<std::uint16_t>(v), 0);
+    if (v >> 16) movk_w(rd, static_cast<std::uint16_t>(v >> 16), 1);
+  }
+  void mov_imm_x(int rd, std::uint64_t v) {
+    movz_x(rd, static_cast<std::uint16_t>(v), 0);
+    for (int hw = 1; hw < 4; ++hw) {
+      const auto part = static_cast<std::uint16_t>(v >> (16 * hw));
+      if (part) movk_x(rd, part, hw);
+    }
+  }
+  void add_x(int rd, int rn, int rm) {
+    ins(0x8B000000u | (static_cast<std::uint32_t>(rm) << 16) |
+        (static_cast<std::uint32_t>(rn) << 5) | static_cast<std::uint32_t>(rd));
+  }
+  void mov_w(int rd, int rm) {  // orr wd, wzr, wm
+    ins(0x2A0003E0u | (static_cast<std::uint32_t>(rm) << 16) |
+        static_cast<std::uint32_t>(rd));
+  }
+  // Loads/stores at [Xn] (unsigned-immediate form, offset 0).
+  void ldr_w0(int rt, int rn) {
+    ins(0xB9400000u | (static_cast<std::uint32_t>(rn) << 5) |
+        static_cast<std::uint32_t>(rt));
+  }
+  void str_w0(int rt, int rn) {
+    ins(0xB9000000u | (static_cast<std::uint32_t>(rn) << 5) |
+        static_cast<std::uint32_t>(rt));
+  }
+  // Post-indexed forms advance the address register, which is how the
+  // copy loops and pad stores walk their cursors.
+  void ldst_post(std::uint32_t base_opc, int rt, int rn, int imm) {
+    ins(base_opc | ((static_cast<std::uint32_t>(imm) & 0x1FF) << 12) |
+        (static_cast<std::uint32_t>(rn) << 5) | static_cast<std::uint32_t>(rt));
+  }
+  void ldr_x_post(int rt, int rn, int imm) { ldst_post(0xF8400400u, rt, rn, imm); }
+  void str_x_post(int rt, int rn, int imm) { ldst_post(0xF8000400u, rt, rn, imm); }
+  void ldr_w_post(int rt, int rn, int imm) { ldst_post(0xB8400400u, rt, rn, imm); }
+  void str_w_post(int rt, int rn, int imm) { ldst_post(0xB8000400u, rt, rn, imm); }
+  void ldrh_post(int rt, int rn, int imm) { ldst_post(0x78400400u, rt, rn, imm); }
+  void strh_post(int rt, int rn, int imm) { ldst_post(0x78000400u, rt, rn, imm); }
+  void ldrb_post(int rt, int rn, int imm) { ldst_post(0x38400400u, rt, rn, imm); }
+  void strb_post(int rt, int rn, int imm) { ldst_post(0x38000400u, rt, rn, imm); }
+  void rev_w(int rd, int rn) {
+    ins(0x5AC00800u | (static_cast<std::uint32_t>(rn) << 5) |
+        static_cast<std::uint32_t>(rd));
+  }
+  void cmp_w(int rn, int rm) {  // subs wzr, wn, wm
+    ins(0x6B00001Fu | (static_cast<std::uint32_t>(rm) << 16) |
+        (static_cast<std::uint32_t>(rn) << 5));
+  }
+  void cmp_x(int rn, int rm) {
+    ins(0xEB00001Fu | (static_cast<std::uint32_t>(rm) << 16) |
+        (static_cast<std::uint32_t>(rn) << 5));
+  }
+  void cmp_w_imm(int rn, std::uint32_t imm12) {  // subs wzr, wn, #imm
+    ins(0x7100001Fu | (imm12 << 10) | (static_cast<std::uint32_t>(rn) << 5));
+  }
+  void subs_w_imm(int rd, int rn, std::uint32_t imm12) {
+    ins(0x71000000u | (imm12 << 10) | (static_cast<std::uint32_t>(rn) << 5) |
+        static_cast<std::uint32_t>(rd));
+  }
+  std::size_t bcond_fwd(int cond) {
+    const std::size_t at = pos();
+    ins(0x54000000u | static_cast<std::uint32_t>(cond));
+    return at;
+  }
+  void bcond_back(int cond, std::size_t target) {
+    const auto delta = static_cast<std::int64_t>(target - pos()) / 4;
+    ins(0x54000000u | ((static_cast<std::uint32_t>(delta) & 0x7FFFF) << 5) |
+        static_cast<std::uint32_t>(cond));
+  }
+  std::size_t b_fwd() {
+    const std::size_t at = pos();
+    ins(0x14000000u);
+    return at;
+  }
+  void patch_bcond(std::size_t at, std::size_t target) {
+    const auto delta =
+        static_cast<std::uint32_t>((target - at) / 4) & 0x7FFFFu;
+    std::uint32_t w = 0;
+    for (int i = 0; i < 4; ++i) {
+      w |= static_cast<std::uint32_t>(code[at + i]) << (8 * i);
+    }
+    w |= delta << 5;
+    for (int i = 0; i < 4; ++i) {
+      code[at + i] = static_cast<std::uint8_t>(w >> (8 * i));
+    }
+  }
+  void patch_b(std::size_t at, std::size_t target) {
+    const auto delta =
+        static_cast<std::uint32_t>((target - at) / 4) & 0x3FFFFFFu;
+    std::uint32_t w = 0;
+    for (int i = 0; i < 4; ++i) {
+      w |= static_cast<std::uint32_t>(code[at + i]) << (8 * i);
+    }
+    w |= delta;
+    for (int i = 0; i < 4; ++i) {
+      code[at + i] = static_cast<std::uint8_t>(w >> (8 * i));
+    }
+  }
+  void ret() { ins(0xD65F03C0u); }
+};
+
+constexpr int kCondNe = 1;
+constexpr int kCondHi = 8;
+constexpr int kWzr = 31;
+
+// Materialize base + off (+ disp register) into `dst`.
+void a64_addr(A64& a, int dst, int base, std::uint32_t off, int disp_reg) {
+  a.mov_imm_x(dst, off);
+  a.add_x(dst, base, dst);
+  if (disp_reg >= 0) a.add_x(dst, dst, disp_reg);
+}
+
+// Copy len bytes from the address in x9 to the address in x11; both
+// registers end past the copied range (post-indexed walk).
+void a64_copy(A64& a, std::uint32_t len) {
+  const std::uint32_t n8 = len / 8;
+  if (n8 > 4) {
+    a.mov_imm_w(12, n8);
+    const std::size_t top = a.pos();
+    a.ldr_x_post(10, 9, 8);
+    a.str_x_post(10, 11, 8);
+    a.subs_w_imm(12, 12, 1);
+    a.bcond_back(kCondNe, top);
+  } else {
+    for (std::uint32_t i = 0; i < n8; ++i) {
+      a.ldr_x_post(10, 9, 8);
+      a.str_x_post(10, 11, 8);
+    }
+  }
+  if (len & 4) {
+    a.ldr_w_post(10, 9, 4);
+    a.str_w_post(10, 11, 4);
+  }
+  if (len & 2) {
+    a.ldrh_post(10, 9, 2);
+    a.strh_post(10, 11, 2);
+  }
+  if (len & 1) {
+    a.ldrb_post(10, 9, 1);
+    a.strb_post(10, 11, 1);
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> emit_aarch64(const FusedProgram& p) {
+  A64 a;
+  // Encode: x0 = words, w1 = xid, x2 = out, x3 = tmpl.
+  // Decode: x0 = in, x1 = inlen, w2 = xid, x3 = words.
+  const int buf = p.is_encode ? 2 : 0;
+  const int words = p.is_encode ? 0 : 3;
+  const int xid = p.is_encode ? 1 : 2;
+
+  enum Target { kFb = 0, kRx = 1 };
+  std::vector<std::pair<std::size_t, Target>> fixups;
+
+  bool in_loop = false;
+  std::size_t loop_top = 0;
+  LoopStrides loop_s;
+  const auto bdisp = [&]() { return in_loop ? 14 : -1; };
+  const auto wdisp = [&]() { return in_loop ? 15 : -1; };
+
+  for (const FusedOp& op : p.ops) {
+    switch (op.k) {
+      case K::kCopyTmpl:
+        a64_addr(a, 9, 3, op.off, -1);  // template: iteration-0 image
+        a64_addr(a, 11, buf, op.off, bdisp());
+        a64_copy(a, op.b);
+        break;
+      case K::kStoreWord:
+        a64_addr(a, 9, words, op.a, wdisp());
+        a.ldr_w0(10, 9);
+        a.rev_w(10, 10);
+        a64_addr(a, 11, buf, op.off, bdisp());
+        a.str_w0(10, 11);
+        break;
+      case K::kStoreXid:
+        a.mov_w(10, xid);
+        a.rev_w(10, 10);
+        a64_addr(a, 11, buf, op.off, bdisp());
+        a.str_w0(10, 11);
+        break;
+      case K::kCopyArgBytes: {
+        a64_addr(a, 9, words, op.a, wdisp());
+        a64_addr(a, 11, buf, op.off, bdisp());
+        a64_copy(a, op.b);
+        const auto padded = static_cast<std::uint32_t>(xdr_pad4(op.b));
+        for (std::uint32_t i = op.b; i < padded; ++i) {
+          a.strb_post(kWzr, 11, 1);
+        }
+        break;
+      }
+      case K::kLoadWord:
+        a64_addr(a, 9, buf, op.off, bdisp());
+        a.ldr_w0(10, 9);
+        a.rev_w(10, 10);
+        a64_addr(a, 11, words, op.a, wdisp());
+        a.str_w0(10, 11);
+        break;
+      case K::kSetWord:
+        a.mov_imm_w(10, static_cast<std::uint32_t>(op.imm));
+        a64_addr(a, 11, words, op.a, wdisp());
+        a.str_w0(10, 11);
+        break;
+      case K::kCopyResBytes: {
+        a64_addr(a, 9, buf, op.off, bdisp());
+        a64_addr(a, 11, words, op.a, wdisp());
+        a64_copy(a, op.b);
+        const auto padded = static_cast<std::uint32_t>(xdr_pad4(op.b));
+        for (std::uint32_t i = op.b; i < padded; ++i) {
+          a.strb_post(kWzr, 11, 1);
+        }
+        break;
+      }
+      case K::kGuardEq:
+        a64_addr(a, 9, buf, op.off, bdisp());
+        a.ldr_w0(10, 9);
+        a.rev_w(10, 10);
+        a.mov_imm_w(12, static_cast<std::uint32_t>(op.imm));
+        a.cmp_w(10, 12);
+        fixups.emplace_back(a.bcond_fwd(kCondNe), kFb);
+        break;
+      case K::kGuardXid:
+        a64_addr(a, 9, buf, op.off, bdisp());
+        a.ldr_w0(10, 9);
+        a.rev_w(10, 10);
+        a.cmp_w(10, xid);
+        fixups.emplace_back(a.bcond_fwd(kCondNe), kRx);
+        break;
+      case K::kGuardBool:
+        a64_addr(a, 9, buf, op.off, bdisp());
+        a.ldr_w0(10, 9);
+        a.rev_w(10, 10);
+        a.cmp_w_imm(10, 1);
+        fixups.emplace_back(a.bcond_fwd(kCondHi), kFb);
+        break;
+      case K::kGuardLen:
+        a.mov_imm_x(10, op.imm);
+        a.cmp_x(1, 10);  // x1 = inlen
+        fixups.emplace_back(a.bcond_fwd(kCondNe), kFb);
+        break;
+      case K::kLoopBegin:
+        a.mov_imm_w(13, op.a);
+        a.mov_imm_x(14, 0);
+        a.mov_imm_x(15, 0);
+        loop_top = a.pos();
+        loop_s = unpack_loop_strides(op.imm);
+        in_loop = true;
+        break;
+      case K::kLoopEnd:
+        a.mov_imm_x(9, loop_s.off_stride);
+        a.add_x(14, 14, 9);
+        a.mov_imm_x(9, std::uint64_t{loop_s.word_stride} * 4);
+        a.add_x(15, 15, 9);
+        a.subs_w_imm(13, 13, 1);
+        a.bcond_back(kCondNe, loop_top);
+        in_loop = false;
+        break;
+    }
+  }
+
+  a.mov_imm_w(0, 0);  // ExecStatus::kOk
+  a.ret();
+  const std::size_t fb_at = a.pos();
+  a.mov_imm_w(0, 1);  // ExecStatus::kFallback
+  a.ret();
+  const std::size_t rx_at = a.pos();
+  a.mov_imm_w(0, 2);  // ExecStatus::kRetryXid
+  a.ret();
+  for (const auto& [at, t] : fixups) {
+    a.patch_bcond(at, t == kFb ? fb_at : rx_at);
+  }
+  return std::move(a.code);
+}
+
+}  // namespace jit_internal
+
+// ---------------------------------------------------------------------------
+// Stage 3: executable memory + the public CompiledPlan wrapper
+// ---------------------------------------------------------------------------
+
+struct CompiledPlan::ExecMem {
+  void* base = nullptr;
+  std::size_t len = 0;
+
+  ~ExecMem() {
+#if TEMPO_JIT_HAVE_MMAP
+    if (base != nullptr) ::munmap(base, len);
+#endif
+  }
+
+  // W^X: the mapping is writable during the copy, executable after, and
+  // never both.  Any failure returns null and the caller keeps the plan
+  // executor — JIT availability is strictly best-effort.
+  static std::unique_ptr<ExecMem> create(const std::vector<std::uint8_t>& code) {
+#if TEMPO_JIT_HAVE_MMAP
+    if (code.empty()) return nullptr;
+    long page = ::sysconf(_SC_PAGESIZE);
+    if (page <= 0) page = 4096;
+    const std::size_t len =
+        (code.size() + static_cast<std::size_t>(page) - 1) /
+        static_cast<std::size_t>(page) * static_cast<std::size_t>(page);
+    void* p = ::mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED) return nullptr;
+    std::memcpy(p, code.data(), code.size());
+    if (::mprotect(p, len, PROT_READ | PROT_EXEC) != 0) {
+      ::munmap(p, len);
+      return nullptr;
+    }
+    __builtin___clear_cache(static_cast<char*>(p),
+                            static_cast<char*>(p) + code.size());
+    auto mem = std::make_unique<ExecMem>();
+    mem->base = p;
+    mem->len = len;
+    return mem;
+#else
+    (void)code;
+    return nullptr;
+#endif
+  }
+};
+
+namespace {
+
+using EncodeFn = std::uint32_t (*)(const std::uint32_t*, std::uint32_t,
+                                   std::uint8_t*, const std::uint8_t*);
+using DecodeFn = std::uint32_t (*)(const std::uint8_t*, std::uint64_t,
+                                   std::uint32_t, std::uint32_t*);
+
+}  // namespace
+
+bool jit_supported_host() {
+#if (defined(__x86_64__) || defined(__aarch64__)) && TEMPO_JIT_HAVE_MMAP
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool jit_enabled_by_env() {
+  static const bool enabled = [] {
+    const char* e = std::getenv("TEMPO_PLAN_JIT");
+    if (e == nullptr) return true;
+    const std::string v(e);
+    return !(v == "0" || v == "off" || v == "OFF" || v == "false" ||
+             v == "no");
+  }();
+  return enabled;
+}
+
+CompiledPlan::~CompiledPlan() = default;
+
+std::unique_ptr<CompiledPlan> CompiledPlan::compile(const Plan& plan) {
+  if (!jit_supported_host()) return nullptr;
+  jit_internal::FusedProgram prog;
+  if (!jit_internal::fuse_plan(plan, &prog)) return nullptr;
+  std::vector<std::uint8_t> code;
+#if defined(__x86_64__)
+  code = jit_internal::emit_x86_64(prog);
+#elif defined(__aarch64__)
+  code = jit_internal::emit_aarch64(prog);
+#else
+  return nullptr;
+#endif
+  auto mem = ExecMem::create(code);
+  if (mem == nullptr) return nullptr;
+  auto cp = std::unique_ptr<CompiledPlan>(new CompiledPlan());
+  cp->mem_ = std::move(mem);
+  cp->tmpl_ = std::move(prog.tmpl);
+  cp->is_encode_ = plan.is_encode;
+  cp->out_size_ = plan.out_size;
+  cp->expected_in_ = plan.expected_in;
+  cp->words_needed_ = plan.words_needed;
+  cp->code_size_ = code.size();
+  return cp;
+}
+
+ExecStatus CompiledPlan::run_encode(std::span<const std::uint32_t> words,
+                                    std::uint32_t xid,
+                                    MutableByteSpan out) const {
+  if (!is_encode_) return ExecStatus::kFallback;
+  // Identical precheck (and check order) to run_plan_encode.
+  if (out.size() < out_size_ || words.size() < words_needed_) {
+    return ExecStatus::kFallback;
+  }
+  const auto fn = reinterpret_cast<EncodeFn>(mem_->base);
+  return static_cast<ExecStatus>(fn(words.data(), xid, out.data(),
+                                    tmpl_.data()));
+}
+
+ExecStatus CompiledPlan::run_decode(ByteSpan in, std::uint32_t xid,
+                                    std::span<std::uint32_t> words) const {
+  if (is_encode_) return ExecStatus::kFallback;
+  // Identical prechecks (and check order) to run_plan_decode.
+  if (words.size() < words_needed_) return ExecStatus::kFallback;
+  if (expected_in_ != 0 && in.size() < expected_in_) {
+    return ExecStatus::kFallback;
+  }
+  const auto fn = reinterpret_cast<DecodeFn>(mem_->base);
+  return static_cast<ExecStatus>(fn(in.data(), in.size(), xid, words.data()));
+}
+
+}  // namespace tempo::pe

@@ -139,8 +139,9 @@ ExecStatus run_impl(const Plan& plan, std::span<const std::uint32_t> cwords,
     if (ins.op == POp::kLoop) {
       const std::uint32_t iters = ins.a;
       const std::uint32_t body = ins.b;
-      const std::uint32_t off_stride = static_cast<std::uint32_t>(ins.imm >> 32);
-      const std::uint32_t word_stride = static_cast<std::uint32_t>(ins.imm);
+      const LoopStrides strides = unpack_loop_strides(ins.imm);
+      const std::uint32_t off_stride = strides.off_stride;
+      const std::uint32_t word_stride = strides.word_stride;
       if constexpr (kCount) {
         ++cost->dispatches;
         cost->executed_op_bytes += sizeof(PInstr);
@@ -211,6 +212,56 @@ ExecStatus run_plan_decode(const Plan& plan, ByteSpan in, std::uint32_t xid,
 
 namespace {
 
+std::size_t uleb_len(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+// Which operands each opcode actually uses in a compact serialization.
+std::size_t packed_instr_bytes(const PInstr& ins) {
+  std::size_t n = 1;  // opcode byte
+  switch (ins.op) {
+    case POp::kPutConst:
+      return n + uleb_len(ins.off) + uleb_len(ins.imm);
+    case POp::kPutWord:
+    case POp::kGetWord:
+      return n + uleb_len(ins.off) + uleb_len(ins.a);
+    case POp::kPutXid:
+    case POp::kGuardXid:
+    case POp::kGuardBool:
+      return n + uleb_len(ins.off);
+    case POp::kPutBytes:
+    case POp::kGetBytes:
+      return n + uleb_len(ins.off) + uleb_len(ins.a) + uleb_len(ins.b);
+    case POp::kSetWordConst:
+      return n + uleb_len(ins.a) + uleb_len(ins.imm);
+    case POp::kGuardConstEq:
+      return n + uleb_len(ins.off) + uleb_len(ins.imm);
+    case POp::kGuardLen:
+      return n + uleb_len(ins.imm);
+    case POp::kLoop: {
+      const LoopStrides s = unpack_loop_strides(ins.imm);
+      return n + uleb_len(ins.a) + uleb_len(ins.b) + uleb_len(s.off_stride) +
+             uleb_len(s.word_stride);
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+std::size_t Plan::packed_code_bytes() const {
+  std::size_t total = 0;
+  for (const auto& ins : instrs) total += packed_instr_bytes(ins);
+  return total;
+}
+
+namespace {
+
 std::string instr_to_string(const PInstr& ins) {
   char buf[128];
   switch (ins.op) {
@@ -257,12 +308,13 @@ std::string instr_to_string(const PInstr& ins) {
                     "if (inlen != %llu) goto fallback;",
                     static_cast<unsigned long long>(ins.imm));
       break;
-    case POp::kLoop:
+    case POp::kLoop: {
+      const LoopStrides s = unpack_loop_strides(ins.imm);
       std::snprintf(buf, sizeof(buf),
                     "loop %u times (off += %u, word += %u) {", ins.a,
-                    static_cast<std::uint32_t>(ins.imm >> 32),
-                    static_cast<std::uint32_t>(ins.imm));
+                    s.off_stride, s.word_stride);
       break;
+    }
   }
   return buf;
 }

@@ -51,6 +51,24 @@ struct PInstr {
   std::uint64_t imm = 0;  // constant / packed strides
 };
 
+// kLoop strides ride in `imm` as (byte-stride << 32) | word-stride.  The
+// specializer (packing), the plan executor and the native compiler
+// (unpacking) must agree bit-for-bit, so there is exactly one codec.
+struct LoopStrides {
+  std::uint32_t off_stride = 0;   // output/input byte offset per iteration
+  std::uint32_t word_stride = 0;  // arg/result word slots per iteration
+};
+
+constexpr std::uint64_t pack_loop_strides(LoopStrides s) {
+  return (static_cast<std::uint64_t>(s.off_stride) << 32) |
+         static_cast<std::uint64_t>(s.word_stride);
+}
+
+constexpr LoopStrides unpack_loop_strides(std::uint64_t imm) {
+  return LoopStrides{static_cast<std::uint32_t>(imm >> 32),
+                     static_cast<std::uint32_t>(imm & 0xFFFFFFFFu)};
+}
+
 enum class ExecStatus : std::uint8_t {
   kOk = 0,
   kFallback,  // a guard failed: run the generic path instead
@@ -64,7 +82,16 @@ struct Plan {
   std::uint32_t expected_in = 0;   // decode: guarded input length
   std::uint32_t words_needed = 0;  // arg/result slot count touched
 
+  // In-memory footprint of the plan as the executor walks it (includes
+  // struct padding — this is what the i-cache/d-cache actually touches,
+  // so the cost model keeps using it).
   std::size_t code_bytes() const { return instrs.size() * sizeof(PInstr); }
+
+  // Size of the plan under a compact serialized encoding (one opcode
+  // byte + ULEB128 operands, omitting operands the opcode does not
+  // use).  This is the honest Table-3 "specialized code size" analog:
+  // code_bytes() over-reports by the PInstr struct padding.
+  std::size_t packed_code_bytes() const;
 
   // Figure-5-style listing of the residual code.
   std::string to_string() const;

@@ -487,6 +487,13 @@ class Specializer {
       }
     }
 
+    // The packed-stride encoding holds 32 bits per stride; a stride that
+    // does not round-trip through the shared codec must stay unrolled
+    // (truncating here would silently corrupt every loop iteration).
+    if (affine && d_off >= 0 &&
+        (d_off > 0xFFFFFFFFll || d_word > 0xFFFFFFFFll)) {
+      affine = false;
+    }
     if (!affine || d_off < 0) {
       // Bail out: the two concrete blocks stay as straight-line code;
       // keep unrolling the remaining iterations the same way.
@@ -507,9 +514,9 @@ class Specializer {
     loop.op = POp::kLoop;
     loop.a = static_cast<std::uint32_t>(blocks);
     loop.b = static_cast<std::uint32_t>(body.size());
-    loop.imm = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(d_off))
-                << 32) |
-               static_cast<std::uint32_t>(d_word);
+    loop.imm = pack_loop_strides(
+        LoopStrides{static_cast<std::uint32_t>(d_off),
+                    static_cast<std::uint32_t>(d_word)});
     plan_.instrs.push_back(loop);
     for (auto& ins : body) plan_.instrs.push_back(ins);
 
@@ -520,21 +527,42 @@ class Specializer {
     fields_["x_private"] =
         SVal::of_int(priv0 + (priv1 - priv0) * blocks);
     max_slot_ = std::max(
-        max_slot_, static_cast<std::int64_t>(
-                       body.empty() ? 0
-                                    : (d_word * (blocks - 1) +
-                                       // highest word touched in block 0
-                                       [&] {
-                                         std::int64_t m = 0;
-                                         for (const auto& ins : body) {
-                                           if (ins.op == POp::kPutWord ||
-                                               ins.op == POp::kGetWord) {
-                                             m = std::max<std::int64_t>(m,
-                                                                        ins.a);
-                                           }
-                                         }
-                                         return m;
-                                       }())));
+        max_slot_,
+        static_cast<std::int64_t>(
+            body.empty() ? 0
+                         : (d_word * (blocks - 1) +
+                            // Highest word slot touched in block 0 — by ANY
+                            // slot-touching op.  Bulk copies carry a byte
+                            // offset in `a` and span pad4(b) bytes, so a
+                            // word-only scan undercounted words_needed for
+                            // loops over opaque/bulk elements and the
+                            // executor then indexed past the caller's
+                            // words span (found by the JIT differential
+                            // audit).
+                            [&] {
+                              std::int64_t m = 0;
+                              for (const auto& ins : body) {
+                                switch (ins.op) {
+                                  case POp::kPutWord:
+                                  case POp::kGetWord:
+                                  case POp::kSetWordConst:
+                                    m = std::max<std::int64_t>(m, ins.a);
+                                    break;
+                                  case POp::kPutBytes:
+                                  case POp::kGetBytes:
+                                    m = std::max<std::int64_t>(
+                                        m, ins.a / 4 +
+                                               static_cast<std::int64_t>(
+                                                   xdr_pad4(ins.b)) /
+                                                   4 -
+                                               1);
+                                    break;
+                                  default:
+                                    break;
+                                }
+                              }
+                              return m;
+                            }())));
 
     // Remainder iterations, unrolled after the loop.
     for (std::int64_t i = lo + blocks * k; i < hi; ++i) {

@@ -15,6 +15,7 @@
 #include "core/stubspec.h"
 #include "idl/interp.h"
 #include "net/udp.h"
+#include "pe/compile.h"
 #include "rpc/client.h"
 #include "rpc/svc.h"
 #include "xdr/primitives.h"
@@ -642,6 +643,17 @@ TEST(ServerRuntime, CachedServiceOverLoopbackUdp) {
   EXPECT_GT(sstats.fast_path.load(), 0);
   EXPECT_GE(runtime.stats().udp_datagrams.load(),
             static_cast<std::int64_t>(sizes.size()) * kCallsPerClient);
+  // Third-tier accounting: these shapes are all compilable, so every
+  // fast-path request was served by an interface with native stubs (or
+  // none was, when the JIT is gated off).
+  if (pe::jit_supported_host() && pe::jit_enabled_by_env()) {
+    EXPECT_EQ(cstats.jit_stubs,
+              4 * static_cast<std::int64_t>(sizes.size()));
+    EXPECT_EQ(sstats.jit_fast_path.load(), sstats.fast_path.load());
+  } else {
+    EXPECT_EQ(cstats.jit_stubs, 0);
+    EXPECT_EQ(sstats.jit_fast_path.load(), 0);
+  }
 }
 
 TEST(ServerRuntime, CachedServiceOverTcpStream) {
