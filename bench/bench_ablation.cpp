@@ -10,15 +10,22 @@
 //     interpreter, Hoschka & Huitema), residual plans (Tempo analog) and
 //     compile-time templates (the modern rpcgen-style codegen endpoint).
 #include "bench/bench_util.h"
+
+#include <cstring>
+#include <memory>
+
 #include "core/tspec.h"
 #include "pe/compile.h"
 
 namespace tempo::bench {
 namespace {
 
-void event_breakdown() {
+// Each section takes an optional writer positioned inside the root
+// object and adds its own key; `--json` threads one through all three.
+void event_breakdown(JsonWriter* jw) {
   print_header("Ablation 1: cycle attribution per marshal (ipx-sim)");
   const CostParams ipx = CostParams::ipx_sunos();
+  if (jw != nullptr) jw->key_array("cycle_attribution");
   std::printf("%-8s %-12s %10s %10s %10s %10s %10s %12s\n", "size",
               "flavor", "calls", "dispatch", "ovfl", "alu", "mem(B)",
               "total ms");
@@ -40,10 +47,24 @@ void event_breakdown() {
                   static_cast<long long>(ev->alu_ops),
                   static_cast<long long>(ev->buffer_bytes),
                   cost_to_ns(*ev, ipx) / 1e6);
+      if (jw != nullptr) {
+        jw->begin_object();
+        jw->field("n", n);
+        jw->field("flavor", name);
+        jw->field("calls", ev->calls);
+        jw->field("dispatches", ev->dispatches);
+        jw->field("overflow_checks", ev->overflow_checks);
+        jw->field("alu_ops", ev->alu_ops);
+        jw->field("buffer_bytes", ev->buffer_bytes);
+        jw->field("total_ms", cost_to_ns(*ev, ipx) / 1e6);
+        jw->end_object();
+      }
     }
   }
+  if (jw != nullptr) jw->end_array();
   std::printf(
       "\nInterpretation overhead eliminated by specialization:\n");
+  if (jw != nullptr) jw->key_array("interpretation_share");
   for (std::uint32_t n : {20u, 250u, 2000u}) {
     core::SpecializedInterface iface = make_iface(n);
     std::vector<std::uint32_t> slots(n);
@@ -57,14 +78,22 @@ void event_breakdown() {
     std::printf("  n=%-6u %5.1f%% of generic marshal cycles are "
                 "call/dispatch/overflow interpretation\n",
                 n, 100.0 * layer_cycles / total_cycles);
+    if (jw != nullptr) {
+      jw->begin_object();
+      jw->field("n", n);
+      jw->field("interpretation_pct", 100.0 * layer_cycles / total_cycles);
+      jw->end_object();
+    }
   }
+  if (jw != nullptr) jw->end_array();
 }
 
-void flavor_comparison() {
+void flavor_comparison(JsonWriter* jw) {
   print_header(
       "Ablation 2: marshaling flavors on this host (ms per encode)");
   std::printf("%-8s %14s %14s %14s %14s %14s\n", "size", "procedure-drv",
               "table-driven", "plan(Tempo)", "compiled", "template");
+  if (jw != nullptr) jw->key_array("flavors_host");
   const idl::TypePtr arr_t = echo_proc().arg_type;
 
   auto run_size = [&]<std::size_t N>() {
@@ -110,17 +139,28 @@ void flavor_comparison() {
     });
     std::printf("%-8zu %14.5f %14.5f %14.5f %14.5f %14.5f\n", N, proc_ms,
                 table_ms, plan_ms, jit_ms, tmpl_ms);
+    if (jw != nullptr) {
+      jw->begin_object();
+      jw->field("n", N);
+      jw->field("procedure_ms", proc_ms);
+      jw->field("table_ms", table_ms);
+      jw->field("plan_ms", plan_ms);
+      jw->field("compiled_ms", jit_ms);  // 0 when the JIT is unavailable
+      jw->field("template_ms", tmpl_ms);
+      jw->end_object();
+    }
   };
   run_size.operator()<20>();
   run_size.operator()<250>();
   run_size.operator()<2000>();
+  if (jw != nullptr) jw->end_array();
   std::printf(
       "\nExpected ordering: table-driven >= procedure-driven > plan > "
       "compiled ~ template\n(each step removes one level of "
       "interpretation; compiled is the JIT'd plan)\n");
 }
 
-void guard_cost() {
+void guard_cost(JsonWriter* jw) {
   print_header(
       "Ablation 3: price of guarded specialization (decode guards)");
   // Decode with guards (safety kept) vs raw word copies (what an unsafe
@@ -155,14 +195,51 @@ void guard_cost() {
   std::printf("guarded decode: %.5f ms   unguarded copy: %.5f ms   "
               "guard overhead: %.1f%%\n",
               guarded_ms, raw_ms, 100.0 * (guarded_ms - raw_ms) / raw_ms);
+  if (jw != nullptr) {
+    jw->key_object("guard_cost_n1000");
+    jw->field("guarded_decode_ms", guarded_ms);
+    jw->field("unguarded_copy_ms", raw_ms);
+    jw->field("overhead_pct", 100.0 * (guarded_ms - raw_ms) / raw_ms);
+    jw->end_object();
+  }
+}
+
+void run(const char* json_path) {
+  std::FILE* f = nullptr;
+  std::unique_ptr<JsonWriter> jw;
+  if (json_path != nullptr) {
+    f = std::strcmp(json_path, "-") == 0 ? stdout
+                                         : std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      std::exit(1);
+    }
+    jw = std::make_unique<JsonWriter>(f);
+    jw->begin_object();
+    jw->schema("ablation");
+  }
+  event_breakdown(jw.get());
+  flavor_comparison(jw.get());
+  guard_cost(jw.get());
+  if (jw != nullptr) {
+    jw->end_object();
+    if (f != stdout) std::fclose(f);
+  }
 }
 
 }  // namespace
 }  // namespace tempo::bench
 
-int main() {
-  tempo::bench::event_breakdown();
-  tempo::bench::flavor_comparison();
-  tempo::bench::guard_cost();
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH|-]\n", argv[0]);
+      return 2;
+    }
+  }
+  tempo::bench::run(json_path);
   return 0;
 }

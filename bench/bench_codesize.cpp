@@ -19,12 +19,15 @@
 // specialized grows linearly with the array size while generic stays
 // flat.
 #include "bench/bench_util.h"
+
+#include <cstring>
+
 #include "pe/compile.h"
 
 namespace tempo::bench {
 namespace {
 
-void run() {
+void run(const char* json_path) {
   print_header("Table 3: Size of the client code (in bytes)");
 
   const core::SpecializedInterface probe = make_iface(20);
@@ -37,6 +40,11 @@ void run() {
               "packed", "native-stub", "stub-tmpl");
   std::size_t prev = 0;
   bool monotone = true, above = true, packed_smaller = true;
+  struct SizeRow {
+    std::uint32_t n;
+    std::size_t in_memory, packed, stub, tmpl;
+  };
+  std::vector<SizeRow> size_rows;
   for (std::uint32_t n : paper_sizes()) {
     core::SpecializedInterface iface = make_iface(n);
     const std::size_t spec = iface.encode_call_plan().code_bytes() +
@@ -58,6 +66,7 @@ void run() {
     above &= spec > generic;
     packed_smaller &= packed < spec - generic;
     prev = spec;
+    size_rows.push_back({n, spec, packed, stub, tmpl});
   }
 
   // Shape checks: monotone growth, always above generic, and the packed
@@ -73,6 +82,11 @@ void run() {
   print_header("Residual code bytes vs unroll factor (array size 2000)");
   std::printf("%-14s %12s %12s %12s\n", "unroll", "in-memory", "packed",
               "native-stub");
+  struct UnrollSizeRow {
+    std::uint32_t factor;  // 0 = full unroll
+    std::size_t in_memory, packed, stub;
+  };
+  std::vector<UnrollSizeRow> unroll_rows;
   for (std::uint32_t factor : {0u, 1u, 8u, 50u, 250u}) {
     core::SpecializedInterface iface = make_iface(2000, factor);
     const pe::CompiledPlan* jit = iface.encode_call_jit();
@@ -81,13 +95,65 @@ void run() {
                 iface.encode_call_plan().code_bytes(),
                 iface.encode_call_plan().packed_code_bytes(),
                 jit != nullptr ? jit->code_size() : 0);
+    unroll_rows.push_back({factor, iface.encode_call_plan().code_bytes(),
+                           iface.encode_call_plan().packed_code_bytes(),
+                           jit != nullptr ? jit->code_size() : 0});
   }
+
+  if (json_path == nullptr) return;
+  std::FILE* f =
+      std::strcmp(json_path, "-") == 0 ? stdout : std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path);
+    std::exit(1);
+  }
+  JsonWriter jw(f);
+  jw.begin_object();
+  jw.schema("codesize");
+  jw.field("generic_client_bytes", generic);
+  jw.key_object("shape_checks");
+  jw.field("specialized_above_generic", above);
+  jw.field("specialized_monotone", monotone);
+  jw.field("packed_below_in_memory", packed_smaller);
+  jw.end_object();
+  jw.key_array("sizes");
+  for (const auto& r : size_rows) {
+    jw.begin_object();
+    jw.field("n", r.n);
+    jw.field("in_memory_bytes", r.in_memory);
+    jw.field("packed_bytes", r.packed);
+    jw.field("native_stub_bytes", r.stub);
+    jw.field("stub_template_bytes", r.tmpl);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.key_array("unroll_2000");
+  for (const auto& r : unroll_rows) {
+    jw.begin_object();
+    jw.field("unroll_factor", r.factor);  // 0 = full unroll
+    jw.field("in_memory_bytes", r.in_memory);
+    jw.field("packed_bytes", r.packed);
+    jw.field("native_stub_bytes", r.stub);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.end_object();
+  if (f != stdout) std::fclose(f);
 }
 
 }  // namespace
 }  // namespace tempo::bench
 
-int main() {
-  tempo::bench::run();
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH|-]\n", argv[0]);
+      return 2;
+    }
+  }
+  tempo::bench::run(json_path);
   return 0;
 }

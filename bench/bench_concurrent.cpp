@@ -53,16 +53,19 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <type_traits>
+#include <unordered_map>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/endian.h"
+#include "common/metrics.h"
 #include "core/service.h"
 #include "core/spec_cache.h"
 #include "core/spec_client.h"
@@ -85,6 +88,23 @@ struct Point {
   bool shared_queue = false;
   std::string backend;  // "threads", "epoll" or "poll"
   double calls_per_sec = 0.0;
+  // Server-side end-to-end latency (recv to reply-send), read from the
+  // runtime's per-shard histograms before stop().  count == 0 when
+  // TEMPO_METRICS=0 (the overhead-A/B run) — the JSON still carries the
+  // fields so both runs diff field-for-field.
+  std::int64_t lat_count = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  // Open-loop only: the offered Poisson rate and the CLIENT-observed
+  // latency measured from each call's scheduled (not actual) send time,
+  // so queueing delay from a lagging sender is charged to the server —
+  // the standard coordinated-omission fix.
+  double offered_per_sec = 0.0;
+  std::int64_t client_lat_count = 0;
+  double client_p50_us = 0.0;
+  double client_p99_us = 0.0;
+  double client_p999_us = 0.0;
 };
 
 struct Options {
@@ -95,6 +115,7 @@ struct Options {
   int workers_per_shard = 0;  // 0 = derive from the workers total
   int tcp_depth = 0;  // 0 = UDP; N>0 = TCP with N pipelined calls/client
   bool shared_queue = false;  // reactor A/B: one global queue (PR 4 shape)
+  double open_loop = 0.0;  // >0: offered calls/sec across clients (UDP)
   std::string runtime = "both";  // threaded | reactor | both
   std::string json_path;         // empty = no JSON
 };
@@ -141,11 +162,14 @@ Point run_point(const char* runtime_name, core::SpecCache& cache,
   std::atomic<bool> go{false}, stop{false};
   std::atomic<std::int64_t> total_calls{0};
   std::atomic<int> errors{0};
+  // Client-observed latency, open-loop mode only.  record() is
+  // wait-free, so every client thread writes the same histogram.
+  common::LatencyHistogram client_lat;
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
-    threads.emplace_back([&] {
+    threads.emplace_back([&, c] {
       if (opt.tcp_depth > 0) {
         // Pipelined TCP: keep `tcp_depth` calls in flight on one
         // connection (1 = classic closed loop).  The server's ordered
@@ -240,6 +264,80 @@ Point run_point(const char* runtime_name, core::SpecCache& cache,
         ++errors;
         return;
       }
+      if (opt.open_loop > 0.0) {
+        // Open-loop (fixed offered rate): send times follow a Poisson
+        // process at rate/clients per client, independent of when
+        // replies come back — so the measured latency is "what a user
+        // arriving at this rate experiences", not the self-throttled
+        // closed-loop number.  Latency is charged from the SCHEDULED
+        // send instant (coordinated-omission-free).
+        std::vector<std::int32_t> args(kArraySize);
+        Rng rng(static_cast<std::uint64_t>(kArraySize + c));
+        for (auto& a : args) a = static_cast<std::int32_t>(rng.next_u32());
+        Bytes send_buf(65000), recv_buf(65000);
+        const std::size_t len = generic_encode_call(
+            args, 1, MutableByteSpan(send_buf.data(), send_buf.size()));
+        const net::Addr server = runtime.udp_addr();
+        const double per_client = opt.open_loop / clients;
+        // Disambiguate xids across clients; replies echo the call xid.
+        std::uint32_t xid = static_cast<std::uint32_t>(c + 1) << 24;
+        std::unordered_map<std::uint32_t, std::int64_t> inflight;
+        std::int64_t mine = 0;
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        std::int64_t next_ns = common::monotonic_ns();
+        while (!stop.load(std::memory_order_acquire)) {
+          const std::int64_t now = common::monotonic_ns();
+          if (now >= next_ns) {
+            store_be32(send_buf.data(), ++xid);
+            if (sock.send_to(server, ByteSpan(send_buf.data(), len))
+                    .is_ok()) {
+              inflight.emplace(xid, next_ns);
+            }
+            // Exponential inter-arrival; 1-u keeps log() off exact 0.
+            next_ns += static_cast<std::int64_t>(
+                -std::log(1.0 - rng.next_double()) * 1e9 / per_client);
+            continue;  // catch up if the schedule slipped
+          }
+          auto r = sock.recv_from(
+              nullptr, MutableByteSpan(recv_buf.data(), recv_buf.size()),
+              /*timeout_ms=*/0);
+          if (r.is_ok() && *r >= 4) {
+            const auto it = inflight.find(load_be32(recv_buf.data()));
+            if (it != inflight.end()) {
+              client_lat.record(common::monotonic_ns() - it->second);
+              inflight.erase(it);
+              ++mine;
+            }
+            continue;
+          }
+          // Nothing due and nothing arriving: sleep until the next
+          // scheduled send (capped so stop() stays responsive).
+          const std::int64_t wait =
+              std::min<std::int64_t>(next_ns - common::monotonic_ns(),
+                                     200'000);
+          if (wait > 0) {
+            std::this_thread::sleep_for(std::chrono::nanoseconds(wait));
+          }
+        }
+        // Brief tail drain so in-flight replies still count.
+        const std::int64_t drain_end = common::monotonic_ns() + 50'000'000;
+        while (!inflight.empty() && common::monotonic_ns() < drain_end) {
+          auto r = sock.recv_from(
+              nullptr, MutableByteSpan(recv_buf.data(), recv_buf.size()),
+              /*timeout_ms=*/5);
+          if (!r.is_ok() || *r < 4) continue;
+          const auto it = inflight.find(load_be32(recv_buf.data()));
+          if (it != inflight.end()) {
+            client_lat.record(common::monotonic_ns() - it->second);
+            inflight.erase(it);
+            ++mine;
+          }
+        }
+        total_calls += mine;
+        return;
+      }
       if (opt.window > 0) {
         // Pipelined bursts: blast `window` calls, then drain the
         // replies.  This is the shape recvmmsg + sendmmsg batch on.
@@ -322,6 +420,11 @@ Point run_point(const char* runtime_name, core::SpecCache& cache,
   if constexpr (std::is_same_v<RuntimeT, rpc::EventServerRuntime>) {
     backend = runtime.backend();
   }
+  // Server-side end-to-end distribution, merged across shards and both
+  // transports.  Empty (count 0) when TEMPO_METRICS=0.
+  rpc::RuntimeLatencySnapshot lat = runtime.latency_snapshot();
+  common::HistogramSnapshot e2e = lat.udp_e2e;
+  e2e.merge(lat.tcp_e2e);
   runtime.stop();
 
   if (errors.load() != 0) {
@@ -344,6 +447,18 @@ Point run_point(const char* runtime_name, core::SpecCache& cache,
     p.backend = "threads";
   }
   p.calls_per_sec = static_cast<double>(total_calls.load()) / secs;
+  p.lat_count = static_cast<std::int64_t>(e2e.total());
+  p.p50_us = static_cast<double>(e2e.p50()) / 1000.0;
+  p.p99_us = static_cast<double>(e2e.p99()) / 1000.0;
+  p.p999_us = static_cast<double>(e2e.p999()) / 1000.0;
+  if (opt.open_loop > 0.0) {
+    p.offered_per_sec = opt.open_loop;
+    const common::HistogramSnapshot cl = client_lat.snapshot();
+    p.client_lat_count = static_cast<std::int64_t>(cl.total());
+    p.client_p50_us = static_cast<double>(cl.p50()) / 1000.0;
+    p.client_p99_us = static_cast<double>(cl.p99()) / 1000.0;
+    p.client_p999_us = static_cast<double>(cl.p999()) / 1000.0;
+  }
   return p;
 }
 
@@ -372,9 +487,9 @@ RuntimeReport run_runtime(const char* name, const Options& opt) {
   for (int w : worker_counts) {
     for (int c : client_counts) {
       Point p = run_point<RuntimeT, ConfigT>(name, cache, w, c, opt);
-      std::printf("%-10s %-10d %-10d %-10d %-8s %14.0f\n", p.runtime.c_str(),
-                  p.workers, p.clients, p.reactors, p.backend.c_str(),
-                  p.calls_per_sec);
+      std::printf("%-10s %-10d %-10d %-10d %-8s %14.0f %10.0f %10.0f\n",
+                  p.runtime.c_str(), p.workers, p.clients, p.reactors,
+                  p.backend.c_str(), p.calls_per_sec, p.p50_us, p.p99_us);
       report.points.push_back(p);
     }
   }
@@ -402,6 +517,10 @@ void run(const Options& opt) {
     std::printf("note: --tcp-depth is reactor-only; skipping threaded\n");
     want_threaded = false;
   }
+  if (opt.open_loop > 0.0 && opt.tcp_depth > 0) {
+    std::fprintf(stderr, "--open-loop is UDP-only (no --tcp-depth)\n");
+    std::exit(2);
+  }
 
   std::printf(
       "bench_concurrent: echo-array n=%u over loopback %s, "
@@ -421,8 +540,13 @@ void run(const Options& opt) {
     std::printf("tcp pipeline depth: %d calls in flight per connection\n\n",
                 opt.tcp_depth);
   }
-  std::printf("%-10s %-10s %-10s %-10s %-8s %14s\n", "runtime", "workers",
-              "clients", "reactors", "backend", "calls/sec");
+  if (opt.open_loop > 0.0) {
+    std::printf("open loop: %.0f offered calls/sec across clients\n\n",
+                opt.open_loop);
+  }
+  std::printf("%-10s %-10s %-10s %-10s %-8s %14s %10s %10s\n", "runtime",
+              "workers", "clients", "reactors", "backend", "calls/sec",
+              "p50_us", "p99_us");
 
   std::vector<Point> points;
   core::SpecCacheStats cache_total;
@@ -453,23 +577,37 @@ void run(const Options& opt) {
               static_cast<long long>(cache_total.misses),
               static_cast<long long>(cache_total.evictions), hit_rate);
 
-  // Scaling self-checks at the most parallel client count.
-  for (const char* name : {"threaded", "reactor"}) {
-    const double r1 = rate_at(points, name, 1, 16);
-    const double r4 = rate_at(points, name, 4, 16);
-    if (r1 == 0.0 || r4 == 0.0) continue;  // axis not part of this run
-    std::printf("%s scaling 1->4 workers @16 clients: %.0f -> %.0f "
-                "(%.2fx) %s\n",
-                name, r1, r4, r1 > 0 ? r4 / r1 : 0.0,
-                r4 > r1 ? "PASS" : "FAIL");
-  }
-  if (want_threaded && want_reactor) {
-    const double rt = rate_at(points, "threaded", 4, 16);
-    const double rr = rate_at(points, "reactor", 4, 16);
-    std::printf("head-to-head @4 workers/16 clients: threaded %.0f vs "
-                "reactor %.0f (%.2fx) %s\n",
-                rt, rr, rt > 0 ? rr / rt : 0.0,
-                rr >= 0.9 * rt ? "PASS" : "FAIL");
+  if (opt.open_loop > 0.0) {
+    // Open loop: throughput is pinned at the offered rate by design, so
+    // the worker-scaling PASS/FAIL checks are meaningless — what the
+    // mode reports is latency at that rate.
+    for (const auto& p : points) {
+      std::printf("%s w=%d c=%d: offered %.0f achieved %.0f — client "
+                  "p50=%.0fus p99=%.0fus p999=%.0fus (%lld samples)\n",
+                  p.runtime.c_str(), p.workers, p.clients, p.offered_per_sec,
+                  p.calls_per_sec, p.client_p50_us, p.client_p99_us,
+                  p.client_p999_us,
+                  static_cast<long long>(p.client_lat_count));
+    }
+  } else {
+    // Scaling self-checks at the most parallel client count.
+    for (const char* name : {"threaded", "reactor"}) {
+      const double r1 = rate_at(points, name, 1, 16);
+      const double r4 = rate_at(points, name, 4, 16);
+      if (r1 == 0.0 || r4 == 0.0) continue;  // axis not part of this run
+      std::printf("%s scaling 1->4 workers @16 clients: %.0f -> %.0f "
+                  "(%.2fx) %s\n",
+                  name, r1, r4, r1 > 0 ? r4 / r1 : 0.0,
+                  r4 > r1 ? "PASS" : "FAIL");
+    }
+    if (want_threaded && want_reactor) {
+      const double rt = rate_at(points, "threaded", 4, 16);
+      const double rr = rate_at(points, "reactor", 4, 16);
+      std::printf("head-to-head @4 workers/16 clients: threaded %.0f vs "
+                  "reactor %.0f (%.2fx) %s\n",
+                  rt, rr, rt > 0 ? rr / rt : 0.0,
+                  rr >= 0.9 * rt ? "PASS" : "FAIL");
+    }
   }
   std::printf("cache hit rate >= 0.90: %s\n",
               hit_rate >= 0.90 ? "PASS" : "FAIL");
@@ -482,37 +620,55 @@ void run(const Options& opt) {
       std::fprintf(stderr, "cannot open %s\n", opt.json_path.c_str());
       std::exit(1);
     }
-    std::fprintf(f,
-                 "{\n  \"benchmark\": \"concurrent\",\n"
-                 "  \"array_size\": %u,\n  \"dwell_us\": %d,\n"
-                 "  \"duration_ms\": %d,\n  \"cache_shards\": %zu,\n"
-                 "  \"window\": %d,\n  \"reactors\": %d,\n"
-                 "  \"workers_per_shard\": %d,\n  \"tcp_depth\": %d,\n"
-                 "  \"queue\": \"%s\",\n"
-                 "  \"points\": [\n",
-                 kArraySize, opt.dwell_us, opt.duration_ms, kCacheShards,
-                 opt.window, opt.reactors, opt.workers_per_shard,
-                 opt.tcp_depth, opt.shared_queue ? "shared" : "shard-local");
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      std::fprintf(f,
-                   "    {\"runtime\": \"%s\", \"workers\": %d, "
-                   "\"clients\": %d, \"reactors\": %d, "
-                   "\"workers_per_shard\": %d, \"tcp_depth\": %d, "
-                   "\"queue\": \"%s\", \"backend\": \"%s\", "
-                   "\"calls_per_sec\": %.1f}%s\n",
-                   points[i].runtime.c_str(), points[i].workers,
-                   points[i].clients, points[i].reactors,
-                   points[i].workers_per_shard, points[i].tcp_depth,
-                   points[i].shared_queue ? "shared" : "shard-local",
-                   points[i].backend.c_str(), points[i].calls_per_sec,
-                   i + 1 < points.size() ? "," : "");
+    JsonWriter jw(f);
+    jw.begin_object();
+    jw.schema("concurrent");
+    jw.field("array_size", kArraySize);
+    jw.field("dwell_us", opt.dwell_us);
+    jw.field("duration_ms", opt.duration_ms);
+    jw.field("cache_shards", kCacheShards);
+    jw.field("window", opt.window);
+    jw.field("reactors", opt.reactors);
+    jw.field("workers_per_shard", opt.workers_per_shard);
+    jw.field("tcp_depth", opt.tcp_depth);
+    jw.field("queue", opt.shared_queue ? "shared" : "shard-local");
+    jw.field("open_loop_per_sec", opt.open_loop);
+    // Whether the server recorded latency histograms: the CI overhead
+    // A/B diffs a metrics-on artifact against a TEMPO_METRICS=0 one.
+    jw.field("metrics_enabled", common::metrics_enabled());
+    jw.key_array("points");
+    for (const Point& p : points) {
+      jw.begin_object();
+      jw.field("runtime", p.runtime);
+      jw.field("workers", p.workers);
+      jw.field("clients", p.clients);
+      jw.field("reactors", p.reactors);
+      jw.field("workers_per_shard", p.workers_per_shard);
+      jw.field("tcp_depth", p.tcp_depth);
+      jw.field("queue", p.shared_queue ? "shared" : "shard-local");
+      jw.field("backend", p.backend);
+      jw.field("calls_per_sec", p.calls_per_sec);
+      jw.field("lat_count", p.lat_count);
+      jw.field("p50_us", p.p50_us);
+      jw.field("p99_us", p.p99_us);
+      jw.field("p999_us", p.p999_us);
+      if (p.offered_per_sec > 0.0) {
+        jw.field("offered_per_sec", p.offered_per_sec);
+        jw.field("client_lat_count", p.client_lat_count);
+        jw.field("client_p50_us", p.client_p50_us);
+        jw.field("client_p99_us", p.client_p99_us);
+        jw.field("client_p999_us", p.client_p999_us);
+      }
+      jw.end_object();
     }
-    std::fprintf(f,
-                 "  ],\n  \"cache\": {\"hits\": %lld, \"misses\": %lld, "
-                 "\"evictions\": %lld, \"hit_rate\": %.6f}\n}\n",
-                 static_cast<long long>(cache_total.hits),
-                 static_cast<long long>(cache_total.misses),
-                 static_cast<long long>(cache_total.evictions), hit_rate);
+    jw.end_array();
+    jw.key_object("cache");
+    jw.field("hits", cache_total.hits);
+    jw.field("misses", cache_total.misses);
+    jw.field("evictions", cache_total.evictions);
+    jw.field("hit_rate", hit_rate);
+    jw.end_object();
+    jw.end_object();
     if (f != stdout) std::fclose(f);
   }
 }
@@ -538,6 +694,8 @@ int main(int argc, char** argv) {
       opt.tcp_depth = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--shared-queue") == 0) {
       opt.shared_queue = true;
+    } else if (std::strcmp(argv[i], "--open-loop") == 0 && i + 1 < argc) {
+      opt.open_loop = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--runtime") == 0 && i + 1 < argc) {
       opt.runtime = argv[++i];
     } else if (std::strncmp(argv[i], "--runtime=", 10) == 0) {
@@ -548,7 +706,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--duration-ms N] [--dwell-us N] "
                    "[--window N] [--reactors N] [--workers-per-shard N] "
-                   "[--shared-queue] [--tcp-depth N] "
+                   "[--shared-queue] [--tcp-depth N] [--open-loop RATE] "
                    "[--runtime threaded|reactor|both] [--json PATH|-]\n",
                    argv[0]);
       return 2;

@@ -202,33 +202,40 @@ void run() {
 
 // Machine-readable interpret-vs-plan-vs-compiled document for CI.
 void run_json() {
-  const bool host = pe::jit_supported_host();
-  const bool env = pe::jit_enabled_by_env();
-  std::printf("{\n");
-  std::printf("  \"bench\": \"marshaling\",\n");
-  std::printf("  \"workload\": \"echo int-array call encode\",\n");
-  std::printf("  \"tiers\": [\"interpret\", \"plan\", \"compiled\"],\n");
-  std::printf("  \"jit\": {\"host_supported\": %s, \"env_enabled\": %s},\n",
-              host ? "true" : "false", env ? "true" : "false");
-  std::printf("  \"sizes\": [\n");
-  const auto& sizes = paper_sizes();
-  for (std::size_t i = 0; i < sizes.size(); ++i) {
-    const std::uint32_t n = sizes[i];
+  JsonWriter jw(stdout);
+  jw.begin_object();
+  jw.schema("marshaling");
+  jw.field("workload", "echo int-array call encode");
+  jw.key_array("tiers");
+  jw.value("interpret");
+  jw.value("plan");
+  jw.value("compiled");
+  jw.end_array();
+  jw.key_object("jit");
+  jw.field("host_supported", pe::jit_supported_host());
+  jw.field("env_enabled", pe::jit_enabled_by_env());
+  jw.end_object();
+  jw.key_array("sizes");
+  for (const std::uint32_t n : paper_sizes()) {
     core::SpecializedInterface iface = make_iface(n);
     const TierSample s = measure_encode_tiers(iface, n);
-    std::printf(
-        "    {\"n\": %u, \"interpret_ms\": %.6f, \"table_ms\": %.6f, "
-        "\"plan_ms\": %.6f, \"compiled_ms\": %.6f,\n"
-        "     \"speedup_plan\": %.3f, \"speedup_compiled\": %.3f,\n"
-        "     \"plan_code_bytes\": %zu, \"packed_code_bytes\": %zu, "
-        "\"compiled_code_bytes\": %zu, \"compiled_tmpl_bytes\": %zu}%s\n",
-        n, s.generic_ms, s.table_ms, s.plan_ms, s.compiled_ms,
-        s.plan_ms > 0 ? s.generic_ms / s.plan_ms : 0.0,
-        s.compiled_ms > 0 ? s.generic_ms / s.compiled_ms : 0.0,
-        s.plan_code_bytes, s.packed_code_bytes, s.compiled_code_bytes,
-        s.compiled_tmpl_bytes, i + 1 < sizes.size() ? "," : "");
+    jw.begin_object();
+    jw.field("n", n);
+    jw.field("interpret_ms", s.generic_ms);
+    jw.field("table_ms", s.table_ms);
+    jw.field("plan_ms", s.plan_ms);
+    jw.field("compiled_ms", s.compiled_ms);
+    jw.field("speedup_plan", s.plan_ms > 0 ? s.generic_ms / s.plan_ms : 0.0);
+    jw.field("speedup_compiled",
+             s.compiled_ms > 0 ? s.generic_ms / s.compiled_ms : 0.0);
+    jw.field("plan_code_bytes", s.plan_code_bytes);
+    jw.field("packed_code_bytes", s.packed_code_bytes);
+    jw.field("compiled_code_bytes", s.compiled_code_bytes);
+    jw.field("compiled_tmpl_bytes", s.compiled_tmpl_bytes);
+    jw.end_object();
   }
-  std::printf("  ]\n}\n");
+  jw.end_array();
+  jw.end_object();
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 
 #include "bench/bench_util.h"
 #include "common/endian.h"
+#include "common/metrics.h"
 #include "core/generic_client.h"
 #include "core/service.h"
 #include "core/spec_client.h"
@@ -177,8 +178,18 @@ void run_platform(const char* name, const CostParams& cpu,
   std::printf("\n");
 }
 
+// Per-call latency distributions for one native-loopback row; the sim
+// platforms are deterministic cost models with no distribution to
+// report, so percentiles exist only here.
+struct NativeLatRow {
+  std::uint32_t n = 0;
+  common::HistogramSnapshot generic;
+  common::HistogramSnapshot specialized;
+};
+
 // Real loopback UDP end-to-end: generic vs specialized, wall clock.
-void run_native_loopback(std::vector<SpeedupRow>& rows) {
+void run_native_loopback(std::vector<SpeedupRow>& rows,
+                         std::vector<NativeLatRow>& lat_rows) {
   for (std::uint32_t n : paper_sizes()) {
     core::SpecializedInterface iface = make_iface(n);
 
@@ -207,10 +218,16 @@ void run_native_loopback(std::vector<SpeedupRow>& rows) {
       for (auto& e : l) e.v = static_cast<std::int32_t>(rng.next_u32());
       arg.v = std::move(l);
     }
+    // Every timed call also lands in a histogram, so the JSON rows for
+    // this platform carry a real p50/p99/p999, not just the median the
+    // table prints.
+    common::LatencyHistogram ghist, shist;
     const double generic_ms = time_ms_per_call(
         [&] {
+          const std::int64_t t0 = common::monotonic_ns();
           auto r = gclient.call(kProc, *arr_t, arg, *arr_t);
           if (!r.is_ok()) std::abort();
+          ghist.record(common::monotonic_ns() - t0);
         },
         /*min_iters=*/60, /*repeats=*/5);
 
@@ -222,11 +239,14 @@ void run_native_loopback(std::vector<SpeedupRow>& rows) {
     for (auto& s : slots) s = rng.next_u32();
     const double spec_ms = time_ms_per_call(
         [&] {
+          const std::int64_t t0 = common::monotonic_ns();
           if (!sclient.call(slots, results).is_ok()) std::abort();
+          shist.record(common::monotonic_ns() - t0);
         },
         /*min_iters=*/60, /*repeats=*/5);
 
     rows.push_back({n, generic_ms, spec_ms});
+    lat_rows.push_back({n, ghist.snapshot(), shist.snapshot()});
     stop = true;
     server_thread.join();
   }
@@ -238,42 +258,68 @@ void run_native_loopback(std::vector<SpeedupRow>& rows) {
 void emit_json(const char* path,
                const std::vector<std::pair<const char*,
                                            const std::vector<SpeedupRow>*>>&
-                   series) {
+                   series,
+               const std::vector<NativeLatRow>& native_lat) {
   std::FILE* f =
       std::strcmp(path, "-") == 0 ? stdout : std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"benchmark\": \"roundtrip\",\n  \"platforms\": [\n");
-  for (std::size_t s = 0; s < series.size(); ++s) {
-    std::fprintf(f, "    {\"name\": \"%s\", \"rows\": [\n", series[s].first);
-    const auto& rows = *series[s].second;
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const auto& r = rows[i];
-      std::fprintf(f,
-                   "      {\"n\": %u, \"original_ms\": %.6f, "
-                   "\"specialized_ms\": %.6f, \"speedup\": %.4f}%s\n",
-                   r.n, r.original_ms, r.specialized_ms,
-                   r.specialized_ms > 0 ? r.original_ms / r.specialized_ms
-                                        : 0.0,
-                   i + 1 < rows.size() ? "," : "");
+  JsonWriter jw(f);
+  jw.begin_object();
+  jw.schema("roundtrip");
+  jw.key_array("platforms");
+  for (const auto& [name, rows] : series) {
+    jw.begin_object();
+    jw.field("name", name);
+    jw.key_array("rows");
+    for (const auto& r : *rows) {
+      jw.begin_object();
+      jw.field("n", r.n);
+      jw.field("original_ms", r.original_ms);
+      jw.field("specialized_ms", r.specialized_ms);
+      jw.field("speedup", r.specialized_ms > 0
+                              ? r.original_ms / r.specialized_ms
+                              : 0.0);
+      // The native platform has per-call distributions; attach them.
+      for (const auto& lr : native_lat) {
+        if (std::strcmp(name, "native_loopback_udp") != 0 || lr.n != r.n) {
+          continue;
+        }
+        jw.field("original_p50_us",
+                 static_cast<double>(lr.generic.p50()) / 1000.0);
+        jw.field("original_p99_us",
+                 static_cast<double>(lr.generic.p99()) / 1000.0);
+        jw.field("original_p999_us",
+                 static_cast<double>(lr.generic.p999()) / 1000.0);
+        jw.field("specialized_p50_us",
+                 static_cast<double>(lr.specialized.p50()) / 1000.0);
+        jw.field("specialized_p99_us",
+                 static_cast<double>(lr.specialized.p99()) / 1000.0);
+        jw.field("specialized_p999_us",
+                 static_cast<double>(lr.specialized.p999()) / 1000.0);
+      }
+      jw.end_object();
     }
-    std::fprintf(f, "    ]}%s\n", s + 1 < series.size() ? "," : "");
+    jw.end_array();
+    jw.end_object();
   }
-  std::fprintf(f, "  ]\n}\n");
+  jw.end_array();
+  jw.end_object();
   if (f != stdout) std::fclose(f);
 }
 
 void run(const char* json_path) {
   print_header("Table 2: Round trip performance in ms");
   std::vector<SpeedupRow> ipx_rows, p166_rows, native_rows;
+  std::vector<NativeLatRow> native_lat_rows;
   run_platform("IPX/SunOS ipx-sim + ATM link", CostParams::ipx_sunos(),
                net::LinkParams::atm_ipx(), ipx_rows);
   run_platform("PC/Linux p166-sim + Fast Ethernet link",
                CostParams::p166_linux(), net::LinkParams::ethernet_pc(),
                p166_rows);
-  run_native_loopback(native_rows);
+  run_native_loopback(native_rows, native_lat_rows);
 
   print_header("Figure 6-3: round trip time, original code");
   print_series("IPX/Sunos - ATM 100Mbits original (ms)", ipx_rows, false);
@@ -295,9 +341,11 @@ void run(const char* json_path) {
   print_series("this-host loopback speedup", native_rows, true);
 
   if (json_path != nullptr) {
-    emit_json(json_path, {{"ipx_sunos_atm", &ipx_rows},
-                          {"pc_linux_ethernet", &p166_rows},
-                          {"native_loopback_udp", &native_rows}});
+    emit_json(json_path,
+              {{"ipx_sunos_atm", &ipx_rows},
+               {"pc_linux_ethernet", &p166_rows},
+               {"native_loopback_udp", &native_rows}},
+              native_lat_rows);
   }
 }
 

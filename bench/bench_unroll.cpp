@@ -9,13 +9,40 @@
 // regenerates the table on the p166-sim profile and on this host.
 #include "bench/bench_util.h"
 
+#include <cstring>
+
 namespace tempo::bench {
 namespace {
 
-void run() {
+// One Table-4 measurement: original vs full-unroll vs 250-unrolled.
+struct UnrollRow {
+  std::uint32_t n;
+  double original_ms;
+  double full_ms;
+  double part_ms;
+};
+
+void emit_unroll_rows(JsonWriter& jw, const char* name,
+                      const std::vector<UnrollRow>& rows) {
+  jw.key_array(name);
+  for (const auto& r : rows) {
+    jw.begin_object();
+    jw.field("n", r.n);
+    jw.field("original_ms", r.original_ms);
+    jw.field("full_unroll_ms", r.full_ms);
+    jw.field("unroll_250_ms", r.part_ms);
+    jw.field("speedup_full", r.full_ms > 0 ? r.original_ms / r.full_ms : 0.0);
+    jw.field("speedup_250", r.part_ms > 0 ? r.original_ms / r.part_ms : 0.0);
+    jw.end_object();
+  }
+  jw.end_array();
+}
+
+void run(const char* json_path) {
   print_header(
       "Table 4: Specialization with loops of 250-unrolled integers (ms)");
 
+  std::vector<UnrollRow> sim_rows, host_rows;
   std::printf("%-10s %12s %12s %8s %14s %10s   (p166-sim)\n", "Array Size",
               "Original", "Full-unroll", "Speedup", "250-unrolled",
               "Speedup");
@@ -35,6 +62,7 @@ void run() {
         sim_plan_encode_ms(part.encode_call_plan(), slots, pc);
     std::printf("%-10u %12.4f %12.4f %8.2f %14.4f %10.2f\n", n, orig,
                 full_ms, orig / full_ms, part_ms, orig / part_ms);
+    sim_rows.push_back({n, orig, full_ms, part_ms});
   }
 
   std::printf("\n%-10s %12s %12s %8s %14s %10s   (this host, wall clock)\n",
@@ -67,11 +95,18 @@ void run() {
     });
     std::printf("%-10u %12.5f %12.5f %8.2f %14.5f %10.2f\n", n, orig,
                 full_ms, orig / full_ms, part_ms, orig / part_ms);
+    host_rows.push_back({n, orig, full_ms, part_ms});
   }
 
   // Full unroll-factor sweep (our extension: the paper left automatic
   // unroll control as future work for Tempo; SpecOptions implements it).
   print_header("Unroll-factor sweep, array size 2000, p166-sim (ms)");
+  struct SweepRow {
+    std::uint32_t factor;  // 0 = full unroll
+    double ms;
+    std::size_t plan_bytes;
+  };
+  std::vector<SweepRow> sweep_rows;
   std::vector<std::uint32_t> slots(2000);
   Rng rng(2000);
   for (auto& s : slots) s = rng.next_u32();
@@ -82,13 +117,47 @@ void run() {
     std::printf("unroll=%-8s %10.4f ms   plan=%7zu bytes\n",
                 factor == 0 ? "full" : std::to_string(factor).c_str(), ms,
                 iface.encode_call_plan().code_bytes());
+    sweep_rows.push_back({factor, ms, iface.encode_call_plan().code_bytes()});
   }
+
+  if (json_path == nullptr) return;
+  std::FILE* f =
+      std::strcmp(json_path, "-") == 0 ? stdout : std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path);
+    std::exit(1);
+  }
+  JsonWriter jw(f);
+  jw.begin_object();
+  jw.schema("unroll");
+  emit_unroll_rows(jw, "p166_sim", sim_rows);
+  emit_unroll_rows(jw, "host_wall_clock", host_rows);
+  jw.key_array("sweep_2000_p166_sim");
+  for (const auto& r : sweep_rows) {
+    jw.begin_object();
+    jw.field("unroll_factor", r.factor);  // 0 = full unroll
+    jw.field("ms", r.ms);
+    jw.field("plan_bytes", r.plan_bytes);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.end_object();
+  if (f != stdout) std::fclose(f);
 }
 
 }  // namespace
 }  // namespace tempo::bench
 
-int main() {
-  tempo::bench::run();
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH|-]\n", argv[0]);
+      return 2;
+    }
+  }
+  tempo::bench::run(json_path);
   return 0;
 }

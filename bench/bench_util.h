@@ -165,6 +165,118 @@ inline double sim_plan_encode_ms(const pe::Plan& plan,
 
 // ---- output ---------------------------------------------------------------
 
+// Version stamped into every bench JSON artifact.  Bump when a field is
+// renamed or its meaning changes so the CI baseline-compare (and any
+// perf-trajectory tooling reading the artifacts) can refuse to diff
+// incompatible files instead of comparing garbage.
+//   v1: ad-hoc per-bench layouts (no version field)
+//   v2: shared JsonWriter envelope {"benchmark", "schema_version"};
+//       bench_concurrent points carry server-side p50/p99/p999
+inline constexpr int kBenchSchemaVersion = 2;
+
+// Minimal streaming JSON writer shared by the bench binaries: tracks
+// comma placement and indentation so emitters state structure, not
+// punctuation.  Strings are written verbatim (bench fields are plain
+// ASCII identifiers; there is nothing to escape).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(const char* k) {
+    comma();
+    newline_indent();
+    std::fprintf(f_, "\"%s\": ", k);
+    pending_value_ = true;
+  }
+  void key_object(const char* k) {
+    key(k);
+    open('{');
+  }
+  void key_array(const char* k) {
+    key(k);
+    open('[');
+  }
+
+  void value(double v) {
+    lead();
+    std::fprintf(f_, "%.6g", v);
+  }
+  void value(std::int64_t v) {
+    lead();
+    std::fprintf(f_, "%lld", static_cast<long long>(v));
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::int64_t>(v)); }
+  void value(std::size_t v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v) {
+    lead();
+    std::fputs(v ? "true" : "false", f_);
+  }
+  void value(const char* s) {
+    lead();
+    std::fprintf(f_, "\"%s\"", s);
+  }
+  void value(const std::string& s) { value(s.c_str()); }
+
+  template <typename T>
+  void field(const char* k, T v) {
+    key(k);
+    value(v);
+  }
+
+  // The shared envelope every bench artifact leads with.
+  void schema(const char* bench_name) {
+    field("benchmark", bench_name);
+    field("schema_version", kBenchSchemaVersion);
+  }
+
+ private:
+  void open(char c) {
+    lead();
+    std::fputc(c, f_);
+    first_.push_back(true);
+  }
+  void close(char c) {
+    first_.pop_back();
+    std::fputc('\n', f_);
+    indent();
+    std::fputc(c, f_);
+    if (first_.empty()) std::fputc('\n', f_);
+  }
+  // What precedes a value: nothing after a key, comma+indent as an
+  // array element.
+  void lead() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    comma();
+    newline_indent();
+  }
+  void comma() {
+    if (first_.empty()) return;
+    if (!first_.back()) std::fputc(',', f_);
+    first_.back() = false;
+  }
+  void newline_indent() {
+    if (first_.empty()) return;
+    std::fputc('\n', f_);
+    indent();
+  }
+  void indent() {
+    for (std::size_t i = 0; i < first_.size(); ++i) std::fputs("  ", f_);
+  }
+
+  std::FILE* f_;
+  std::vector<bool> first_;  // per open scope: no element emitted yet
+  bool pending_value_ = false;
+};
+
 inline void print_header(const char* title) {
   std::printf("\n=== %s ===\n", title);
 }

@@ -10,6 +10,7 @@
 #include <map>
 #include <thread>
 
+#include "common/metrics.h"
 #include "idl/interp.h"
 #include "idl/parser.h"
 #include "net/tcp.h"
@@ -158,5 +159,11 @@ int main() {
 
   stop = true;
   server_thread.join();
+
+  // One snapshot of every live instrument on the way out (the dispatch
+  // counters here — this example's string/union interface stays on the
+  // generic path, which the svc.* numbers make visible).
+  std::printf("\n--- metrics snapshot ---\n");
+  common::metrics().snapshot().print(stdout);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "common/metrics.h"
 #include "core/generic_client.h"
 #include "core/service.h"
 #include "core/spec_client.h"
@@ -122,5 +123,10 @@ int main() {
   std::printf("after server shutdown: %s (with %lld retransmissions)\n",
               st.to_string().c_str(),
               static_cast<long long>(orphan.stats().retransmissions));
+
+  // Everything the process observed, in one snapshot: per-layer
+  // counters folded in by whichever components are still alive.
+  std::printf("\n--- metrics snapshot ---\n");
+  common::metrics().snapshot().print(stdout);
   return 0;
 }

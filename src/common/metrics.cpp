@@ -1,0 +1,303 @@
+#include "common/metrics.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace tempo::common {
+
+std::int64_t monotonic_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool metrics_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("TEMPO_METRICS");
+    if (env == nullptr) return true;
+    return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0;
+  }();
+  return enabled;
+}
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot
+
+std::uint64_t HistogramSnapshot::total() const {
+  std::uint64_t t = 0;
+  for (std::uint64_t c : counts) t += c;
+  return t;
+}
+
+std::int64_t HistogramSnapshot::quantile(double q) const {
+  const std::uint64_t n = total();
+  if (n == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the target sample, 1-based; q=0 means the first sample.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(n));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (cum >= rank) {
+      const std::uint64_t mid = LatencyHistogram::bucket_floor(i) +
+                                LatencyHistogram::bucket_width(i) / 2;
+      const auto v = static_cast<std::int64_t>(mid);
+      return max > 0 && v > max ? max : v;
+    }
+  }
+  return max;
+}
+
+double HistogramSnapshot::mean() const {
+  const std::uint64_t n = total();
+  if (n == 0) return 0;
+  double sum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double mid =
+        static_cast<double>(LatencyHistogram::bucket_floor(i)) +
+        static_cast<double>(LatencyHistogram::bucket_width(i)) / 2.0;
+    sum += mid * static_cast<double>(counts[i]);
+  }
+  return sum / static_cast<double>(n);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.counts.empty()) {
+    if (other.max > max) max = other.max;
+    return;
+  }
+  if (counts.empty()) {
+    counts = other.counts;
+  } else {
+    if (counts.size() < other.counts.size()) {
+      counts.resize(other.counts.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.counts.size(); ++i) {
+      counts[i] += other.counts[i];
+    }
+  }
+  if (other.max > max) max = other.max;
+}
+
+bool HistogramSnapshot::operator==(const HistogramSnapshot& other) const {
+  if (max != other.max) return false;
+  const std::size_t n = counts.size() > other.counts.size()
+                            ? counts.size()
+                            : other.counts.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t a = i < counts.size() ? counts[i] : 0;
+    const std::uint64_t b = i < other.counts.size() ? other.counts[i] : 0;
+    if (a != b) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot s;
+  s.counts.resize(kBuckets, 0);
+  bool any = false;
+  for (unsigned i = 0; i < kBuckets; ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    any |= s.counts[i] != 0;
+  }
+  if (!any) s.counts.clear();
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::uint64_t LatencyHistogram::total() const {
+  std::uint64_t t = 0;
+  for (unsigned i = 0; i < kBuckets; ++i) {
+    t += counts_[i].load(std::memory_order_relaxed);
+  }
+  return t;
+}
+
+void LatencyHistogram::reset() {
+  for (unsigned i = 0; i < kBuckets; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [k, v] : other.counters) counters[k] += v;
+  for (const auto& [k, v] : other.gauges) gauges[k] = v;
+  for (const auto& [k, h] : other.histograms) histograms[k].merge(h);
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out;
+  out.reserve(1024);
+  char buf[256];
+  auto emit = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+  };
+  out += "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [k, v] : counters) {
+    emit("%s\n    \"%s\": %lld", first ? "" : ",", k.c_str(),
+         static_cast<long long>(v));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [k, v] : gauges) {
+    emit("%s\n    \"%s\": %lld", first ? "" : ",", k.c_str(),
+         static_cast<long long>(v));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [k, h] : histograms) {
+    emit("%s\n    \"%s\": {\"count\": %llu, \"max\": %lld, "
+         "\"mean\": %.1f, \"p50\": %lld, \"p90\": %lld, \"p99\": %lld, "
+         "\"p999\": %lld}",
+         first ? "" : ",", k.c_str(),
+         static_cast<unsigned long long>(h.total()),
+         static_cast<long long>(h.max), h.mean(),
+         static_cast<long long>(h.p50()), static_cast<long long>(h.p90()),
+         static_cast<long long>(h.p99()), static_cast<long long>(h.p999()));
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+void MetricsSnapshot::print(std::FILE* f) const {
+  std::fprintf(f, "-- metrics snapshot --\n");
+  for (const auto& [k, v] : counters) {
+    std::fprintf(f, "%-32s %12lld\n", k.c_str(),
+                 static_cast<long long>(v));
+  }
+  for (const auto& [k, v] : gauges) {
+    std::fprintf(f, "%-32s %12lld (gauge)\n", k.c_str(),
+                 static_cast<long long>(v));
+  }
+  for (const auto& [k, h] : histograms) {
+    if (h.total() == 0) continue;
+    std::fprintf(f,
+                 "%-32s count=%llu p50=%lldns p90=%lldns p99=%lldns "
+                 "p999=%lldns max=%lldns\n",
+                 k.c_str(), static_cast<unsigned long long>(h.total()),
+                 static_cast<long long>(h.p50()),
+                 static_cast<long long>(h.p90()),
+                 static_cast<long long>(h.p99()),
+                 static_cast<long long>(h.p999()),
+                 static_cast<long long>(h.max));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  std::size_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[{name, shard}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, std::size_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[{name, shard}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name,
+                                             std::size_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[{name, shard}];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+MetricsRegistry::SourceHandle MetricsRegistry::add_source(Source fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_source_id_++;
+  sources_.emplace(id, std::move(fn));
+  return SourceHandle(this, id);
+}
+
+void MetricsRegistry::remove_source(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sources_.erase(id);
+}
+
+void MetricsRegistry::SourceHandle::reset() {
+  if (reg_ != nullptr) {
+    reg_->remove_source(id_);
+    reg_ = nullptr;
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, c] : counters_) {
+    snap.add_counter(key.first, c->value());
+  }
+  for (const auto& [key, g] : gauges_) {
+    // Shards of the same gauge sum (pool sizes, queue depths).
+    auto [it, fresh] = snap.gauges.emplace(key.first, g->value());
+    if (!fresh) it->second += g->value();
+  }
+  for (const auto& [key, h] : histograms_) {
+    snap.merge_histogram(key.first, h->snapshot());
+  }
+  for (const auto& [id, fn] : sources_) fn(snap);
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Global registry + on-exit dump
+
+namespace {
+
+void dump_at_exit() {
+  const char* path = std::getenv("TEMPO_METRICS_DUMP");
+  if (path == nullptr || *path == '\0') return;
+  std::FILE* f =
+      std::strcmp(path, "-") == 0 ? stdout : std::fopen(path, "w");
+  if (f == nullptr) return;
+  dump_metrics_json(f);
+  if (f != stdout) std::fclose(f);
+}
+
+}  // namespace
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* reg = [] {
+    // Leak deliberately: instruments are referenced from atexit
+    // handlers and from components destroyed after main() returns.
+    auto* r = new MetricsRegistry();
+    if (std::getenv("TEMPO_METRICS_DUMP") != nullptr) {
+      std::atexit(dump_at_exit);
+    }
+    return r;
+  }();
+  return *reg;
+}
+
+void dump_metrics_json(std::FILE* f) {
+  const std::string json = metrics().snapshot().to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+}
+
+}  // namespace tempo::common

@@ -1,0 +1,173 @@
+#include "common/trace.h"
+
+#include "common/metrics.h"
+
+namespace tempo::common {
+
+const char* trace_stage_name(TraceStage s) {
+  switch (s) {
+    case TraceStage::kRecv: return "recv";
+    case TraceStage::kDecode: return "decode";
+    case TraceStage::kCacheLookup: return "cache-lookup";
+    case TraceStage::kExecute: return "execute";
+    case TraceStage::kEncode: return "encode";
+    case TraceStage::kFlush: return "flush";
+  }
+  return "?";
+}
+
+const char* trace_tier_name(TraceTier t) {
+  switch (t) {
+    case TraceTier::kUnknown: return "unknown";
+    case TraceTier::kGeneric: return "generic";
+    case TraceTier::kPlan: return "plan";
+    case TraceTier::kJit: return "jit";
+  }
+  return "?";
+}
+
+namespace {
+
+// The calling thread's open trace.  One per thread: workers serve
+// one request at a time, and begin() abandons any leftover.
+struct ActiveTrace {
+  Tracer* tracer = nullptr;
+  TraceRecord rec;
+  std::int64_t last_ns = 0;
+};
+
+thread_local ActiveTrace g_active;
+
+}  // namespace
+
+Tracer::Tracer(std::size_t shards, std::size_t ring_capacity,
+               std::uint32_t sample_every)
+    : capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      sample_every_(sample_every) {
+  if (shards == 0) shards = 1;
+  rings_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    rings_.push_back(std::make_unique<Ring>());
+  }
+}
+
+Tracer::~Tracer() {
+  if (g_active.tracer == this) g_active.tracer = nullptr;
+}
+
+void Tracer::begin(std::uint32_t xid, std::uint16_t shard,
+                   std::uint16_t worker, std::int64_t queue_wait_ns) {
+  const std::int64_t now = monotonic_ns();
+  g_active.tracer = this;
+  g_active.rec = TraceRecord{};
+  g_active.rec.xid = xid;
+  g_active.rec.shard = shard;
+  g_active.rec.worker = worker;
+  g_active.rec.start_ns = now - queue_wait_ns;
+  g_active.rec.stage_ns[static_cast<std::size_t>(TraceStage::kRecv)] =
+      queue_wait_ns;
+  g_active.last_ns = now;
+}
+
+void Tracer::commit(const TraceRecord& rec) {
+  Ring& ring =
+      *rings_[rec.shard < rings_.size() ? rec.shard : rings_.size() - 1];
+  std::lock_guard<std::mutex> lock(ring.mu);
+  if (ring.buf.size() < capacity_) {
+    ring.buf.push_back(rec);
+  } else {
+    ring.buf[ring.next] = rec;
+  }
+  ring.next = (ring.next + 1) % capacity_;
+  ++ring.committed;
+}
+
+std::vector<TraceRecord> Tracer::snapshot() const {
+  std::vector<TraceRecord> out;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    if (ring->buf.size() < capacity_) {
+      out.insert(out.end(), ring->buf.begin(), ring->buf.end());
+    } else {
+      // Wrapped: oldest record sits at `next`.
+      out.insert(out.end(), ring->buf.begin() + ring->next,
+                 ring->buf.end());
+      out.insert(out.end(), ring->buf.begin(),
+                 ring->buf.begin() + ring->next);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Tracer::committed() const {
+  std::uint64_t n = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    n += ring->committed;
+  }
+  return n;
+}
+
+std::string Tracer::to_json() const {
+  const std::vector<TraceRecord> recs = snapshot();
+  std::string out = "{\n  \"traces\": [";
+  char buf[512];
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const TraceRecord& r = recs[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n    {\"xid\": %u, \"shard\": %u, \"worker\": %u, "
+        "\"tier\": \"%s\", \"total_ns\": %lld, \"stages\": {",
+        i == 0 ? "" : ",", r.xid, r.shard, r.worker,
+        trace_tier_name(r.tier), static_cast<long long>(r.total_ns));
+    out += buf;
+    for (std::size_t s = 0; s < kTraceStageCount; ++s) {
+      std::snprintf(buf, sizeof(buf), "%s\"%s\": %lld", s == 0 ? "" : ", ",
+                    trace_stage_name(static_cast<TraceStage>(s)),
+                    static_cast<long long>(r.stage_ns[s]));
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += recs.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+void Tracer::dump_text(std::FILE* f) const {
+  for (const TraceRecord& r : snapshot()) {
+    std::fprintf(f, "xid=%08x shard=%u worker=%u tier=%-7s total=%lldns",
+                 r.xid, r.shard, r.worker, trace_tier_name(r.tier),
+                 static_cast<long long>(r.total_ns));
+    for (std::size_t s = 0; s < kTraceStageCount; ++s) {
+      if (r.stage_ns[s] == 0) continue;
+      std::fprintf(f, " %s=%lldns",
+                   trace_stage_name(static_cast<TraceStage>(s)),
+                   static_cast<long long>(r.stage_ns[s]));
+    }
+    std::fprintf(f, "\n");
+  }
+}
+
+void trace_mark(TraceStage s) {
+  if (g_active.tracer == nullptr) return;
+  const std::int64_t now = monotonic_ns();
+  g_active.rec.stage_ns[static_cast<std::size_t>(s)] +=
+      now - g_active.last_ns;
+  g_active.last_ns = now;
+}
+
+void trace_set_tier(TraceTier t) {
+  if (g_active.tracer == nullptr) return;
+  g_active.rec.tier = t;
+}
+
+void trace_end() {
+  if (g_active.tracer == nullptr) return;
+  g_active.rec.total_ns = monotonic_ns() - g_active.rec.start_ns;
+  g_active.tracer->commit(g_active.rec);
+  g_active.tracer = nullptr;
+}
+
+bool trace_active() { return g_active.tracer != nullptr; }
+
+}  // namespace tempo::common

@@ -1,0 +1,132 @@
+// Sampled per-request stage tracing.
+//
+// A trace follows one request through the server: recv (queue wait
+// between the wire timestamp and the worker pop), decode,
+// cache-lookup, execute, encode, flush (reply handoff; the batched
+// wire flush itself is excluded from per-request stages but included
+// in the end-to-end histograms).  Each record carries the request
+// XID, origin shard, serving worker, and the marshaling tier that
+// served it (generic interpreter vs residual-plan executor vs
+// compiled JIT stub).
+//
+// The mechanism is deliberately two-speed:
+//
+//  - the *unsampled* path costs one thread_local pointer test per
+//    trace_mark() call — no clock reads, no stores;
+//  - a sampled request (1 in Tracer::sample_every) carries a
+//    thread_local active record; marks attribute
+//    time-since-last-mark to the named stage (a stage marked twice
+//    accumulates), and trace_end() commits the record into the
+//    origin shard's ring buffer (mutex-protected — the sampled path
+//    is cold by construction).
+//
+// Stage marks are free functions so any layer (CachedSpecService
+// deep inside dispatch, say) can annotate without knowing which
+// runtime — or whether any tracer at all — is above it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tempo::common {
+
+enum class TraceStage : std::uint8_t {
+  kRecv = 0,
+  kDecode,
+  kCacheLookup,
+  kExecute,
+  kEncode,
+  kFlush,
+};
+inline constexpr std::size_t kTraceStageCount = 6;
+const char* trace_stage_name(TraceStage s);
+
+enum class TraceTier : std::uint8_t {
+  kUnknown = 0,
+  kGeneric,  // layered interpreter
+  kPlan,     // residual-plan executor
+  kJit,      // compiled native stub
+};
+const char* trace_tier_name(TraceTier t);
+
+struct TraceRecord {
+  std::uint32_t xid = 0;
+  std::uint16_t shard = 0;
+  std::uint16_t worker = 0;
+  TraceTier tier = TraceTier::kUnknown;
+  std::int64_t start_ns = 0;  // monotonic_ns at wire receive
+  std::int64_t total_ns = 0;  // begin..end, including queue wait
+  std::int64_t stage_ns[kTraceStageCount] = {};
+};
+
+class Tracer {
+ public:
+  // sample_every == 0 disables sampling entirely; 1 traces every
+  // request; N traces 1-in-N (a process-wide relaxed counter, so the
+  // sample interleaves all shards/workers).
+  Tracer(std::size_t shards, std::size_t ring_capacity,
+         std::uint32_t sample_every);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool sampling() const { return sample_every_ != 0; }
+  std::uint32_t sample_every() const { return sample_every_; }
+
+  // One relaxed fetch_add; true on the sampled ticks.
+  bool should_sample() {
+    if (sample_every_ == 0) return false;
+    return tick_.fetch_add(1, std::memory_order_relaxed) %
+               sample_every_ ==
+           0;
+  }
+
+  // Open an active trace on the calling thread.  queue_wait_ns is
+  // attributed to kRecv; start_ns is backdated by it so total_ns
+  // covers wire-receive to commit.  Any still-open trace on this
+  // thread is abandoned (never committed half-filled).
+  void begin(std::uint32_t xid, std::uint16_t shard, std::uint16_t worker,
+             std::int64_t queue_wait_ns);
+
+  // All committed records, oldest-first per shard.
+  std::vector<TraceRecord> snapshot() const;
+  std::uint64_t committed() const;
+  std::string to_json() const;
+  void dump_text(std::FILE* f) const;
+
+ private:
+  friend void trace_mark(TraceStage);
+  friend void trace_set_tier(TraceTier);
+  friend void trace_end();
+
+  struct Ring {
+    mutable std::mutex mu;
+    std::vector<TraceRecord> buf;  // capacity-bounded, wraps
+    std::size_t next = 0;
+    std::uint64_t committed = 0;
+  };
+  void commit(const TraceRecord& rec);
+
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::size_t capacity_;
+  std::uint32_t sample_every_;
+  std::atomic<std::uint32_t> tick_{0};
+};
+
+// Attribute time since the previous mark (or since begin) to `s` on
+// this thread's active trace; single-branch no-op when inactive.
+void trace_mark(TraceStage s);
+// Tag the active trace with the tier that served the request.
+void trace_set_tier(TraceTier t);
+// Commit the active trace to its tracer's ring and deactivate.
+void trace_end();
+// Is a trace active on this thread?  (Lets callers skip building
+// annotations that only matter when traced.)
+bool trace_active();
+
+}  // namespace tempo::common

@@ -1,11 +1,24 @@
 #include "core/service.h"
 
+#include "common/trace.h"
 #include "idl/interp.h"
 #include "pe/layout.h"
 
 namespace tempo::core {
 
 using pe::ExecStatus;
+
+SpecializedService::SpecializedService(const SpecializedInterface& iface,
+                                       WordHandler handler)
+    : iface_(iface), handler_(std::move(handler)) {
+  metrics_source_ =
+      common::metrics().add_source([this](common::MetricsSnapshot& snap) {
+        snap.add_counter("service.fast_path", stats_.fast_path);
+        snap.add_counter("service.generic_path", stats_.generic_path);
+        snap.add_counter("service.tier_plan", stats_.fast_path);
+        snap.add_counter("service.tier_generic", stats_.generic_path);
+      });
+}
 
 void SpecializedService::install(rpc::SvcRegistry& registry) {
   registry.register_proc(
@@ -68,7 +81,29 @@ CachedSpecService::CachedSpecService(SpecCache& cache, idl::ProcDef proc,
       vers_(vers),
       handler_(std::move(handler)),
       res_counts_for_(std::move(res_counts_for)),
-      base_(std::move(base)) {}
+      base_(std::move(base)) {
+  // Tier attribution: every request lands in exactly one of jit / plan
+  // / generic, so the three tier counters partition service.requests —
+  // the acceptance test asserts the sum.  fast_path counts plans AND
+  // jit (jit_fast_path is its subset), hence the subtraction.
+  metrics_source_ =
+      common::metrics().add_source([this](common::MetricsSnapshot& snap) {
+        const auto c = [](const std::atomic<std::int64_t>& v) {
+          return v.load(std::memory_order_relaxed);
+        };
+        const std::int64_t fast = c(stats_.fast_path);
+        const std::int64_t jit = c(stats_.jit_fast_path);
+        snap.add_counter("service.fast_path", fast);
+        snap.add_counter("service.generic_path", c(stats_.generic_path));
+        snap.add_counter("service.plan_fallbacks", c(stats_.plan_fallbacks));
+        snap.add_counter("service.spec_unavailable",
+                         c(stats_.spec_unavailable));
+        snap.add_counter("service.jit_fast_path", jit);
+        snap.add_counter("service.tier_jit", jit);
+        snap.add_counter("service.tier_plan", fast - jit);
+        snap.add_counter("service.tier_generic", c(stats_.generic_path));
+      });
+}
 
 void CachedSpecService::install(rpc::SvcRegistry& registry) {
   registry.register_proc(prog_, vers_, proc_.number,
@@ -121,6 +156,10 @@ bool CachedSpecService::handle(xdr::XdrStream& in, xdr::XdrStream& out) {
     // instance if the entry was evicted meanwhile.
     auto refreshed = cache_.get_or_build(proc_, prog_, vers_, h->config());
     if (refreshed.is_ok()) h = *refreshed;
+    // Stage marks are no-ops unless the runtime sampled this request
+    // (one thread_local null check), so the unsampled hot path pays
+    // nothing.
+    common::trace_mark(common::TraceStage::kCacheLookup);
   }
   if (h) {
     PathResult r = PathResult::kStreamOpaque;
@@ -132,14 +171,19 @@ bool CachedSpecService::handle(xdr::XdrStream& in, xdr::XdrStream& out) {
           static_cast<std::size_t>(h->arg_slots()));
       if (h->exec_decode_args(ByteSpan(in_bytes, dplan.expected_in), args) ==
           ExecStatus::kOk) {
+        common::trace_mark(common::TraceStage::kDecode);
         std::vector<std::uint32_t> results(
             static_cast<std::size_t>(h->res_slots()));
         if (!handler_(h->config().arg_counts, args, results)) {
           r = PathResult::kHandlerFault;
-        } else if (encode_results(*h, results, out)) {
-          r = PathResult::kServed;
         } else {
-          r = PathResult::kHandlerFault;
+          common::trace_mark(common::TraceStage::kExecute);
+          if (encode_results(*h, results, out)) {
+            common::trace_mark(common::TraceStage::kEncode);
+            r = PathResult::kServed;
+          } else {
+            r = PathResult::kHandlerFault;
+          }
         }
       } else {
         r = PathResult::kGuardMiss;  // count/length guard rejected shape
@@ -148,6 +192,8 @@ bool CachedSpecService::handle(xdr::XdrStream& in, xdr::XdrStream& out) {
     switch (r) {
       case PathResult::kServed:
         stats_.fast_path.fetch_add(1, std::memory_order_relaxed);
+        common::trace_set_tier(h->jit_active() ? common::TraceTier::kJit
+                                               : common::TraceTier::kPlan);
         if (h->jit_active()) {
           stats_.jit_fast_path.fetch_add(1, std::memory_order_relaxed);
         }
@@ -167,12 +213,14 @@ bool CachedSpecService::handle(xdr::XdrStream& in, xdr::XdrStream& out) {
   // specialization through the cache so the reply (and the next call of
   // this shape) still runs residual code.
   stats_.generic_path.fetch_add(1, std::memory_order_relaxed);
+  common::trace_set_tier(common::TraceTier::kGeneric);
   idl::Value value;
   if (!idl::decode_value(in, *proc_.arg_type, value)) return false;
   std::vector<std::uint32_t> counts;
   if (!pe::collect_counts(*proc_.arg_type, value, counts).is_ok()) {
     return false;
   }
+  common::trace_mark(common::TraceStage::kDecode);
 
   SpecConfig cfg = base_;
   cfg.arg_counts = counts;
@@ -182,23 +230,32 @@ bool CachedSpecService::handle(xdr::XdrStream& in, xdr::XdrStream& out) {
   if (!iface.is_ok()) {
     stats_.spec_unavailable.fetch_add(1, std::memory_order_relaxed);
   }
+  common::trace_mark(common::TraceStage::kCacheLookup);
 
   pe::Slots args;
   if (!pe::flatten_value(*proc_.arg_type, value, counts, args).is_ok()) {
     return false;
   }
+  // Flattening is decode-side work even though it runs after the cache
+  // lookup; accumulate it into the decode stage.
+  common::trace_mark(common::TraceStage::kDecode);
   auto res_slots = pe::type_slots(*proc_.res_type, cfg.res_counts);
   if (!res_slots.is_ok() || *res_slots < 0) return false;
   std::vector<std::uint32_t> results(static_cast<std::size_t>(*res_slots));
   if (!handler_(counts, args, results)) return false;
+  common::trace_mark(common::TraceStage::kExecute);
 
   if (iface.is_ok()) {
     set_hot(*iface);
-    return encode_results(**iface, results, out);
+    const bool ok = encode_results(**iface, results, out);
+    common::trace_mark(common::TraceStage::kEncode);
+    return ok;
   }
   auto rvalue = pe::unflatten_value(*proc_.res_type, cfg.res_counts, results);
   if (!rvalue.is_ok()) return false;
-  return idl::encode_value(out, *proc_.res_type, *rvalue);
+  const bool ok = idl::encode_value(out, *proc_.res_type, *rvalue);
+  common::trace_mark(common::TraceStage::kEncode);
+  return ok;
 }
 
 bool SpecializedService::handle_generic(xdr::XdrStream& in,

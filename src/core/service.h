@@ -14,6 +14,7 @@
 #include <functional>
 #include <mutex>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "core/spec_cache.h"
 #include "core/stubspec.h"
@@ -36,8 +37,7 @@ struct SpecServiceStats {
 // the registry entry (lives as long as the registry).
 class SpecializedService {
  public:
-  SpecializedService(const SpecializedInterface& iface, WordHandler handler)
-      : iface_(iface), handler_(std::move(handler)) {}
+  SpecializedService(const SpecializedInterface& iface, WordHandler handler);
 
   void install(rpc::SvcRegistry& registry);
 
@@ -49,7 +49,11 @@ class SpecializedService {
 
   const SpecializedInterface& iface_;
   WordHandler handler_;
+  // Plain (non-atomic) counters: this pinned-shape service is used by
+  // single-threaded adapters and benchmarks; the snapshot source reads
+  // whatever values are visible, which is exact once traffic quiesces.
   SpecServiceStats stats_;
+  common::MetricsRegistry::SourceHandle metrics_source_;  // last member
 };
 
 // Dynamic sibling of SpecializedService for servers whose clients send
@@ -118,6 +122,9 @@ class CachedSpecService {
   SpecConfig base_;  // unroll_factor / buffer_bytes template for cache keys
   Stats stats_;
   std::atomic<SpecHandle> hot_{nullptr};
+  // Folds service.* (with the jit/plan/generic tier split) into the
+  // global registry.  Last member so it unregisters before stats_ dies.
+  common::MetricsRegistry::SourceHandle metrics_source_;
 };
 
 }  // namespace tempo::core

@@ -39,6 +39,22 @@ SpecCache::SpecCache(std::size_t capacity, std::size_t shards)
     if (leftover > 0) --leftover;
     shards_.push_back(std::move(s));
   }
+  // stats() takes the shard locks itself, so the callback stays safe
+  // against concurrent get_or_build traffic.  Counters sum across
+  // multiple live caches; the gauges do too (total slots vs. used).
+  metrics_source_ =
+      common::metrics().add_source([this](common::MetricsSnapshot& snap) {
+        const SpecCacheStats st = stats();
+        snap.add_counter("spec_cache.hits", st.hits);
+        snap.add_counter("spec_cache.misses", st.misses);
+        snap.add_counter("spec_cache.evictions", st.evictions);
+        snap.add_counter("spec_cache.build_failures", st.build_failures);
+        snap.add_counter("spec_cache.hot_hits", st.hot_hits);
+        snap.add_counter("spec_cache.jit_stubs", st.jit_stubs);
+        snap.add_gauge("spec_cache.size", static_cast<std::int64_t>(size()));
+        snap.add_gauge("spec_cache.capacity",
+                       static_cast<std::int64_t>(capacity_));
+      });
 }
 
 void SpecCache::Shard::touch_locked(Entry& e, const SpecKey& key) {

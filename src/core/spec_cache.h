@@ -60,6 +60,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "core/stubspec.h"
 #include "idl/types.h"
@@ -175,6 +176,10 @@ class SpecCache {
   // Monotonic count of slot reads, driving the periodic LRU refresh
   // (kept separate from hot_hits_ so stats stay exact).
   std::atomic<std::int64_t> hot_ticks_{0};
+
+  // Folds spec_cache.* into the global metrics registry at snapshot
+  // time.  Last member: it reads the shards, so it unregisters first.
+  common::MetricsRegistry::SourceHandle metrics_source_;
 };
 
 }  // namespace tempo::core

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
 #include "common/endian.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "xdr/xdrrec.h"
 
 namespace tempo::rpc {
@@ -37,6 +40,22 @@ Status EventServerRuntime::start() {
 
   const std::size_t nshards =
       cfg_.reactors < 1 ? 1 : static_cast<std::size_t>(cfg_.reactors);
+
+  // Observability setup happens before any thread exists, so the hot
+  // paths read plain fields, never synchronize.  cfg.trace_sample wins;
+  // TEMPO_TRACE_SAMPLE is the no-recompile fallback.
+  metrics_on_ = common::metrics_enabled();
+  worker_seq_.store(0, std::memory_order_relaxed);
+  std::uint32_t sample = cfg_.trace_sample;
+  if (sample == 0) {
+    if (const char* env = std::getenv("TEMPO_TRACE_SAMPLE")) {
+      sample = static_cast<std::uint32_t>(std::atoi(env));
+    }
+  }
+  tracer_ = sample > 0 ? std::make_unique<common::Tracer>(
+                             nshards, cfg_.trace_ring, sample)
+                       : nullptr;
+
   shards_.reserve(nshards);
   for (std::size_t i = 0; i < nshards; ++i) {
     shards_.push_back(std::make_unique<Shard>(i, cfg_.force_poll_backend));
@@ -147,6 +166,46 @@ Status EventServerRuntime::start() {
     Shard* s = sp.get();
     s->thread = std::thread([this, s] { shard_loop(*s); });
   }
+
+  // Fold this runtime into the process-wide registry: counters from
+  // stats_, the per-shard latency histograms, and the shard arenas.
+  // The callback runs under the registry mutex and reads shards_, so
+  // stop() resets the handle before tearing the shards down.
+  metrics_source_ =
+      common::metrics().add_source([this](common::MetricsSnapshot& snap) {
+        const auto c = [](const std::atomic<std::int64_t>& v) {
+          return v.load(std::memory_order_relaxed);
+        };
+        snap.add_counter("rpc.udp_datagrams", c(stats_.udp_datagrams));
+        snap.add_counter("rpc.udp_batches", c(stats_.udp_batches));
+        snap.add_counter("rpc.udp_reply_batches", c(stats_.udp_reply_batches));
+        snap.add_counter("rpc.reply_send_retries",
+                         c(stats_.reply_send_retries));
+        snap.add_counter("rpc.reply_send_failures",
+                         c(stats_.reply_send_failures));
+        snap.add_counter("rpc.tcp_connections", c(stats_.tcp_connections));
+        snap.add_counter("rpc.tcp_calls", c(stats_.tcp_calls));
+        snap.add_counter("rpc.overload_drops", c(stats_.overload_drops));
+        snap.add_counter("rpc.conn_resets", c(stats_.conn_resets));
+        snap.add_counter("rpc.write_stalls", c(stats_.write_stalls));
+        snap.add_counter("rpc.work_steals", c(stats_.work_steals));
+        for (const auto& sp : shards_) {
+          snap.merge_histogram("rpc.queue_ns", sp->queue_hist.snapshot());
+          snap.merge_histogram("rpc.handle_ns", sp->handle_hist.snapshot());
+          snap.merge_histogram("rpc.udp_e2e_ns", sp->udp_e2e_hist.snapshot());
+          snap.merge_histogram("rpc.tcp_e2e_ns", sp->tcp_e2e_hist.snapshot());
+        }
+        const common::BufferArenaStats a = arena_stats();
+        snap.add_counter("arena.hits", a.hits);
+        snap.add_counter("arena.misses", a.misses);
+        snap.add_counter("arena.recycles", a.recycles);
+        snap.add_counter("arena.discards", a.discards);
+        snap.add_gauge("arena.bytes_pooled", a.bytes_pooled);
+        snap.add_gauge("rpc.reactors",
+                       static_cast<std::int64_t>(shards_.size()));
+        snap.add_gauge("rpc.workers", worker_count_);
+      });
+
   running_.store(true, std::memory_order_release);
   return Status::ok();
 }
@@ -201,6 +260,12 @@ void EventServerRuntime::stop() {
     if (sp->thread.joinable()) sp->thread.join();
   }
 
+  // Unregister BEFORE the shards (and their histograms) die; a
+  // concurrent metrics().snapshot() blocks in reset() until any
+  // in-flight callback finishes.  The tracer survives stop() so
+  // post-run trace_snapshot() works.
+  metrics_source_.reset();
+
   shards_.clear();
   tcp_.reset();
   running_.store(false, std::memory_order_release);
@@ -228,6 +293,17 @@ common::BufferArenaStats EventServerRuntime::arena_stats() const {
     total.bytes_pooled += s.bytes_pooled;
   }
   return total;
+}
+
+RuntimeLatencySnapshot EventServerRuntime::latency_snapshot() const {
+  RuntimeLatencySnapshot out;
+  for (const auto& sp : shards_) {
+    out.queue.merge(sp->queue_hist.snapshot());
+    out.handle.merge(sp->handle_hist.snapshot());
+    out.udp_e2e.merge(sp->udp_e2e_hist.snapshot());
+    out.tcp_e2e.merge(sp->tcp_e2e_hist.snapshot());
+  }
+  return out;
 }
 
 const char* EventServerRuntime::backend() const {
@@ -294,7 +370,9 @@ void EventServerRuntime::on_udp_readable(Shard& s) {
   }
   ++stats_.udp_batches;
   stats_.udp_datagrams += n;
-  const int accepted = push_datagram_jobs(s, buf, n);
+  // One clock read per recvmmsg, shared by every datagram of the batch.
+  const std::int64_t recv_ns = metrics_on_ ? common::monotonic_ns() : 0;
+  const int accepted = push_datagram_jobs(s, buf, n, recv_ns);
   if (accepted < n) stats_.overload_drops += n - accepted;
   recycle_batch_buffer(s, std::move(buf));
 }
@@ -435,6 +513,10 @@ bool EventServerRuntime::parse_records(Shard& s, Conn& c, ByteSpan chunk) {
       if (c.last_frag) {
         c.last_frag = false;
         if (c.record.len > 0) {
+          // Stamped when the record finishes assembling (one clock
+          // read per complete request, not per chunk): what the TCP
+          // queue-wait and e2e histograms measure from.
+          c.record.recv_ns = metrics_on_ ? common::monotonic_ns() : 0;
           c.ready_records.push_back(std::move(c.record));
         } else if (!c.record.buf.empty()) {
           s.arena.recycle(std::move(c.record.buf));
@@ -615,6 +697,7 @@ void EventServerRuntime::on_reply(Shard& s, std::uint64_t conn_id,
   // stops the sweep; its completion will resume it.  append_out and
   // flush_conn can both destroy the connection, so re-resolve every
   // round.
+  std::int64_t now = 0;  // lazily read once per emit sweep
   for (;;) {
     auto cit = s.conns.find(conn_id);
     if (cit == s.conns.end()) break;
@@ -627,6 +710,13 @@ void EventServerRuntime::on_reply(Shard& s, std::uint64_t conn_id,
     ++c.emit_seq;
     --c.inflight;
     if (f.len > 0) {
+      if (f.recv_ns > 0) {
+        // Recorded at ordered-ring emit: the frame is committed to the
+        // wire order here, so emitted >= what any client has read —
+        // the stress books assert exactly that inequality.
+        if (now == 0) now = common::monotonic_ns();
+        s.tcp_e2e_hist.record(now - f.recv_ns);
+      }
       if (!append_out(s, c, std::move(f))) break;  // conn destroyed
       flush_conn(s, c);
     } else {
@@ -680,7 +770,7 @@ bool EventServerRuntime::push_job(std::size_t origin, Job& job) {
 
 int EventServerRuntime::push_datagram_jobs(Shard& s,
                                            std::vector<net::Datagram>& batch,
-                                           int n) {
+                                           int n, std::int64_t recv_ns) {
   Shard& t = job_queue_shard(s.index);
   int accepted = 0;
   {
@@ -688,7 +778,7 @@ int EventServerRuntime::push_datagram_jobs(Shard& s,
     while (accepted < n && t.queue.size() < cfg_.queue_capacity) {
       auto& d = batch[static_cast<std::size_t>(accepted)];
       t.queue.push_back(UdpDatagramJob{s.index, d.src, std::move(d.payload),
-                                       d.len});
+                                       d.len, recv_ns});
       ++accepted;
     }
   }
@@ -726,6 +816,10 @@ void EventServerRuntime::worker_loop(std::size_t home) {
   ReplyAccumulator acc;
   acc.per_shard.resize(shards_.size());
   Shard& h = *shards_[home];
+  // Small stable id for trace attribution (which thread served the
+  // sampled request), distinct from `home` under stealing.
+  const std::uint16_t worker_id = static_cast<std::uint16_t>(
+      worker_seq_.fetch_add(1, std::memory_order_relaxed));
   // Stream-reply encode scratch, taken lazily on the first TCP job and
   // held for the worker's lifetime (see serve_tcp_request).
   Bytes stream_scratch;
@@ -774,26 +868,42 @@ void EventServerRuntime::worker_loop(std::size_t home) {
       continue;
     }
     if (auto* d = std::get_if<UdpDatagramJob>(&job)) {
-      serve_udp_datagram(*d, acc);
+      serve_udp_datagram(*d, acc, worker_id);
       if (acc.total >= static_cast<std::size_t>(
                            cfg_.udp_batch < 1 ? 1 : cfg_.udp_batch)) {
         flush_udp_replies(acc);
       }
     } else if (auto* t = std::get_if<TcpRequestJob>(&job)) {
       flush_udp_replies(acc);  // don't hold replies across a TCP call
-      serve_tcp_request(*t, stream_scratch, h.arena);
+      serve_tcp_request(*t, stream_scratch, h.arena, worker_id);
     }
   }
 }
 
 void EventServerRuntime::serve_udp_datagram(UdpDatagramJob& job,
-                                            ReplyAccumulator& acc) {
+                                            ReplyAccumulator& acc,
+                                            std::uint16_t worker_id) {
   // Zero-copy dispatch: the worker exclusively owns the arena payload,
   // so arguments decode in place and the reply encodes straight into
   // another arena slice — no scratch memset/memcpy on either side of
   // the hot path.  pending_jobs_ is decremented when the reply actually
   // flushes so stop()'s drain covers the accumulator too.
-  common::BufferArena& arena = shards_[job.shard]->arena;
+  Shard& origin = *shards_[job.shard];
+  common::BufferArena& arena = origin.arena;
+  // Histograms attribute to the ORIGIN shard even when a stealing
+  // worker serves the job: latency follows the traffic.
+  const std::int64_t pop_ns = metrics_on_ ? common::monotonic_ns() : 0;
+  const std::int64_t queue_wait =
+      (metrics_on_ && job.recv_ns > 0) ? pop_ns - job.recv_ns : 0;
+  if (metrics_on_ && job.recv_ns > 0) origin.queue_hist.record(queue_wait);
+  bool traced = false;
+  if (tracer_ && tracer_->should_sample()) {
+    const std::uint32_t xid =
+        job.len >= 4 ? load_be32(job.payload.data()) : 0;
+    tracer_->begin(xid, static_cast<std::uint16_t>(job.shard), worker_id,
+                   queue_wait);
+    traced = true;
+  }
   // Clamp at the UDP payload ceiling: letting a reply encode past what
   // a datagram can physically carry would trade an immediate
   // GARBAGE_ARGS error reply for a silent EMSGSIZE drop and a client
@@ -805,13 +915,22 @@ void EventServerRuntime::serve_udp_datagram(UdpDatagramJob& job,
       registry_.handle_request(ByteSpan(job.payload.data(), job.len),
                                MutableByteSpan(out.data(), cap));
   arena.recycle(std::move(job.payload));
+  if (metrics_on_) origin.handle_hist.record(common::monotonic_ns() - pop_ns);
   if (n == 0) {
+    if (traced) common::trace_end();
     arena.recycle(std::move(out));
     pending_jobs_.fetch_sub(1, std::memory_order_acq_rel);
     return;
   }
-  acc.per_shard[job.shard].push_back(UdpReply{job.src, std::move(out), n});
+  acc.per_shard[job.shard].push_back(
+      UdpReply{job.src, std::move(out), n, job.recv_ns});
   ++acc.total;
+  if (traced) {
+    // The actual sendmmsg is batched later; this flush stage covers
+    // handing the reply to the accumulator.
+    common::trace_mark(common::TraceStage::kFlush);
+    common::trace_end();
+  }
 }
 
 void EventServerRuntime::flush_udp_replies(ReplyAccumulator& acc) {
@@ -831,6 +950,16 @@ void EventServerRuntime::flush_udp_replies(ReplyAccumulator& acc) {
     }
     ++stats_.udp_reply_batches;
     const int sent = shard->udp->send_many(msgs.data(), total);
+    if (sent > 0 && metrics_on_) {
+      // One clock read per flush covers the whole sent prefix; e2e is
+      // recorded only for replies that actually left (the stress books
+      // equate histogram totals with successful sends).
+      const std::int64_t now = common::monotonic_ns();
+      for (int i = 0; i < sent; ++i) {
+        const auto& r = bucket[static_cast<std::size_t>(i)];
+        if (r.recv_ns > 0) shard->udp_e2e_hist.record(now - r.recv_ns);
+      }
+    }
     if (sent < total) {
       // The kernel refused the tail (EWOULDBLOCK on the non-blocking
       // socket, ENOBUFS, ...).  Retry once on the owning shard's
@@ -845,6 +974,9 @@ void EventServerRuntime::flush_udp_replies(ReplyAccumulator& acc) {
           if (!shard->udp->send_to(r.dst, ByteSpan(r.buf.data(), r.len))
                    .is_ok()) {
             ++stats_.reply_send_failures;
+          } else if (r.recv_ns > 0) {
+            // recv_ns > 0 implies metrics were on when it was stamped.
+            shard->udp_e2e_hist.record(common::monotonic_ns() - r.recv_ns);
           }
           shard->arena.recycle(std::move(r.buf));
         }
@@ -861,7 +993,8 @@ void EventServerRuntime::flush_udp_replies(ReplyAccumulator& acc) {
 }
 
 void EventServerRuntime::serve_tcp_request(TcpRequestJob& job, Bytes& scratch,
-                                           common::BufferArena& scratch_arena) {
+                                           common::BufferArena& scratch_arena,
+                                           std::uint16_t worker_id) {
   // The record is a complete call message in one contiguous arena
   // slice, so the same zero-copy span path as UDP serves it — arguments
   // decode in place (residual plans can XDR_INLINE them, unlike an
@@ -876,6 +1009,21 @@ void EventServerRuntime::serve_tcp_request(TcpRequestJob& job, Bytes& scratch,
   // pipeline keeps many replies in flight, and they must circulate as
   // small arena slices, not per-request 1 MB provisions.
   Shard& origin = *shards_[job.shard];
+  const std::int64_t pop_ns = metrics_on_ ? common::monotonic_ns() : 0;
+  const std::int64_t queue_wait =
+      (metrics_on_ && job.record.recv_ns > 0) ? pop_ns - job.record.recv_ns
+                                              : 0;
+  if (metrics_on_ && job.record.recv_ns > 0) {
+    origin.queue_hist.record(queue_wait);
+  }
+  bool traced = false;
+  if (tracer_ && tracer_->should_sample()) {
+    const std::uint32_t xid =
+        job.record.len >= 4 ? load_be32(job.record.buf.data()) : 0;
+    tracer_->begin(xid, static_cast<std::uint16_t>(job.shard), worker_id,
+                   queue_wait);
+    traced = true;
+  }
   const std::size_t cap =
       std::max(kMaxStreamReplyBytes, reply_capacity(job.record.len));
   if (scratch.size() < 4 + cap) {
@@ -886,6 +1034,7 @@ void EventServerRuntime::serve_tcp_request(TcpRequestJob& job, Bytes& scratch,
       ByteSpan(job.record.buf.data(), job.record.len),
       MutableByteSpan(scratch.data() + 4, cap));
   origin.arena.recycle(std::move(job.record.buf));
+  if (metrics_on_) origin.handle_hist.record(common::monotonic_ns() - pop_ns);
   Chunk frame;
   if (len > 0) {
     ++stats_.tcp_calls;
@@ -894,6 +1043,9 @@ void EventServerRuntime::serve_tcp_request(TcpRequestJob& job, Bytes& scratch,
     frame.len = 4 + len;
     frame.buf = origin.arena.take(frame.len);
     std::memcpy(frame.buf.data(), scratch.data(), frame.len);
+    // Carry the request's receive stamp to the emit point: tcp_e2e is
+    // recorded by on_reply when the frame enters the ordered ring.
+    frame.recv_ns = job.record.recv_ns;
   }
   // Hand the reply (or the bare slot completion) back to the
   // connection's owning shard, whose reactor thread owns all its state.
@@ -904,6 +1056,12 @@ void EventServerRuntime::serve_tcp_request(TcpRequestJob& job, Bytes& scratch,
                        frame = std::move(frame)]() mutable {
     on_reply(*shard, conn_id, seq, std::move(frame));
   });
+  if (traced) {
+    // Flush covers the frame copy + handoff to the owning reactor; the
+    // ordered-ring emit itself belongs to the reactor thread.
+    common::trace_mark(common::TraceStage::kFlush);
+    common::trace_end();
+  }
 }
 
 std::vector<net::Datagram> EventServerRuntime::take_batch_buffer(Shard& s) {

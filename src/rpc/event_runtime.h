@@ -71,6 +71,7 @@
 
 #include "common/arena.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "net/reactor.h"
 #include "net/tcp.h"
 #include "net/udp.h"
@@ -120,6 +121,12 @@ struct EventServerRuntimeConfig {
   // stop() waits this long for queued work to finish before tearing
   // down the pool.
   int drain_timeout_ms = 2000;
+  // Request-stage tracing: trace 1 in trace_sample requests (0 = off;
+  // falls back to the TEMPO_TRACE_SAMPLE env var when 0) into
+  // per-shard rings of trace_ring records each.  See "Observability"
+  // in src/rpc/README.md for the stage taxonomy.
+  std::uint32_t trace_sample = 0;
+  std::size_t trace_ring = 256;
 };
 
 struct EventServerRuntimeStats {
@@ -180,6 +187,26 @@ class EventServerRuntime {
   // in the single-receiving-socket fallback (or with reactors == 1).
   bool udp_sharded() const { return udp_sharded_; }
 
+  // Per-shard latency distributions merged across shards (valid
+  // between start() and stop(), like arena_stats()): queue wait,
+  // dispatch duration, and end-to-end per transport.  Recording is a
+  // wait-free bucket increment per sample and is disabled wholesale
+  // by TEMPO_METRICS=0.
+  RuntimeLatencySnapshot latency_snapshot() const;
+  // The whole process in one call: this runtime's counters and shard
+  // histograms plus every other registered component (registry
+  // dispatch stats, spec cache, services, arenas) via the global
+  // metrics registry.
+  common::MetricsSnapshot metrics_snapshot() const {
+    return common::metrics().snapshot();
+  }
+  // Sampled stage traces (empty when trace_sample was 0).  The
+  // tracer survives stop(), so post-run inspection works.
+  std::vector<common::TraceRecord> trace_snapshot() const {
+    return tracer_ ? tracer_->snapshot() : std::vector<common::TraceRecord>{};
+  }
+  const common::Tracer* tracer() const { return tracer_.get(); }
+
  private:
   // One complete record (or a reply frame): an arena buffer plus how
   // many of its bytes are valid.  Arena buffers keep their class size
@@ -188,6 +215,10 @@ class EventServerRuntime {
   struct Chunk {
     Bytes buf;
     std::size_t len = 0;
+    // monotonic_ns when the record finished assembling (requests) or,
+    // copied through to the reply frame, when its request arrived —
+    // what the tcp_e2e histogram measures at emit.  0 = unstamped.
+    std::int64_t recv_ns = 0;
   };
 
   // One slot of a connection's ordered reply ring: reserved when the
@@ -240,6 +271,10 @@ class EventServerRuntime {
     net::Addr src;
     Bytes payload;
     std::size_t len = 0;
+    // Stamped once per recvmmsg batch (shared by the whole batch, so
+    // the receive path pays one clock read per syscall, not per
+    // datagram); 0 with metrics off.
+    std::int64_t recv_ns = 0;
   };
   struct TcpRequestJob {
     std::size_t shard = 0;
@@ -270,6 +305,14 @@ class EventServerRuntime {
     // Every request/reply buffer this shard hands out; recycled from
     // whichever thread finishes with a buffer (thread-safe).
     common::BufferArena arena;
+    // Latency distributions for requests that ORIGINATED on this shard
+    // (a stealing worker records into the origin shard's histograms,
+    // so the per-shard attribution follows the traffic, not the
+    // thread).  Wait-free to record from any worker.
+    common::LatencyHistogram queue_hist;
+    common::LatencyHistogram handle_hist;
+    common::LatencyHistogram udp_e2e_hist;
+    common::LatencyHistogram tcp_e2e_hist;
     // ---- shard-local execution pipeline ----
     std::mutex q_mu;
     std::condition_variable q_cv;
@@ -298,6 +341,7 @@ class EventServerRuntime {
     net::Addr dst;
     Bytes buf;
     std::size_t len = 0;
+    std::int64_t recv_ns = 0;  // request's receive stamp, for udp_e2e
   };
   // Per-worker accumulator: one reply vector per shard plus the total
   // across shards (the flush threshold is global so a worker never sits
@@ -343,12 +387,16 @@ class EventServerRuntime {
   bool push_job(std::size_t origin, Job& job);
   // Queues the first n entries of `batch` as individual jobs under one
   // lock acquisition; returns how many fit (the rest are drops).
-  int push_datagram_jobs(Shard& s, std::vector<net::Datagram>& batch, int n);
+  // `recv_ns` stamps every job of the batch (one clock read per
+  // recvmmsg, shared across its datagrams).
+  int push_datagram_jobs(Shard& s, std::vector<net::Datagram>& batch, int n,
+                         std::int64_t recv_ns);
   bool try_pop(std::size_t shard_idx, Job& out);
   void worker_loop(std::size_t home);
   // Serves one datagram with the zero-copy span path; the reply lands
   // in `acc` (flushed by flush_udp_replies), not on the wire yet.
-  void serve_udp_datagram(UdpDatagramJob& job, ReplyAccumulator& acc);
+  void serve_udp_datagram(UdpDatagramJob& job, ReplyAccumulator& acc,
+                          std::uint16_t worker_id);
   // One send_many per non-empty shard bucket; refused tails are retried
   // once on that shard's reactor before counting as reply_send_failures.
   void flush_udp_replies(ReplyAccumulator& acc);
@@ -358,7 +406,8 @@ class EventServerRuntime {
   // bytes travel — in a right-sized arena frame — so deep pipelines
   // circulate small buffers, not 1 MB provisions.
   void serve_tcp_request(TcpRequestJob& job, Bytes& scratch,
-                         common::BufferArena& scratch_arena);
+                         common::BufferArena& scratch_arena,
+                         std::uint16_t worker_id);
   std::vector<net::Datagram> take_batch_buffer(Shard& s);
   void recycle_batch_buffer(Shard& s, std::vector<net::Datagram> buf);
 
@@ -380,6 +429,16 @@ class EventServerRuntime {
   std::atomic<std::int64_t> pending_jobs_{0};
   // Round-robin cursor for wake_stealer (any pushing thread).
   std::atomic<std::size_t> steal_wake_rr_{0};
+
+  // Observability (tentpole).  metrics_on_ caches metrics_enabled() at
+  // start() so the hot path never reads the environment; worker_seq_
+  // hands each worker thread a small id for trace attribution.
+  bool metrics_on_ = false;
+  std::unique_ptr<common::Tracer> tracer_;
+  std::atomic<int> worker_seq_{0};
+  // Last member on purpose: the source callback reads shards_ and
+  // stats_, so it must unregister before anything it touches dies.
+  common::MetricsRegistry::SourceHandle metrics_source_;
 };
 
 }  // namespace tempo::rpc

@@ -13,6 +13,21 @@ using xdr::XdrOp;
 using xdr::XdrRec;
 using xdr::XdrStream;
 
+SvcRegistry::SvcRegistry() {
+  metrics_source_ =
+      common::metrics().add_source([this](common::MetricsSnapshot& s) {
+        s.add_counter("svc.requests",
+                      stats_.requests.load(std::memory_order_relaxed));
+        s.add_counter("svc.success",
+                      stats_.success.load(std::memory_order_relaxed));
+        s.add_counter(
+            "svc.protocol_errors",
+            stats_.protocol_errors.load(std::memory_order_relaxed));
+        s.add_counter("svc.undecodable",
+                      stats_.undecodable.load(std::memory_order_relaxed));
+      });
+}
+
 void SvcRegistry::register_proc(std::uint32_t prog, std::uint32_t vers,
                                 std::uint32_t proc, SvcHandler handler) {
   handlers_[Key{prog, vers, proc}] = std::move(handler);
@@ -245,9 +260,45 @@ ServerRuntime::ServerRuntime(SvcRegistry& registry, ServerRuntimeConfig cfg)
 
 ServerRuntime::~ServerRuntime() { stop(); }
 
+RuntimeLatencySnapshot ServerRuntime::latency_snapshot() const {
+  RuntimeLatencySnapshot s;
+  s.queue = queue_hist_.snapshot();
+  s.handle = handle_hist_.snapshot();
+  s.udp_e2e = udp_e2e_hist_.snapshot();
+  return s;
+}
+
 Status ServerRuntime::start() {
   if (running_.load(std::memory_order_acquire)) return Status::ok();
   stopping_.store(false, std::memory_order_release);
+  metrics_on_ = common::metrics_enabled();
+  // Re-registering on a restart resets the previous handle first
+  // (move-assign), so the runtime contributes exactly once.  The
+  // handle lives until the runtime is destroyed — post-stop()
+  // snapshots still see the final counters.
+  metrics_source_ =
+      common::metrics().add_source([this](common::MetricsSnapshot& s) {
+        s.add_counter("rpc.udp_datagrams",
+                      stats_.udp_datagrams.load(std::memory_order_relaxed));
+        s.add_counter(
+            "rpc.tcp_connections",
+            stats_.tcp_connections.load(std::memory_order_relaxed));
+        s.add_counter("rpc.tcp_calls",
+                      stats_.tcp_calls.load(std::memory_order_relaxed));
+        s.add_counter(
+            "rpc.overload_drops",
+            stats_.overload_drops.load(std::memory_order_relaxed));
+        s.merge_histogram("rpc.queue_ns", queue_hist_.snapshot());
+        s.merge_histogram("rpc.handle_ns", handle_hist_.snapshot());
+        s.merge_histogram("rpc.udp_e2e_ns", udp_e2e_hist_.snapshot());
+        const common::BufferArenaStats a = arena_.stats();
+        s.add_counter("arena.hits", a.hits);
+        s.add_counter("arena.misses", a.misses);
+        s.add_counter("arena.recycles", a.recycles);
+        s.add_counter("arena.discards", a.discards);
+        s.add_gauge("arena.bytes_pooled",
+                    static_cast<std::int64_t>(a.bytes_pooled));
+      });
 
   if (cfg_.enable_udp) {
     udp_ = std::make_unique<net::UdpSocket>(cfg_.udp_port);
@@ -354,7 +405,8 @@ void ServerRuntime::udp_listen_loop() {
         &peer, MutableByteSpan(buf.data(), buf.size()), /*timeout_ms=*/50);
     if (!got.is_ok()) continue;
     ++stats_.udp_datagrams;
-    Job job = DatagramJob{peer, std::move(buf), *got};
+    const std::int64_t recv_ns = metrics_on_ ? common::monotonic_ns() : 0;
+    Job job = DatagramJob{peer, std::move(buf), *got, recv_ns};
     if (push_job(job, /*droppable=*/true)) {
       buf = arena_.take(net::kMaxDatagramBytes);
     } else {
@@ -408,11 +460,23 @@ void ServerRuntime::worker_loop() {
       // EMSGSIZE drop and a client timeout.
       const std::size_t cap =
           std::min(reply_capacity(d->len), net::kMaxUdpPayloadBytes);
+      const std::int64_t pop_ns =
+          metrics_on_ ? common::monotonic_ns() : 0;
+      if (metrics_on_) queue_hist_.record(pop_ns - d->recv_ns);
       const std::size_t n = registry_.handle_request(
           ByteSpan(d->payload.data(), d->len),
           MutableByteSpan(reply_buf.data(), cap));
+      if (metrics_on_) {
+        handle_hist_.record(common::monotonic_ns() - pop_ns);
+      }
       if (n > 0) {
-        (void)udp_->send_to(d->peer, ByteSpan(reply_buf.data(), n));
+        const Status sent =
+            udp_->send_to(d->peer, ByteSpan(reply_buf.data(), n));
+        // End-to-end covers receive to successful wire handoff; a
+        // failed send never counts (the stress books rely on that).
+        if (metrics_on_ && sent.is_ok()) {
+          udp_e2e_hist_.record(common::monotonic_ns() - d->recv_ns);
+        }
       }
       arena_.recycle(std::move(d->payload));
     } else if (auto* c = std::get_if<ConnJob>(&job)) {

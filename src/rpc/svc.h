@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "net/simnet.h"
 #include "net/tcp.h"
@@ -74,6 +75,11 @@ struct SvcStats {
 
 class SvcRegistry {
  public:
+  // Registration folds this registry's dispatch counters into the
+  // process-wide metrics registry (svc.* in metrics().snapshot());
+  // the source unregisters with the registry object.
+  SvcRegistry();
+
   void register_proc(std::uint32_t prog, std::uint32_t vers,
                      std::uint32_t proc, SvcHandler handler);
   void unregister_program(std::uint32_t prog);
@@ -124,6 +130,18 @@ class SvcRegistry {
   AuthChecker auth_;
   SvcStats stats_;
   bool clear_input_ = true;
+  // Last member: unregisters before anything it reads is destroyed.
+  common::MetricsRegistry::SourceHandle metrics_source_;
+};
+
+// Per-request latency distributions, merged across a runtime's shards
+// (both server runtimes return one; see "Observability" in
+// src/rpc/README.md for the stage taxonomy).  All values nanoseconds.
+struct RuntimeLatencySnapshot {
+  common::HistogramSnapshot queue;    // wire receive -> worker pop
+  common::HistogramSnapshot handle;   // dispatch duration in the worker
+  common::HistogramSnapshot udp_e2e;  // wire receive -> reply handed to wire
+  common::HistogramSnapshot tcp_e2e;  // record assembled -> reply emitted
 };
 
 // Serves a DatagramTransport (real UDP socket or polled sim endpoint).
@@ -213,6 +231,19 @@ class ServerRuntime {
   // pool could not serve and had to send to the allocator.
   common::BufferArenaStats arena_stats() const { return arena_.stats(); }
 
+  // Latency distributions recorded while serving (UDP path; the
+  // blocking xdrrec TCP path interleaves socket waits with dispatch,
+  // so it contributes calls/counters but no per-request histograms).
+  // Valid after stop() too — histograms persist with the runtime.
+  RuntimeLatencySnapshot latency_snapshot() const;
+  // The whole process in one call: this runtime's counters and
+  // histograms plus every other registered component (registry
+  // dispatch stats, spec cache, services, arena) via the global
+  // metrics registry.
+  common::MetricsSnapshot metrics_snapshot() const {
+    return common::metrics().snapshot();
+  }
+
  private:
   // `payload` is an arena buffer with `len` valid bytes; the worker
   // recycles it after dispatch, so the datagram intake path neither
@@ -221,6 +252,7 @@ class ServerRuntime {
     net::Addr peer;
     Bytes payload;
     std::size_t len = 0;
+    std::int64_t recv_ns = 0;  // monotonic_ns at socket receive
   };
   struct ConnJob {
     std::unique_ptr<net::TcpConn> conn;
@@ -242,6 +274,14 @@ class ServerRuntime {
   // buffer contract as the event runtime's per-shard arenas; this
   // runtime is unsharded so one pool serves all threads).
   common::BufferArena arena_;
+  // Latency histograms (this runtime is unsharded: shard 0 of the
+  // taxonomy).  Wait-free to record from every worker concurrently.
+  common::LatencyHistogram queue_hist_;
+  common::LatencyHistogram handle_hist_;
+  common::LatencyHistogram udp_e2e_hist_;
+  // Cached from common::metrics_enabled() at start(): when false the
+  // hot path takes no clock reads and records nothing.
+  bool metrics_on_ = false;
 
   std::unique_ptr<net::UdpSocket> udp_;
   std::unique_ptr<net::TcpListener> tcp_;
@@ -261,6 +301,9 @@ class ServerRuntime {
   std::deque<Job> queue_;
   std::vector<std::thread> worker_threads_;
   std::vector<std::thread> listener_threads_;
+  // Last member: the global-registry source reads stats_/histograms/
+  // arena_, so it must unregister before they are destroyed.
+  common::MetricsRegistry::SourceHandle metrics_source_;
 };
 
 // Accepts loopback TCP connections and serves record-marked calls.

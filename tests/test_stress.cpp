@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "common/endian.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "net/tcp.h"
 #include "net/udp.h"
 #include "rpc/event_runtime.h"
@@ -154,6 +156,10 @@ TEST(StressSoak, MixedRandomTrafficBalancesTheBooks) {
   rpc::EventServerRuntimeConfig cfg;
   cfg.workers = 4;
   cfg.reactors = 4;
+  // Trace EVERY request through the soak: the stage-attribution
+  // arithmetic must hold under full concurrency, aborts and overload,
+  // not just on the happy path.
+  cfg.trace_sample = 1;
   rpc::EventServerRuntime runtime(reg, cfg);
   ASSERT_TRUE(runtime.start().is_ok());
 
@@ -405,6 +411,58 @@ TEST(StressSoak, MixedRandomTrafficBalancesTheBooks) {
       << " overload_drops=" << runtime.stats().overload_drops.load()
       << " reply_send_failures="
       << runtime.stats().reply_send_failures.load();
+
+  // ---- the metrics books --------------------------------------------
+  //
+  // The latency histograms must agree with the XID accounting above:
+  // the server records one e2e sample per reply it actually put on the
+  // wire, so the sample count is bracketed by what the clients
+  // received (a reply cannot arrive unrecorded... modulo the recording
+  // happening just after the send — hence the bounded catch-up wait)
+  // and what they sent.
+  if (common::metrics_enabled()) {
+    const auto catch_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    while (static_cast<std::int64_t>(
+               runtime.latency_snapshot().udp_e2e.total()) <
+               udp_received.load() &&
+           std::chrono::steady_clock::now() < catch_up) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const rpc::RuntimeLatencySnapshot lat = runtime.latency_snapshot();
+    EXPECT_GE(static_cast<std::int64_t>(lat.udp_e2e.total()),
+              udp_received.load());
+    EXPECT_LE(static_cast<std::int64_t>(lat.udp_e2e.total()),
+              udp_sent.load());
+    // TCP e2e is recorded when the ordered ring emits the reply, which
+    // precedes the client reading it: every completed call is counted.
+    EXPECT_GE(static_cast<std::int64_t>(lat.tcp_e2e.total()),
+              tcp_completed.load());
+    // Queue-wait and handle samples land once per executed job (UDP and
+    // TCP combined), before the reply is sent.  Jobs from aborted TCP
+    // bursts may still be mid-handler at snapshot time, so the pop-side
+    // count can lead the handle-side count, never trail it.
+    EXPECT_GE(static_cast<std::int64_t>(lat.handle.total()),
+              udp_received.load() + tcp_completed.load());
+    EXPECT_GE(lat.queue.total(), lat.handle.total());
+
+    // Every request was traced (trace_sample=1): stage attribution
+    // must never go negative and never exceed the record's total.
+    const std::vector<common::TraceRecord> traces = runtime.trace_snapshot();
+    EXPECT_FALSE(traces.empty());
+    for (const auto& t : traces) {
+      std::int64_t stage_sum = 0;
+      for (std::size_t s = 0; s < common::kTraceStageCount; ++s) {
+        EXPECT_GE(t.stage_ns[s], 0)
+            << "negative stage " << s << " in xid " << t.xid;
+        stage_sum += t.stage_ns[s];
+      }
+      EXPECT_GE(t.total_ns, 0) << "negative total in xid " << t.xid;
+      EXPECT_LE(stage_sum, t.total_ns) << "stages overrun total in xid "
+                                       << t.xid;
+      EXPECT_LT(t.shard, cfg.reactors);
+    }
+  }
 
   // The runtime survives the soak and still serves.
   {
