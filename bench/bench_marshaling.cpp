@@ -20,6 +20,7 @@
 #include "bench/bench_util.h"
 #include "core/tspec.h"
 #include "pe/compile.h"
+#include "pe/verify.h"
 
 namespace tempo::bench {
 namespace {
@@ -235,6 +236,28 @@ void run_json() {
     jw.end_object();
   }
   jw.end_array();
+  // A/B datapoint for the plan-verifier admission pass
+  // (TEMPO_PLAN_VERIFY): the same spec build timed with the verifier
+  // off vs paranoid.  The delta is the entire cost of the knob — the
+  // hit path (cache lookup -> exec_*) never calls the verifier, so
+  // there is no per-call number to measure.
+  jw.key_object("verify_build_cost");
+  {
+    const std::uint32_t n = 1000;
+    pe::set_verify_mode(pe::VerifyMode::kOff);
+    const double off_ms =
+        time_ms_per_call([&] { make_iface(n); }, /*min_iters=*/20);
+    pe::set_verify_mode(pe::VerifyMode::kParanoid);
+    const double on_ms =
+        time_ms_per_call([&] { make_iface(n); }, /*min_iters=*/20);
+    pe::set_verify_mode(pe::VerifyMode::kAdmit);
+    jw.field("n", n);
+    jw.field("build_ms_verify_off", off_ms);
+    jw.field("build_ms_verify_paranoid", on_ms);
+    jw.field("overhead_pct",
+             off_ms > 0 ? 100.0 * (on_ms - off_ms) / off_ms : 0.0);
+  }
+  jw.end_object();
   jw.end_object();
 }
 

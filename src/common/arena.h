@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/thread_annotations.h"
 
 namespace tempo::common {
 
@@ -92,7 +93,7 @@ class BufferArena {
  private:
   struct SizeClass {
     std::mutex mu;
-    std::vector<Bytes> free;
+    std::vector<Bytes> free TEMPO_GUARDED_BY(mu);
   };
 
   // Index of the class serving a take of `n` bytes (rounding up), or

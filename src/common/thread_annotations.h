@@ -1,0 +1,44 @@
+// Clang thread-safety analysis attributes behind a portability macro.
+//
+// The annotations turn the prose locking contracts in this codebase
+// ("mu guards map/lru/stats", "q_mu guards the shard queue") into
+// compiler-checked facts: clang's -Wthread-safety pass (enabled on the
+// clang CI job) proves every access to a GUARDED_BY member happens with
+// the named mutex held and every *_locked helper is called under its
+// REQUIRES lock.  GCC does not implement the attributes and would warn
+// (fatally, with -Werror) about them, so every macro expands to nothing
+// there — the annotations are zero-cost documentation under GCC and a
+// static analysis under clang.
+//
+// std::mutex / lock_guard / unique_lock are natively understood by the
+// analysis, so annotating members is all that is needed; no wrapper
+// types.  Where a lock is released mid-scope through unique_lock the
+// analysis cannot follow (it tracks scopes, not dynamic unlock), the
+// function is marked TEMPO_NO_THREAD_SAFETY_ANALYSIS with a comment
+// saying why.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define TEMPO_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef TEMPO_THREAD_ANNOTATION
+#define TEMPO_THREAD_ANNOTATION(x)  // not clang: attributes vanish
+#endif
+
+// Member is only read/written with `mu` held.
+#define TEMPO_GUARDED_BY(mu) TEMPO_THREAD_ANNOTATION(guarded_by(mu))
+// Pointer member whose POINTEE is guarded by `mu`.
+#define TEMPO_PT_GUARDED_BY(mu) TEMPO_THREAD_ANNOTATION(pt_guarded_by(mu))
+// Function must be called with `mu` held (the *_locked convention).
+#define TEMPO_REQUIRES(mu) TEMPO_THREAD_ANNOTATION(requires_capability(mu))
+// Function acquires/releases `mu` itself.
+#define TEMPO_ACQUIRE(mu) TEMPO_THREAD_ANNOTATION(acquire_capability(mu))
+#define TEMPO_RELEASE(mu) TEMPO_THREAD_ANNOTATION(release_capability(mu))
+// Function must NOT be called with `mu` held (deadlock prevention).
+#define TEMPO_EXCLUDES(mu) TEMPO_THREAD_ANNOTATION(locks_excluded(mu))
+// Opt a function out of the analysis (dynamic locking patterns the
+// scope-based checker cannot follow); always pair with a comment.
+#define TEMPO_NO_THREAD_SAFETY_ANALYSIS \
+  TEMPO_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -33,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace tempo::common {
 
 enum class TraceStage : std::uint8_t {
@@ -106,9 +108,10 @@ class Tracer {
 
   struct Ring {
     mutable std::mutex mu;
-    std::vector<TraceRecord> buf;  // capacity-bounded, wraps
-    std::size_t next = 0;
-    std::uint64_t committed = 0;
+    std::vector<TraceRecord> buf TEMPO_GUARDED_BY(mu);  // capacity-bounded,
+                                                        // wraps
+    std::size_t next TEMPO_GUARDED_BY(mu) = 0;
+    std::uint64_t committed TEMPO_GUARDED_BY(mu) = 0;
   };
   void commit(const TraceRecord& rec);
 

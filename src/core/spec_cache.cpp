@@ -1,11 +1,37 @@
 #include "core/spec_cache.h"
 
+#include "pe/verify.h"
+
 namespace tempo::core {
 
 namespace {
 
 inline void hash_combine(std::size_t& seed, std::size_t v) {
   seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+// Paranoid-mode (TEMPO_PLAN_VERIFY=2) re-verification of all four plans
+// at a publish boundary.  The plans were verified at build; this
+// tripwire exists so a plan corrupted between build and publish can
+// never reach the hit path.  Ok() in every other mode.
+Status paranoid_reverify(const SpecializedInterface& iface) {
+  if (pe::verify_mode() != pe::VerifyMode::kParanoid) return Status::ok();
+  const struct {
+    const char* name;
+    const pe::Plan& plan;
+  } plans[] = {{"encode_call", iface.encode_call_plan()},
+               {"decode_reply", iface.decode_reply_plan()},
+               {"decode_args", iface.decode_args_plan()},
+               {"encode_results", iface.encode_results_plan()}};
+  for (const auto& p : plans) {
+    const pe::VerifyResult res = pe::verify_plan(p.plan);
+    if (!res.ok()) {
+      return out_of_range("paranoid re-verify rejected " +
+                          std::string(p.name) + " at cache publish: " +
+                          res.to_string());
+    }
+  }
+  return Status::ok();
 }
 
 }  // namespace
@@ -51,6 +77,7 @@ SpecCache::SpecCache(std::size_t capacity, std::size_t shards)
         snap.add_counter("spec_cache.build_failures", st.build_failures);
         snap.add_counter("spec_cache.hot_hits", st.hot_hits);
         snap.add_counter("spec_cache.jit_stubs", st.jit_stubs);
+        snap.add_counter("spec_cache.verify_rejects", st.verify_rejects);
         snap.add_gauge("spec_cache.size", static_cast<std::int64_t>(size()));
         snap.add_gauge("spec_cache.capacity",
                        static_cast<std::int64_t>(capacity_));
@@ -146,7 +173,10 @@ Result<SpecHandle> SpecCache::get_or_build(const idl::ProcDef& proc,
       SpecHandle iface = entry->iface;
       Status error = entry->error;
       lock.unlock();
-      if (publish) {
+      // Hot-slot publish boundary: paranoid mode re-verifies before the
+      // interface becomes reachable lock-free; a failure just skips
+      // publication (lookups keep the locked path, which stays correct).
+      if (publish && paranoid_reverify(*iface).is_ok()) {
         hot_.store(std::make_shared<const HotSlot>(HotSlot{key, iface}),
                    std::memory_order_release);
       }
@@ -175,16 +205,29 @@ Result<SpecHandle> SpecCache::get_or_build(const idl::ProcDef& proc,
   // Build outside the lock — this is the expensive pipeline run.
   auto built = SpecializedInterface::build(proc, prog, vers, config);
 
+  // Ready-entry publish boundary: in paranoid mode, re-verify outside
+  // the lock before the entry becomes visible to other threads.
+  Status admit = Status::ok();
+  if (built.is_ok()) admit = paranoid_reverify(*built);
+
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    if (built.is_ok()) {
+    if (built.is_ok() && admit.is_ok()) {
       entry->iface =
           std::make_shared<const SpecializedInterface>(std::move(*built));
       shard.stats.jit_stubs += entry->iface->jit_stub_count();
       shard.insert_lru_locked(entry, key);
     } else {
-      entry->error = built.status();
+      entry->error = built.is_ok() ? admit : built.status();
       ++shard.stats.build_failures;
+      // The admission pass reports verifier rejections as kOutOfRange
+      // (see pe::verify_admit); account them separately — a nonzero
+      // spec_cache.verify_rejects means the specializer emitted a plan
+      // whose declared contract its own ops violate, which is a bug,
+      // not a merely-ineligible shape.
+      if (entry->error.code() == StatusCode::kOutOfRange) {
+        ++shard.stats.verify_rejects;
+      }
       // Negative entries take an LRU slot too: repeated requests for an
       // ineligible shape must not re-run the pipeline, but an adversary
       // minting distinct ineligible keys must not grow the map
@@ -208,6 +251,7 @@ SpecCacheStats SpecCache::stats() const {
     total.evictions += s->stats.evictions;
     total.build_failures += s->stats.build_failures;
     total.jit_stubs += s->stats.jit_stubs;
+    total.verify_rejects += s->stats.verify_rejects;
   }
   // Hot-slot hits bypass the shards entirely; fold them in so `hits`
   // keeps meaning "every lookup served without a build".

@@ -62,6 +62,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/stubspec.h"
 #include "idl/types.h"
 
@@ -94,6 +95,10 @@ struct SpecCacheStats {
   std::int64_t jit_stubs = 0;   // native stubs compiled across all builds
                                 // (up to 4 per interface; 0 with the
                                 // TEMPO_PLAN_JIT knob off)
+  std::int64_t verify_rejects = 0;  // subset of build_failures where the
+                                    // plan verifier's admission pass
+                                    // rejected a residual plan
+                                    // (TEMPO_PLAN_VERIFY)
 };
 
 using SpecHandle = std::shared_ptr<const SpecializedInterface>;
@@ -118,9 +123,13 @@ class SpecCache {
   // Returns the interface for the key derived from
   // (prog, vers, proc.number, config), building it at most once.
   // A non-OK result reproduces the (cached) build failure.
+  // no_thread_safety_analysis: the shard lock is released mid-scope
+  // through a unique_lock (build runs outside it), a dynamic pattern
+  // the scope-based checker cannot follow.
   Result<SpecHandle> get_or_build(const idl::ProcDef& proc,
                                   std::uint32_t prog, std::uint32_t vers,
-                                  const SpecConfig& config);
+                                  const SpecConfig& config)
+      TEMPO_NO_THREAD_SAFETY_ANALYSIS;
 
   SpecCacheStats stats() const;      // aggregated across shards
   std::size_t size() const;          // ready entries currently cached
@@ -152,14 +161,16 @@ class SpecCache {
   struct Shard {
     mutable std::mutex mu;
     std::condition_variable ready_cv;
-    std::unordered_map<SpecKey, std::shared_ptr<Entry>, SpecKeyHash> map;
-    std::list<SpecKey> lru;  // front = most recently used; ready only
-    SpecCacheStats stats;
-    std::size_t capacity = 1;
+    std::unordered_map<SpecKey, std::shared_ptr<Entry>, SpecKeyHash> map
+        TEMPO_GUARDED_BY(mu);
+    std::list<SpecKey> lru TEMPO_GUARDED_BY(mu);  // front = most recently
+                                                  // used; ready only
+    SpecCacheStats stats TEMPO_GUARDED_BY(mu);
+    std::size_t capacity = 1;  // set once at construction, then read-only
 
-    void touch_locked(Entry& e, const SpecKey& key);
+    void touch_locked(Entry& e, const SpecKey& key) TEMPO_REQUIRES(mu);
     void insert_lru_locked(const std::shared_ptr<Entry>& e,
-                           const SpecKey& key);
+                           const SpecKey& key) TEMPO_REQUIRES(mu);
   };
 
   Shard& shard_for(std::size_t hash) {

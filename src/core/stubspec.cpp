@@ -1,5 +1,7 @@
 #include "core/stubspec.h"
 
+#include "pe/verify.h"
+
 namespace tempo::core {
 
 namespace {
@@ -94,6 +96,18 @@ Result<SpecializedInterface> SpecializedInterface::build(
         plan, pe::specialize(corpus.program, corpus.encode_results, in));
     out.encode_results_ = std::move(plan);
   }
+
+  // Admission pass (TEMPO_PLAN_VERIFY, always-on in debug): every plan
+  // is statically verified against its declared contract before it — or
+  // a stub compiled from it — can ever run.  A rejection fails the
+  // whole build with the verifier's diagnostics (negative-cached by
+  // SpecCache like any other ineligible shape); callers keep the
+  // generic path, which is exactly the guarded-specialization contract.
+  TEMPO_RETURN_IF_ERROR(pe::verify_admit(out.encode_call_, "encode_call"));
+  TEMPO_RETURN_IF_ERROR(pe::verify_admit(out.decode_reply_, "decode_reply"));
+  TEMPO_RETURN_IF_ERROR(pe::verify_admit(out.decode_args_, "decode_args"));
+  TEMPO_RETURN_IF_ERROR(
+      pe::verify_admit(out.encode_results_, "encode_results"));
 
   // Third tier: lower each plan to a native stub.  Strictly
   // best-effort — any null (unsupported host, W^X failure, plan outside

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "common/endian.h"
+#include "pe/verify.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/mman.h>
@@ -52,30 +53,36 @@ using K = FusedOp::K;
 // Stage 1: Plan -> FusedProgram
 // ---------------------------------------------------------------------------
 
-bool fuse_plan(const Plan& plan, FusedProgram* prog) {
+bool fuse_plan(const Plan& plan, FusedProgram* prog, std::string* why) {
   prog->is_encode = plan.is_encode;
   prog->out_size = plan.out_size;
   prog->expected_in = plan.expected_in;
   prog->words_needed = plan.words_needed;
   prog->ops.clear();
   prog->tmpl.clear();
-  if (plan.out_size > kMaxDisp || plan.expected_in > kMaxDisp ||
-      plan.words_needed > kMaxDisp / 4) {
+  auto refuse = [&](const char* reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  // Memory safety is the verifier's job, not re-audited here: an
+  // admitted plan's accesses provably stay inside out_size /
+  // expected_in / words_needed on every loop iteration, so the lowering
+  // below only checks what is JIT-specific — the disp32 displacement
+  // range and template bake conflicts.
+  const VerifyResult verdict = verify_plan(plan);
+  if (!verdict.ok()) {
+    if (why != nullptr) *why = verdict.to_string();
     return false;
   }
-  const std::uint64_t word_bytes = std::uint64_t{plan.words_needed} * 4;
+  if (plan.out_size > kMaxDisp || plan.expected_in > kMaxDisp ||
+      plan.words_needed > kMaxDisp / 4) {
+    return refuse("declared bounds exceed the jit displacement range");
+  }
   std::vector<std::uint8_t> baked;
   if (plan.is_encode) {
     prog->tmpl.assign(plan.out_size, 0);
     baked.assign(plan.out_size, 0);
   }
-
-  // True while lowering the body of a loop kept in residual form; ops
-  // then run once per iteration with the displacement registers added,
-  // so range checks must cover the final iteration too.
-  bool in_kept_loop = false;
-  std::uint64_t kept_max_doff = 0;    // (iters-1) * off_stride
-  std::uint64_t kept_max_dwbytes = 0; // (iters-1) * word_stride * 4
 
   auto push_or_merge = [&](FusedOp op) {
     if (!prog->ops.empty()) {
@@ -100,25 +107,27 @@ bool fuse_plan(const Plan& plan, FusedProgram* prog) {
 
   // Lower one plan instruction with loop displacements already applied
   // (doff in bytes, dword in word slots).  Mirrors apply_encode /
-  // apply_decode in plan.cpp op for op; anything the executor would
-  // reject (direction mixing) or that the JIT cannot express in its
-  // displacement range refuses compilation instead of diverging.
+  // apply_decode in plan.cpp op for op.  Direction consistency, loop
+  // shape, and all buffer/slot bounds were proven by verify_plan above;
+  // the only refusals left are disp32-range and template conflicts.
   auto lower_one = [&](const PInstr& ins, std::uint64_t doff,
                        std::uint64_t dword) -> bool {
     const std::uint64_t off = ins.off + doff;
-    if (off > kMaxDisp) return false;
+    if (off > kMaxDisp) {
+      return refuse("buffer offset exceeds the jit displacement range");
+    }
     const auto off32 = static_cast<std::uint32_t>(off);
     switch (ins.op) {
       case POp::kPutConst: {
-        if (!plan.is_encode) return false;
-        if (off + 4 + kept_max_doff > plan.out_size) return false;
         std::uint8_t be[4];
         store_be32(be, static_cast<std::uint32_t>(ins.imm));
         for (int i = 0; i < 4; ++i) {
           // Two different constants landing on the same template byte
           // cannot share one image; bail (never happens for plans the
           // specializer emits, where const offsets are distinct).
-          if (baked[off + i] && prog->tmpl[off + i] != be[i]) return false;
+          if (baked[off + i] && prog->tmpl[off + i] != be[i]) {
+            return refuse("conflicting constants bake to one template byte");
+          }
           prog->tmpl[off + i] = be[i];
           baked[off + i] = 1;
         }
@@ -126,106 +135,63 @@ bool fuse_plan(const Plan& plan, FusedProgram* prog) {
         return true;
       }
       case POp::kPutWord: {
-        if (!plan.is_encode) return false;
-        const std::uint64_t slot = ins.a + dword;
-        const std::uint64_t sbytes = slot * 4;
-        if (off + 4 + kept_max_doff > plan.out_size) return false;
-        if (sbytes + 4 + kept_max_dwbytes > word_bytes) return false;
+        const std::uint64_t sbytes = (ins.a + dword) * 4;
         push_or_merge(
             {K::kStoreWord, off32, static_cast<std::uint32_t>(sbytes), 0, 0});
         return true;
       }
-      case POp::kPutXid: {
-        if (!plan.is_encode) return false;
-        if (off + 4 + kept_max_doff > plan.out_size) return false;
+      case POp::kPutXid:
         push_or_merge({K::kStoreXid, off32, 0, 0, 0});
         return true;
-      }
       case POp::kPutBytes: {
-        if (!plan.is_encode) return false;
         const std::uint64_t src = ins.a + dword * 4;
-        const std::uint64_t padded = xdr_pad4(ins.b);
-        if (off + padded + kept_max_doff > plan.out_size) return false;
-        if (src + ins.b + kept_max_dwbytes > word_bytes) return false;
-        if (src > kMaxDisp) return false;
+        if (src > kMaxDisp) {
+          return refuse("slot offset exceeds the jit displacement range");
+        }
         push_or_merge({K::kCopyArgBytes, off32,
                        static_cast<std::uint32_t>(src), ins.b, 0});
         return true;
       }
       case POp::kGetWord: {
-        if (plan.is_encode) return false;
-        const std::uint64_t slot = ins.a + dword;
-        const std::uint64_t dbytes = slot * 4;
-        if (dbytes + 4 + kept_max_dwbytes > word_bytes) return false;
-        if (plan.expected_in != 0 &&
-            off + 4 + kept_max_doff > plan.expected_in) {
-          return false;
-        }
+        const std::uint64_t dbytes = (ins.a + dword) * 4;
         push_or_merge(
             {K::kLoadWord, off32, static_cast<std::uint32_t>(dbytes), 0, 0});
         return true;
       }
       case POp::kSetWordConst: {
-        if (plan.is_encode) return false;
-        const std::uint64_t slot = ins.a + dword;
-        const std::uint64_t dbytes = slot * 4;
-        if (dbytes + 4 + kept_max_dwbytes > word_bytes) return false;
+        const std::uint64_t dbytes = (ins.a + dword) * 4;
         push_or_merge({K::kSetWord, 0, static_cast<std::uint32_t>(dbytes), 0,
                        static_cast<std::uint32_t>(ins.imm)});
         return true;
       }
       case POp::kGetBytes: {
-        if (plan.is_encode) return false;
         const std::uint64_t dst = ins.a + dword * 4;
-        const std::uint64_t padded = xdr_pad4(ins.b);
-        if (dst + padded + kept_max_dwbytes > word_bytes) return false;
-        if (dst > kMaxDisp) return false;
-        if (plan.expected_in != 0 &&
-            off + ins.b + kept_max_doff > plan.expected_in) {
-          return false;
+        if (dst > kMaxDisp) {
+          return refuse("slot offset exceeds the jit displacement range");
         }
         push_or_merge({K::kCopyResBytes, off32,
                        static_cast<std::uint32_t>(dst), ins.b, 0});
         return true;
       }
-      case POp::kGuardConstEq: {
-        if (plan.is_encode) return false;
-        if (plan.expected_in != 0 &&
-            off + 4 + kept_max_doff > plan.expected_in) {
-          return false;
-        }
+      case POp::kGuardConstEq:
         // The executor compares against the low 32 bits of imm.
         prog->ops.push_back({K::kGuardEq, off32, 0, 0,
                              static_cast<std::uint32_t>(ins.imm)});
         return true;
-      }
-      case POp::kGuardXid: {
-        if (plan.is_encode) return false;
-        if (plan.expected_in != 0 &&
-            off + 4 + kept_max_doff > plan.expected_in) {
-          return false;
-        }
+      case POp::kGuardXid:
         prog->ops.push_back({K::kGuardXid, off32, 0, 0, 0});
         return true;
-      }
-      case POp::kGuardBool: {
-        if (plan.is_encode) return false;
-        if (plan.expected_in != 0 &&
-            off + 4 + kept_max_doff > plan.expected_in) {
-          return false;
-        }
+      case POp::kGuardBool:
         prog->ops.push_back({K::kGuardBool, off32, 0, 0, 0});
         return true;
-      }
-      case POp::kGuardLen: {
-        if (plan.is_encode) return false;
+      case POp::kGuardLen:
         prog->ops.push_back({K::kGuardLen, 0, 0, 0, ins.imm});
         return true;
-      }
       case POp::kLoop:
-        return false;  // nested loop: executor rejects, we refuse
+        // Unreachable: verify_plan rejected nested loops already.
+        return refuse("nested loop");
     }
-    return false;
+    return refuse("unknown op");
   };
 
   const std::size_t n = plan.instrs.size();
@@ -238,8 +204,7 @@ bool fuse_plan(const Plan& plan, FusedProgram* prog) {
       continue;
     }
     const std::uint32_t iters = ins.a;
-    const std::uint32_t body = ins.b;
-    if (i + 1 + body > n) return false;
+    const std::uint32_t body = ins.b;  // in-range: verify_plan checked
     const LoopStrides s = unpack_loop_strides(ins.imm);
     if (iters == 0 || body == 0) {  // executor skips the body entirely
       i += 1 + body;
@@ -256,28 +221,22 @@ bool fuse_plan(const Plan& plan, FusedProgram* prog) {
         }
       }
     } else {
+      // A kept loop runs its ops with displacement registers added; the
+      // final-iteration displacement must itself stay in disp32 range.
       if (s.off_stride > kMaxDisp ||
-          std::uint64_t{s.word_stride} * 4 > kMaxDisp) {
-        return false;
-      }
-      in_kept_loop = true;
-      kept_max_doff = std::uint64_t{iters - 1} * s.off_stride;
-      kept_max_dwbytes = std::uint64_t{iters - 1} * s.word_stride * 4;
-      if (kept_max_doff > kMaxDisp || kept_max_dwbytes > kMaxDisp) {
-        return false;
+          std::uint64_t{s.word_stride} * 4 > kMaxDisp ||
+          std::uint64_t{iters - 1} * s.off_stride > kMaxDisp ||
+          std::uint64_t{iters - 1} * s.word_stride * 4 > kMaxDisp) {
+        return refuse("loop displacement exceeds the jit range");
       }
       prog->ops.push_back({K::kLoopBegin, 0, iters, 0, ins.imm});
       for (std::uint32_t j = 0; j < body; ++j) {
         if (!lower_one(plan.instrs[i + 1 + j], 0, 0)) return false;
       }
       prog->ops.push_back({K::kLoopEnd, 0, 0, 0, 0});
-      in_kept_loop = false;
-      kept_max_doff = 0;
-      kept_max_dwbytes = 0;
     }
     i += 1 + body;
   }
-  (void)in_kept_loop;
   return true;
 }
 

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/bytes.h"
@@ -140,8 +141,13 @@ struct FusedProgram {
 };
 
 // Plan -> fused ops; false when the plan is outside the compilable
-// subset (the caller then keeps the plan executor).
-bool fuse_plan(const Plan& plan, FusedProgram* out);
+// subset (the caller then keeps the plan executor).  Every plan is
+// first run through verify_plan (pe/verify.h) — memory-safety refusals
+// are the verifier's diagnostics, shared with the admission pass — and
+// only jit-specific limits (disp32 displacement range, template bake
+// conflicts) are checked here.  `why`, when non-null, receives the
+// refusal reason.
+bool fuse_plan(const Plan& plan, FusedProgram* out, std::string* why = nullptr);
 
 // Fused ops -> native code bytes (pure byte generation, runnable on any
 // build host; execution obviously requires the matching CPU).

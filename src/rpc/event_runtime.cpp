@@ -859,10 +859,14 @@ void EventServerRuntime::worker_loop(std::size_t home) {
           // wait, so idle workers cost ~20 wakeups/s, not 1000.
           h.q_cv.wait_for(lock, std::chrono::milliseconds(50));
         } else {
-          h.q_cv.wait(lock, [this, &h] {
-            return !h.queue.empty() ||
-                   workers_stop_.load(std::memory_order_acquire);
-          });
+          // Open-coded predicate wait (not the lambda overload): the
+          // thread-safety analysis treats a lambda as its own function,
+          // so a predicate reading the GUARDED_BY queue would warn even
+          // inside this no_thread_safety_analysis function.
+          while (h.queue.empty() &&
+                 !workers_stop_.load(std::memory_order_acquire)) {
+            h.q_cv.wait(lock);
+          }
         }
       }
       continue;

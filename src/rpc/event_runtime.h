@@ -71,6 +71,7 @@
 
 #include "common/arena.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/trace.h"
 #include "net/reactor.h"
 #include "net/tcp.h"
@@ -316,7 +317,7 @@ class EventServerRuntime {
     // ---- shard-local execution pipeline ----
     std::mutex q_mu;
     std::condition_variable q_cv;
-    std::deque<Job> queue;
+    std::deque<Job> queue TEMPO_GUARDED_BY(q_mu);
     // Workers homed on this shard's queue.  home_workers mirrors the
     // count and is written once in start() BEFORE any thread runs:
     // push paths read it while stop() tears the vector down, so they
@@ -392,7 +393,9 @@ class EventServerRuntime {
   int push_datagram_jobs(Shard& s, std::vector<net::Datagram>& batch, int n,
                          std::int64_t recv_ns);
   bool try_pop(std::size_t shard_idx, Job& out);
-  void worker_loop(std::size_t home);
+  // no_thread_safety_analysis: parks on q_cv through a unique_lock that
+  // is unlocked mid-scope, which the scope-based checker cannot follow.
+  void worker_loop(std::size_t home) TEMPO_NO_THREAD_SAFETY_ANALYSIS;
   // Serves one datagram with the zero-copy span path; the reply lands
   // in `acc` (flushed by flush_udp_replies), not on the wire yet.
   void serve_udp_datagram(UdpDatagramJob& job, ReplyAccumulator& acc,

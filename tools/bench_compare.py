@@ -69,8 +69,19 @@ def main():
         return 0
 
     base_points = {config_key(p): p for p in base.get("points", [])}
+    cur_keys = {config_key(p) for p in cur.get("points", [])}
     warnings = 0
     compared = 0
+    # A baseline point with no current counterpart means coverage was
+    # silently LOST (a sweep configuration dropped, renamed, or failed
+    # to produce a point) — exactly the situation where a regression in
+    # that configuration would otherwise go unnoticed.
+    for key in base_points:
+        if key not in cur_keys:
+            print(f"::warning::{args.label}: baseline point {fmt_key(key)} "
+                  f"has no matching point in the current run; "
+                  f"coverage lost")
+            warnings += 1
     for point in cur.get("points", []):
         ref = base_points.get(config_key(point))
         if ref is None:
