@@ -1,0 +1,320 @@
+// KV subsystem benchmark: commit throughput/latency across the three
+// durability modes, plus log-shipping throughput to a local replica.
+//
+// Commit points (mode x writers):
+//   * volatile    — MvccStore apply only, no WAL: the ceiling;
+//   * wal-nofsync — WAL framing + write(2), fsync off: the framing and
+//     group-commit coordination cost;
+//   * wal-fsync   — full durability: what fsync batching buys shows up
+//     as calls/sec holding up when writers > 1 (one fsync absorbs the
+//     whole batch).
+// Each point reports calls/sec plus the kv.commit_latency_ns
+// distribution (entry to applied-in-order), fresh per point.
+//
+// The repl point pre-fills a volatile primary, then times a
+// KvReplicator draining the backlog into a KvReplicaSink over
+// loopback UDP (the fixed-shape plan/JIT tier): calls_per_sec is
+// replicated RECORDS per second, and the books are checked (byte-
+// identical digest, zero duplicate applies) before the number is
+// trusted.
+//
+// Usage: bench_kv [--duration-ms N] [--value-bytes N] [--json PATH|-]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench/bench_util.h"
+#include "common/metrics.h"
+#include "kv/repl.h"
+#include "kv/service.h"
+#include "rpc/event_runtime.h"
+#include "rpc/svc.h"
+
+namespace tempo::bench {
+namespace {
+
+struct Options {
+  int duration_ms = 300;
+  int value_bytes = 64;
+  std::string json_path;  // empty = no JSON
+};
+
+struct Point {
+  std::string mode;  // volatile | wal-nofsync | wal-fsync | repl
+  int writers = 0;
+  int value_bytes = 0;
+  double calls_per_sec = 0.0;
+  std::int64_t lat_count = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  // WAL modes only: how many commits shared their batch's fsync.
+  std::int64_t wal_fsyncs = 0;
+  std::int64_t wal_batched = 0;
+};
+
+// Fresh WAL directory per point so recovery scans start empty.
+std::string make_wal_dir() {
+  char tmpl[] = "/tmp/bench_kv_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::perror("mkdtemp");
+    std::exit(1);
+  }
+  return tmpl;
+}
+
+void remove_wal_dir(const std::string& dir, std::uint32_t shards) {
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const std::string f = dir + "/kv-shard-" + std::to_string(s) + ".wal";
+    ::unlink(f.c_str());
+  }
+  ::rmdir(dir.c_str());
+}
+
+Point run_commit_point(const std::string& mode, int writers,
+                       const Options& opt) {
+  kv::KvService::Options kv_opts;
+  kv_opts.shards = 1;
+  std::string wal_dir;
+  if (mode != "volatile") {
+    wal_dir = make_wal_dir();
+    kv_opts.wal_dir = wal_dir;
+    kv_opts.wal.fsync = mode == "wal-fsync";
+  }
+  auto svc = kv::KvService::open(kv_opts);
+  if (!svc.is_ok()) {
+    std::fprintf(stderr, "cannot open KvService: %s\n",
+                 svc.status().to_string().c_str());
+    std::exit(1);
+  }
+
+  std::atomic<bool> go{false}, stop{false};
+  std::atomic<std::int64_t> total{0};
+  std::atomic<int> errors{0};
+  const std::string value(static_cast<std::size_t>(opt.value_bytes), 'v');
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(writers));
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      // Per-writer key space: contention is on the commit path (WAL +
+      // apply order), not on one map entry.
+      std::uint64_t i = 0;
+      std::int64_t mine = 0;
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::string key =
+            "w" + std::to_string(w) + "-" + std::to_string(i++ % 1024);
+        if (!(*svc)->put(key, value).is_ok()) {
+          ++errors;
+          break;
+        }
+        ++mine;
+      }
+      total += mine;
+    });
+  }
+
+  go.store(true, std::memory_order_release);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(opt.duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (errors.load() != 0) {
+    std::fprintf(stderr, "commit errors at mode=%s writers=%d\n",
+                 mode.c_str(), writers);
+    std::exit(1);
+  }
+
+  Point p;
+  p.mode = mode;
+  p.writers = writers;
+  p.value_bytes = opt.value_bytes;
+  p.calls_per_sec = static_cast<double>(total.load()) / secs;
+  const common::HistogramSnapshot lat = (*svc)->commit_latency().snapshot();
+  p.lat_count = static_cast<std::int64_t>(lat.total());
+  p.p50_us = static_cast<double>(lat.p50()) / 1000.0;
+  p.p99_us = static_cast<double>(lat.p99()) / 1000.0;
+  p.p999_us = static_cast<double>(lat.p999()) / 1000.0;
+  if (const kv::Wal* wal = (*svc)->wal(0)) {
+    p.wal_fsyncs = wal->stats().fsyncs.load();
+    p.wal_batched = wal->stats().batched.load();
+  }
+  if (!wal_dir.empty()) remove_wal_dir(wal_dir, kv_opts.shards);
+  return p;
+}
+
+// Pre-fill, then time the replicator draining the backlog.
+Point run_repl_point(const Options& opt) {
+  kv::KvService::Options kv_opts;
+  kv_opts.shards = 1;
+  kv_opts.tail_max_records = 1u << 20;  // retain the whole backlog
+  auto primary = kv::KvService::open(kv_opts);
+  if (!primary.is_ok()) {
+    std::fprintf(stderr, "cannot open primary\n");
+    std::exit(1);
+  }
+  const std::string value(static_cast<std::size_t>(opt.value_bytes), 'v');
+  // Size the backlog off the duration knob so --duration-ms scales the
+  // whole bench, not just the commit points.
+  const int records = 200 * opt.duration_ms;
+  for (int i = 0; i < records; ++i) {
+    if (!(*primary)->put("key-" + std::to_string(i % 4096), value).is_ok()) {
+      std::fprintf(stderr, "prefill put failed\n");
+      std::exit(1);
+    }
+  }
+
+  rpc::SvcRegistry reg;
+  kv::KvReplicaSink sink(kv_opts.shards);
+  sink.install(reg);
+  rpc::EventServerRuntimeConfig cfg;
+  cfg.workers = 2;
+  cfg.enable_tcp = false;
+  rpc::EventServerRuntime runtime(reg, cfg);
+  if (!runtime.start().is_ok()) {
+    std::fprintf(stderr, "cannot start replica runtime\n");
+    std::exit(1);
+  }
+
+  kv::KvReplicator repl(**primary, runtime.udp_addr());
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!repl.start().is_ok() || !repl.wait_caught_up(120000)) {
+    std::fprintf(stderr, "replicator failed to catch up (lag %lld)\n",
+                 static_cast<long long>(repl.lag()));
+    std::exit(1);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  repl.stop();
+  // The number is only meaningful if the books balance.
+  if (sink.digest() != (*primary)->digest() ||
+      sink.duplicate_applies() != 0 ||
+      sink.stats().applied.load() != records) {
+    std::fprintf(stderr, "replication books do not balance\n");
+    std::exit(1);
+  }
+  runtime.stop();
+
+  Point p;
+  p.mode = "repl";
+  p.writers = 1;
+  p.value_bytes = opt.value_bytes;
+  p.calls_per_sec = static_cast<double>(records) / secs;
+  return p;
+}
+
+void run(const Options& opt) {
+  std::printf("bench_kv: %d-byte values, %dms per commit point\n\n",
+              opt.value_bytes, opt.duration_ms);
+  std::printf("%-12s %-8s %14s %10s %10s %10s %10s\n", "mode", "writers",
+              "calls/sec", "p50_us", "p99_us", "fsyncs", "batched");
+
+  std::vector<Point> points;
+  for (const char* mode : {"volatile", "wal-nofsync", "wal-fsync"}) {
+    for (int writers : {1, 4}) {
+      Point p = run_commit_point(mode, writers, opt);
+      std::printf("%-12s %-8d %14.0f %10.1f %10.1f %10lld %10lld\n",
+                  p.mode.c_str(), p.writers, p.calls_per_sec, p.p50_us,
+                  p.p99_us, static_cast<long long>(p.wal_fsyncs),
+                  static_cast<long long>(p.wal_batched));
+      points.push_back(p);
+    }
+  }
+  {
+    Point p = run_repl_point(opt);
+    std::printf("%-12s %-8d %14.0f   (replicated records/sec)\n",
+                p.mode.c_str(), p.writers, p.calls_per_sec);
+    points.push_back(p);
+  }
+
+  // Self-check: group commit must make durability scale — 4 fsync
+  // writers share batches, so their aggregate rate should beat one
+  // writer's (each batch amortizes one fsync across its members).
+  auto rate = [&](const std::string& mode, int writers) {
+    for (const auto& p : points) {
+      if (p.mode == mode && p.writers == writers) return p.calls_per_sec;
+    }
+    return 0.0;
+  };
+  const double f1 = rate("wal-fsync", 1);
+  const double f4 = rate("wal-fsync", 4);
+  std::printf("\ngroup commit scaling 1->4 fsync writers: %.0f -> %.0f "
+              "(%.2fx) %s\n",
+              f1, f4, f1 > 0 ? f4 / f1 : 0.0, f4 > f1 ? "PASS" : "FAIL");
+
+  if (!opt.json_path.empty()) {
+    std::FILE* f = opt.json_path == "-"
+                       ? stdout
+                       : std::fopen(opt.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", opt.json_path.c_str());
+      std::exit(1);
+    }
+    JsonWriter jw(f);
+    jw.begin_object();
+    jw.schema("kv");
+    jw.field("duration_ms", opt.duration_ms);
+    jw.field("metrics_enabled", common::metrics_enabled());
+    jw.key_array("points");
+    for (const Point& p : points) {
+      jw.begin_object();
+      jw.field("mode", p.mode);
+      jw.field("writers", p.writers);
+      jw.field("value_bytes", p.value_bytes);
+      jw.field("calls_per_sec", p.calls_per_sec);
+      jw.field("lat_count", p.lat_count);
+      jw.field("p50_us", p.p50_us);
+      jw.field("p99_us", p.p99_us);
+      jw.field("p999_us", p.p999_us);
+      jw.field("wal_fsyncs", p.wal_fsyncs);
+      jw.field("wal_batched", p.wal_batched);
+      jw.end_object();
+    }
+    jw.end_array();
+    jw.end_object();
+    if (f != stdout) std::fclose(f);
+  }
+}
+
+}  // namespace
+}  // namespace tempo::bench
+
+int main(int argc, char** argv) {
+  tempo::bench::Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--duration-ms") == 0 && i + 1 < argc) {
+      opt.duration_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--value-bytes") == 0 && i + 1 < argc) {
+      opt.value_bytes = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--duration-ms N] [--value-bytes N] "
+                   "[--json PATH|-]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (opt.duration_ms <= 0 || opt.value_bytes <= 0 ||
+      static_cast<std::size_t>(opt.value_bytes) > tempo::kv::kMaxValueBytes) {
+    std::fprintf(stderr, "invalid --duration-ms / --value-bytes\n");
+    return 2;
+  }
+  tempo::bench::run(opt);
+  return 0;
+}

@@ -1,0 +1,231 @@
+#include "kv/store.h"
+
+namespace tempo::kv {
+
+MvccStore::~MvccStore() {
+  for (auto& [key, head] : map_) unlink_chain(std::move(head));
+}
+
+void MvccStore::unlink_chain(std::shared_ptr<const Version> head) {
+  while (head) {
+    std::shared_ptr<const Version> next =
+        std::move(const_cast<Version*>(head.get())->prev);
+    head = std::move(next);  // frees exactly one node per iteration
+  }
+}
+
+MvccStore::Snapshot& MvccStore::Snapshot::operator=(Snapshot&& o) noexcept {
+  if (this != &o) {
+    release();
+    store_ = o.store_;
+    seq_ = o.seq_;
+    o.store_ = nullptr;
+  }
+  return *this;
+}
+
+std::optional<std::string> MvccStore::Snapshot::get(
+    std::string_view key) const {
+  if (!store_) return std::nullopt;
+  return store_->read_at(seq_, key);
+}
+
+void MvccStore::Snapshot::release() {
+  if (store_) {
+    store_->unregister_snapshot(seq_);
+    store_ = nullptr;
+  }
+}
+
+bool MvccStore::apply_put(std::uint64_t seq, std::string_view key,
+                          std::string_view value) {
+  return apply(seq, key, value, /*tombstone=*/false);
+}
+
+bool MvccStore::apply_del(std::uint64_t seq, std::string_view key) {
+  return apply(seq, key, {}, /*tombstone=*/true);
+}
+
+bool MvccStore::apply(std::uint64_t seq, std::string_view key,
+                      std::string_view value, bool tombstone) {
+  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  if (seq <= last_applied_.load(std::memory_order_relaxed)) {
+    stats_.duplicate_applies.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  auto ver = std::make_shared<Version>();
+  ver->seq = seq;
+  ver->tombstone = tombstone;
+  ver->value = std::string(value);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    map_.emplace(std::string(key), std::move(ver));
+  } else {
+    ver->prev = it->second;
+    it->second = std::move(ver);
+  }
+  ++versions_;
+  last_applied_.store(seq, std::memory_order_release);
+  stats_.applied.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t MvccStore::put(std::string_view key, std::string_view value) {
+  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  const std::uint64_t seq = last_applied_.load(std::memory_order_relaxed) + 1;
+  auto ver = std::make_shared<Version>();
+  ver->seq = seq;
+  ver->value = std::string(value);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    map_.emplace(std::string(key), std::move(ver));
+  } else {
+    ver->prev = it->second;
+    it->second = std::move(ver);
+  }
+  ++versions_;
+  last_applied_.store(seq, std::memory_order_release);
+  stats_.applied.fetch_add(1, std::memory_order_relaxed);
+  return seq;
+}
+
+std::uint64_t MvccStore::del(std::string_view key) {
+  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  const std::uint64_t seq = last_applied_.load(std::memory_order_relaxed) + 1;
+  auto ver = std::make_shared<Version>();
+  ver->seq = seq;
+  ver->tombstone = true;
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    map_.emplace(std::string(key), std::move(ver));
+  } else {
+    ver->prev = it->second;
+    it->second = std::move(ver);
+  }
+  ++versions_;
+  last_applied_.store(seq, std::memory_order_release);
+  stats_.applied.fetch_add(1, std::memory_order_relaxed);
+  return seq;
+}
+
+MvccStore::Snapshot MvccStore::snapshot() const {
+  // Register BEFORE reading last_applied so a concurrent gc() that has
+  // already sampled the snapshot floor cannot slip between the two.
+  std::unique_lock<std::mutex> snap_lock(snap_mu_);
+  const std::uint64_t seq = last_applied_.load(std::memory_order_acquire);
+  open_snapshots_.insert(seq);
+  return Snapshot(this, seq);
+}
+
+void MvccStore::unregister_snapshot(std::uint64_t seq) const {
+  std::unique_lock<std::mutex> lock(snap_mu_);
+  auto it = open_snapshots_.find(seq);
+  if (it != open_snapshots_.end()) open_snapshots_.erase(it);
+}
+
+std::uint64_t MvccStore::oldest_open_snapshot() const {
+  std::unique_lock<std::mutex> lock(snap_mu_);
+  if (open_snapshots_.empty()) return UINT64_MAX;
+  return *open_snapshots_.begin();
+}
+
+std::optional<std::string> MvccStore::read_at(std::uint64_t seq,
+                                              std::string_view key) const {
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  stats_.snapshot_reads.fetch_add(1, std::memory_order_relaxed);
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  for (const Version* v = it->second.get(); v != nullptr;
+       v = v->prev.get()) {
+    if (v->seq <= seq) {
+      if (v->tombstone) return std::nullopt;
+      return v->value;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> MvccStore::get_latest(std::string_view key) const {
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  const Version* v = it->second.get();
+  if (v->tombstone) return std::nullopt;
+  return v->value;
+}
+
+std::size_t MvccStore::gc() {
+  const std::uint64_t floor =
+      std::min(last_applied_.load(std::memory_order_acquire),
+               oldest_open_snapshot());
+  std::size_t reclaimed = 0;
+  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  for (auto it = map_.begin(); it != map_.end();) {
+    // Find the newest version at-or-below the floor: it (or something
+    // newer) is what every open snapshot resolves to, so it must stay.
+    // Everything strictly older is unreachable.
+    std::shared_ptr<const Version> head = it->second;
+    const Version* keep = head.get();
+    while (keep != nullptr && keep->seq > floor) keep = keep->prev.get();
+    if (keep != nullptr && keep->prev != nullptr) {
+      for (const Version* v = keep->prev.get(); v != nullptr;
+           v = v->prev.get()) {
+        ++reclaimed;
+      }
+      // Version nodes are immutable EXCEPT for this tail cut, which is
+      // safe under the exclusive lock: readers resolve chains only
+      // while holding the shared lock.
+      unlink_chain(std::move(const_cast<Version*>(keep)->prev));
+    }
+    // A head tombstone at-or-below the floor means every snapshot sees
+    // "absent": the entire chain (now length 1) can go.
+    if (head->tombstone && head->seq <= floor && head->prev == nullptr) {
+      ++reclaimed;
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  versions_ -= reclaimed;
+  stats_.gc_reclaimed.fetch_add(static_cast<std::int64_t>(reclaimed),
+                                std::memory_order_relaxed);
+  return reclaimed;
+}
+
+std::map<std::string, std::string> MvccStore::dump() const {
+  std::map<std::string, std::string> out;
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  for (const auto& [key, head] : map_) {
+    if (!head->tombstone) out.emplace(key, head->value);
+  }
+  return out;
+}
+
+std::uint64_t MvccStore::digest() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&h](std::string_view s) {
+    for (const char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= 0xFFu;  // separator so ("ab","c") != ("a","bc")
+    h *= 1099511628211ull;
+  };
+  for (const auto& [key, value] : dump()) {
+    mix(key);
+    mix(value);
+  }
+  return h;
+}
+
+std::size_t MvccStore::key_count() const {
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  return map_.size();
+}
+
+std::size_t MvccStore::version_count() const {
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  return versions_;
+}
+
+}  // namespace tempo::kv

@@ -1,0 +1,148 @@
+// MVCC key-value store: versioned values keyed by commit sequence,
+// snapshot reads that never block behind writers, bounded version-chain
+// GC that never reclaims a version visible to an open snapshot.
+//
+// Visibility rule (the whole contract): a Snapshot taken at sequence S
+// sees, for every key, the NEWEST version whose commit sequence is
+// <= S — a tombstone version means "absent".  Writers append new
+// versions at strictly increasing sequences and never touch old ones
+// (version nodes are immutable once linked), so a reader holding a
+// snapshot observes one consistent cut of the history no matter how
+// many commits land after it.  Read-your-writes on the primary falls
+// out directly: get_latest() reads at last_applied().
+//
+// GC: reclaim_floor = min(last_applied, oldest open snapshot).  For
+// each chain the newest version at-or-below the floor must stay (every
+// open snapshot resolves to it or to something newer, which also
+// stays); everything OLDER than that version is invisible to every
+// open and every future snapshot and is reclaimed.  A head tombstone
+// at-or-below the floor lets the whole chain go.  The CUBRID
+// replicator_mvcc exemplar keeps the same shape: a map of active
+// version bookkeeping pruned as transactions complete.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+
+#include "common/thread_annotations.h"
+
+namespace tempo::kv {
+
+struct MvccStoreStats {
+  std::atomic<std::int64_t> applied{0};            // versions installed
+  std::atomic<std::int64_t> duplicate_applies{0};  // seq <= last: REJECTED
+  std::atomic<std::int64_t> gc_reclaimed{0};       // versions freed by gc()
+  std::atomic<std::int64_t> snapshot_reads{0};
+};
+
+class MvccStore {
+ public:
+  MvccStore() = default;
+  ~MvccStore();
+  MvccStore(const MvccStore&) = delete;
+  MvccStore& operator=(const MvccStore&) = delete;
+
+  // A consistent read cut.  RAII: registers its sequence with the
+  // store so gc() cannot reclaim anything it can see; movable so it
+  // can be returned, not copyable.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+    Snapshot(Snapshot&& o) noexcept : store_(o.store_), seq_(o.seq_) {
+      o.store_ = nullptr;
+    }
+    Snapshot& operator=(Snapshot&& o) noexcept;
+    ~Snapshot() { release(); }
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+
+    std::uint64_t seq() const { return seq_; }
+    bool valid() const { return store_ != nullptr; }
+    // Value visible at this snapshot, or nullopt (missing/deleted).
+    std::optional<std::string> get(std::string_view key) const;
+    void release();
+
+   private:
+    friend class MvccStore;
+    Snapshot(const MvccStore* store, std::uint64_t seq)
+        : store_(store), seq_(seq) {}
+    const MvccStore* store_ = nullptr;
+    std::uint64_t seq_ = 0;
+  };
+
+  // Applies a committed mutation at `seq`.  Sequences must be strictly
+  // increasing; an apply at seq <= last_applied() is rejected and
+  // counted (duplicate_applies) — the replication sink relies on this
+  // as its last line of defense against double-applies.
+  bool apply_put(std::uint64_t seq, std::string_view key,
+                 std::string_view value);
+  bool apply_del(std::uint64_t seq, std::string_view key);
+
+  // Convenience for standalone (non-WAL) use: assigns the next
+  // sequence internally.  Returns the assigned sequence.
+  std::uint64_t put(std::string_view key, std::string_view value);
+  std::uint64_t del(std::string_view key);
+
+  std::uint64_t last_applied() const {
+    return last_applied_.load(std::memory_order_acquire);
+  }
+
+  Snapshot snapshot() const;
+  // Read at last_applied() without registering a snapshot (the
+  // version resolved under the shared lock cannot be GC'd mid-read).
+  std::optional<std::string> get_latest(std::string_view key) const;
+
+  // Reclaims every version invisible to all open snapshots (and to any
+  // snapshot that could still be taken).  Returns versions reclaimed.
+  std::size_t gc();
+
+  // Every live (non-tombstone) key -> value at last_applied(): the
+  // byte-identical comparison surface for the replication tests.
+  std::map<std::string, std::string> dump() const;
+  // FNV-1a over dump(), for cheap equality assertions.
+  std::uint64_t digest() const;
+
+  const MvccStoreStats& stats() const { return stats_; }
+  std::size_t key_count() const;
+  std::size_t version_count() const;
+  std::uint64_t oldest_open_snapshot() const;  // UINT64_MAX when none
+
+ private:
+  struct Version {
+    std::uint64_t seq = 0;
+    bool tombstone = false;
+    std::string value;
+    std::shared_ptr<const Version> prev;
+  };
+
+  // Tears a chain down iteratively: naive shared_ptr teardown recurses
+  // once per version and overflows the stack on write-hot keys.
+  static void unlink_chain(std::shared_ptr<const Version> head);
+  bool apply(std::uint64_t seq, std::string_view key, std::string_view value,
+             bool tombstone);
+  std::optional<std::string> read_at(std::uint64_t seq,
+                                     std::string_view key) const;
+  void unregister_snapshot(std::uint64_t seq) const;
+
+  mutable std::shared_mutex map_mu_;
+  std::map<std::string, std::shared_ptr<const Version>, std::less<>> map_
+      TEMPO_GUARDED_BY(map_mu_);
+  std::size_t versions_ TEMPO_GUARDED_BY(map_mu_) = 0;
+  std::atomic<std::uint64_t> last_applied_{0};
+
+  mutable std::mutex snap_mu_;
+  mutable std::multiset<std::uint64_t> open_snapshots_
+      TEMPO_GUARDED_BY(snap_mu_);
+
+  mutable MvccStoreStats stats_;
+};
+
+}  // namespace tempo::kv

@@ -1,0 +1,219 @@
+#include "kv/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "common/endian.h"
+
+namespace tempo::kv {
+
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 16;  // len + crc + seq
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+// Reads the whole file (recovery path only; logs are bounded by the
+// workload, and recovery runs once per open).
+Result<Bytes> read_all(int fd) {
+  Bytes out;
+  std::array<std::uint8_t, 1 << 16> chunk;
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk.data(), chunk.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return unavailable("wal read: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) break;
+    out.insert(out.end(), chunk.data(), chunk.data() + n);
+  }
+  return out;
+}
+
+Status write_all_fd(int fd, ByteSpan bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return unavailable("wal write: " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+std::uint32_t crc32_ieee(std::uint32_t seed, ByteSpan bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const std::uint8_t b : bytes) {
+    c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Result<std::unique_ptr<Wal>> Wal::open(
+    const std::string& path, Options opts,
+    const std::function<void(std::uint64_t, ByteSpan)>& replay,
+    WalRecovery* recovery) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return unavailable("wal open " + path + ": " +
+                       std::string(std::strerror(errno)));
+  }
+  auto contents = read_all(fd);
+  if (!contents.is_ok()) {
+    ::close(fd);
+    return contents.status();
+  }
+  const Bytes& data = *contents;
+
+  // Scan frames forward; the first short, corrupt, or out-of-sequence
+  // frame ends the committed prefix.
+  std::size_t good_end = 0;
+  std::uint64_t last_seq = 0;
+  std::uint64_t records = 0;
+  std::size_t pos = 0;
+  while (data.size() - pos >= kFrameHeaderBytes) {
+    const std::uint32_t len = load_be32(data.data() + pos);
+    if (len > opts.max_record_bytes) break;
+    if (data.size() - pos - kFrameHeaderBytes < len) break;  // torn body
+    const std::uint32_t crc = load_be32(data.data() + pos + 4);
+    const std::uint64_t seq = load_be64(data.data() + pos + 8);
+    // CRC covers seq + payload: the 8 bytes preceding the payload.
+    const std::uint32_t want =
+        crc32_ieee(0, ByteSpan(data.data() + pos + 8, 8 + len));
+    if (crc != want) break;
+    if (seq != last_seq + 1) break;  // sequence chain broken
+    if (replay) {
+      replay(seq, ByteSpan(data.data() + pos + kFrameHeaderBytes, len));
+    }
+    last_seq = seq;
+    ++records;
+    pos += kFrameHeaderBytes + len;
+    good_end = pos;
+  }
+
+  if (recovery) {
+    recovery->last_seq = last_seq;
+    recovery->records = records;
+    recovery->truncated_bytes = data.size() - good_end;
+  }
+  // Torn-tail truncation: cut the file back to the committed prefix so
+  // the next append continues from a clean boundary.
+  if (good_end < data.size()) {
+    if (::ftruncate(fd, static_cast<off_t>(good_end)) != 0) {
+      ::close(fd);
+      return unavailable("wal truncate: " +
+                         std::string(std::strerror(errno)));
+    }
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return unavailable("wal seek: " + std::string(std::strerror(errno)));
+  }
+  auto wal =
+      std::unique_ptr<Wal>(new Wal(path, fd, opts, last_seq));
+  return wal;
+}
+
+Wal::Wal(std::string path, int fd, Options opts, std::uint64_t last_seq)
+    : path_(std::move(path)), fd_(fd), opts_(opts), next_seq_(last_seq + 1) {
+  durable_seq_.store(last_seq, std::memory_order_release);
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t Wal::next_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+Result<std::uint64_t> Wal::commit(ByteSpan payload) {
+  if (payload.size() > opts_.max_record_bytes) {
+    return out_of_range("wal record exceeds max_record_bytes");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!io_error_.is_ok()) return io_error_;
+  const std::uint64_t seq = next_seq_++;
+
+  // Frame into the shared pending buffer.
+  const std::size_t base = pending_.size();
+  pending_.resize(base + kFrameHeaderBytes + payload.size());
+  store_be32(pending_.data() + base,
+             static_cast<std::uint32_t>(payload.size()));
+  store_be64(pending_.data() + base + 8, seq);
+  std::memcpy(pending_.data() + base + kFrameHeaderBytes, payload.data(),
+              payload.size());
+  store_be32(pending_.data() + base + 4,
+             crc32_ieee(0, ByteSpan(pending_.data() + base + 8,
+                                    8 + payload.size())));
+  pending_max_seq_ = seq;
+  pending_records_ += 1;
+
+  // Group commit: wait until some leader (possibly this thread) has
+  // carried `seq` past the durable horizon.
+  while (durable_seq_.load(std::memory_order_acquire) < seq) {
+    if (!io_error_.is_ok()) return io_error_;
+    if (!sync_in_progress_) {
+      // Become the leader for everything pending right now.
+      sync_in_progress_ = true;
+      Bytes batch;
+      batch.swap(pending_);
+      const std::uint64_t batch_max = pending_max_seq_;
+      const std::uint64_t batch_records = pending_records_;
+      pending_records_ = 0;
+      lock.unlock();
+
+      Status st = write_all_fd(fd_, ByteSpan(batch.data(), batch.size()));
+      if (st.is_ok() && opts_.fsync && ::fsync(fd_) != 0) {
+        st = unavailable("wal fsync: " + std::string(std::strerror(errno)));
+      }
+
+      lock.lock();
+      sync_in_progress_ = false;
+      if (!st.is_ok()) {
+        io_error_ = st;
+        cv_.notify_all();
+        return st;
+      }
+      if (opts_.fsync) stats_.fsyncs.fetch_add(1, std::memory_order_relaxed);
+      stats_.records.fetch_add(static_cast<std::int64_t>(batch_records),
+                               std::memory_order_relaxed);
+      if (batch_records > 1) {
+        stats_.batched.fetch_add(static_cast<std::int64_t>(batch_records),
+                                 std::memory_order_relaxed);
+      }
+      stats_.bytes.fetch_add(static_cast<std::int64_t>(batch.size()) -
+                                 static_cast<std::int64_t>(batch_records) *
+                                     static_cast<std::int64_t>(
+                                         kFrameHeaderBytes),
+                             std::memory_order_relaxed);
+      durable_seq_.store(batch_max, std::memory_order_release);
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock);
+    }
+  }
+  return seq;
+}
+
+}  // namespace tempo::kv

@@ -1,0 +1,132 @@
+// Deterministic UDP fault proxy shared by the fault-injection suites
+// (test_faults.cpp) and the KV replication-consistency suite
+// (test_kv_repl.cpp).
+//
+// Sits between one client and a real runtime on loopback: datagrams in
+// either direction are dropped, duplicated, or held back and released
+// out of order according to a seeded splitmix64 schedule, so a run is
+// exactly reproducible.  (Loopback itself never faults, which is why
+// the runtimes had no adversarial coverage before the proxy existed.)
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <thread>
+
+#include "common/bytes.h"
+#include "net/udp.h"
+#include "test_rng.h"
+
+namespace tempo::test {
+
+struct FaultParams {
+  double drop = 0.0;     // per-datagram drop probability
+  double dup = 0.0;      // per-datagram duplication probability
+  double reorder = 0.0;  // probability a datagram is held and released
+                         // AFTER the next one (a pairwise swap)
+};
+
+class UdpFaultProxy {
+ public:
+  UdpFaultProxy(net::Addr server, FaultParams faults, std::uint64_t seed)
+      : server_(server), faults_(faults), rng_{seed} {
+    EXPECT_TRUE(client_side_.ok());
+    EXPECT_TRUE(server_side_.ok());
+    EXPECT_TRUE(client_side_.set_nonblocking(true).is_ok());
+    EXPECT_TRUE(server_side_.set_nonblocking(true).is_ok());
+    thread_ = std::thread([this] { pump(); });
+  }
+
+  ~UdpFaultProxy() {
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  // Where the client should send its requests.
+  net::Addr addr() const { return client_side_.local_addr(); }
+
+ private:
+  bool chance(double p) { return rng_.chance(p); }
+
+  struct Pending {
+    bool to_server = false;
+    Bytes payload;
+  };
+
+  void forward(bool to_server, ByteSpan payload) {
+    // A refused send is just one more dropped datagram to the client.
+    if (to_server) {
+      (void)!server_side_.send_to(server_, payload).is_ok();
+    } else if (client_.port != 0) {
+      (void)!client_side_.send_to(client_, payload).is_ok();
+    }
+  }
+
+  // Applies the fault schedule to one datagram, then forwards it (and
+  // any datagram whose reordering hold ends with this one).
+  void apply(bool to_server, ByteSpan payload) {
+    if (chance(faults_.drop)) return;
+    const bool hold = chance(faults_.reorder);
+    if (hold) {
+      held_.push_back(Pending{to_server, Bytes(payload.begin(),
+                                               payload.end())});
+    } else {
+      forward(to_server, payload);
+      if (chance(faults_.dup)) forward(to_server, payload);
+    }
+    // Release anything held from before this datagram: the held one now
+    // arrives after its successor — a reorder.
+    while (held_.size() > (hold ? 1u : 0u)) {
+      Pending p = std::move(held_.front());
+      held_.pop_front();
+      forward(p.to_server, ByteSpan(p.payload.data(), p.payload.size()));
+      if (chance(faults_.dup)) {
+        forward(p.to_server, ByteSpan(p.payload.data(), p.payload.size()));
+      }
+    }
+  }
+
+  void pump() {
+    Bytes buf(65536);
+    while (!stop_.load(std::memory_order_acquire)) {
+      bool idle = true;
+      net::Addr src;
+      // Client -> server: remember the (single) client so replies can
+      // be routed back.
+      auto got = client_side_.recv_from(
+          &src, MutableByteSpan(buf.data(), buf.size()), 0);
+      if (got.is_ok()) {
+        client_ = src;
+        apply(/*to_server=*/true, ByteSpan(buf.data(), *got));
+        idle = false;
+      }
+      got = server_side_.recv_from(nullptr,
+                                   MutableByteSpan(buf.data(), buf.size()), 0);
+      if (got.is_ok()) {
+        apply(/*to_server=*/false, ByteSpan(buf.data(), *got));
+        idle = false;
+      }
+      if (idle) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Flush stragglers so a held reply is not silently lost at exit.
+    while (!held_.empty()) {
+      Pending p = std::move(held_.front());
+      held_.pop_front();
+      forward(p.to_server, ByteSpan(p.payload.data(), p.payload.size()));
+    }
+  }
+
+  net::Addr server_;
+  FaultParams faults_;
+  test::Rng rng_;
+  net::UdpSocket client_side_;  // faces the client
+  net::UdpSocket server_side_;  // faces the runtime
+  net::Addr client_{};          // learned from the first request
+  std::deque<Pending> held_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace tempo::test

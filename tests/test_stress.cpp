@@ -19,6 +19,11 @@
 // (default 0xC0FFEE) and runs for TEMPO_STRESS_MS (default 2000 ms), so
 // CI pins one reproducible schedule — the short deterministic-seed
 // variant — while a soak box can crank the duration up.
+//
+// TEMPO_STRESS_KV=1 additionally enables the KV soak: a client mix of
+// puts/gets/deletes against a live KvService (generic string tier)
+// while one replica tails the commit log over the plan/JIT tier, with
+// commit-vs-apply books balanced at soak end.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -32,6 +37,8 @@
 #include "common/endian.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "kv/repl.h"
+#include "kv/service.h"
 #include "net/tcp.h"
 #include "net/udp.h"
 #include "rpc/event_runtime.h"
@@ -70,6 +77,14 @@ int stress_tcp_depth() {
   const char* e = std::getenv("TEMPO_STRESS_TCP_DEPTH");
   const int v = e ? std::atoi(e) : 4;
   return v > 1 ? v : 2;
+}
+
+// The KV soak is opt-in: it stacks a full KvService + replica on top
+// of the runtime soak, so plain tier-1 runs keep their wall-clock
+// while CI's stress lanes set TEMPO_STRESS_KV=1.
+bool stress_kv_enabled() {
+  const char* e = std::getenv("TEMPO_STRESS_KV");
+  return e != nullptr && *e != '\0' && *e != '0';
 }
 
 // One RNG instance per client thread: deterministic given the seed,
@@ -504,6 +519,154 @@ TEST(StressSoak, MixedRandomTrafficBalancesTheBooks) {
       static_cast<long long>(runtime.stats().work_steals.load()),
       static_cast<long long>(arena.hits), static_cast<long long>(arena.misses));
   runtime.stop();
+}
+
+// ---- KV soak (TEMPO_STRESS_KV=1) ------------------------------------
+//
+// A client mix of puts/gets/deletes hammers a live KvService through
+// the string-heavy generic RPC tier while ONE replica tails the commit
+// log over the fixed-shape plan/JIT tier, for the same seeded,
+// bounded wall-clock window as the runtime soak.  At soak end the
+// books must balance:
+//
+//   * every primary commit (WAL sequence) is applied on the replica
+//     EXACTLY once: per-shard last_applied equality, and the replica's
+//     applied count equals the summed primary sequences;
+//   * the store-level double-apply counter stays 0 (the pinned
+//     replication-safety invariant, kv.repl_duplicate_applies);
+//   * the replica's live state is byte-identical to the primary's
+//     (dump + digest equality);
+//   * every RPC the clients issued succeeded, and the primary
+//     committed at least one sequence per acknowledged mutation.
+TEST(StressSoak, KvClientMixBalancesCommitAndReplicaBooks) {
+  if (!stress_kv_enabled()) {
+    GTEST_SKIP() << "set TEMPO_STRESS_KV=1 to run the KV soak";
+  }
+
+  kv::KvService::Options kv_opts;
+  kv_opts.shards = 2;
+  auto primary = kv::KvService::open(kv_opts);
+  ASSERT_TRUE(primary.is_ok());
+
+  rpc::SvcRegistry primary_reg;
+  (*primary)->install(primary_reg);
+  rpc::EventServerRuntimeConfig primary_cfg;
+  primary_cfg.workers = 2;
+  primary_cfg.enable_tcp = false;
+  rpc::EventServerRuntime primary_rt(primary_reg, primary_cfg);
+  ASSERT_TRUE(primary_rt.start().is_ok());
+
+  rpc::SvcRegistry replica_reg;
+  kv::KvReplicaSink sink(kv_opts.shards);
+  sink.install(replica_reg);
+  rpc::EventServerRuntimeConfig replica_cfg;
+  replica_cfg.workers = 2;
+  replica_cfg.enable_tcp = false;
+  rpc::EventServerRuntime replica_rt(replica_reg, replica_cfg);
+  ASSERT_TRUE(replica_rt.start().is_ok());
+
+  kv::KvReplicator repl(**primary, replica_rt.udp_addr());
+  ASSERT_TRUE(repl.start().is_ok());
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(stress_ms());
+  const std::uint64_t seed = stress_seed();
+
+  constexpr int kKvClients = 3;
+  std::atomic<std::int64_t> kv_mutations{0}, kv_reads{0}, kv_hits{0};
+  std::atomic<int> kv_errors{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kKvClients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng{seed + 0x4B56ull + static_cast<std::uint64_t>(c) * 0x9E37ull};
+      rpc::CallOptions copts;
+      copts.retry_timeout_ms = 100;
+      copts.total_timeout_ms = 5000;
+      kv::KvClient client(primary_rt.udp_addr(), copts);
+      if (!client.ok()) {
+        ++kv_errors;
+        return;
+      }
+      // Keys are partitioned per client ("cN-…") so deletes and puts
+      // from different threads never interleave on one key; the value
+      // mix spans the small and mid ship size classes.
+      while (std::chrono::steady_clock::now() < deadline) {
+        const std::string key = "c" + std::to_string(c) + "-key-" +
+                                std::to_string(rng.below(64));
+        const std::uint32_t pick = rng.below(10);
+        if (pick < 6) {
+          std::string value;
+          if (rng.chance(0.2)) {
+            value.assign(500 + rng.below(1500), 'x');
+          } else {
+            value = "v" + std::to_string(rng.next() % 100000);
+          }
+          if (client.put(key, value).is_ok()) {
+            ++kv_mutations;
+          } else {
+            ++kv_errors;
+          }
+        } else if (pick < 8) {
+          if (client.del(key).is_ok()) {
+            ++kv_mutations;
+          } else {
+            ++kv_errors;
+          }
+        } else {
+          auto got = client.get(key);
+          if (got.is_ok()) {
+            ++kv_reads;
+            if (got->has_value()) ++kv_hits;
+          } else {
+            ++kv_errors;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Drain the ship stream, then settle the books.
+  ASSERT_TRUE(repl.wait_caught_up(60000)) << "replica lag " << repl.lag();
+  repl.stop();
+
+  EXPECT_EQ(kv_errors.load(), 0);
+  EXPECT_GT(kv_mutations.load(), 0);
+  EXPECT_GT(kv_reads.load(), 0);
+
+  std::int64_t primary_commits = 0;
+  for (std::uint32_t s = 0; s < (*primary)->shard_count(); ++s) {
+    EXPECT_EQ(sink.last_applied(s), (*primary)->store(s).last_applied())
+        << "shard " << s;
+    EXPECT_EQ(sink.store(s).dump(), (*primary)->store(s).dump())
+        << "shard " << s;
+    primary_commits +=
+        static_cast<std::int64_t>((*primary)->store(s).last_applied());
+  }
+  // Every acknowledged mutation committed a sequence (retries may add
+  // more, never fewer), and the replica applied each exactly once.
+  EXPECT_GE(primary_commits, kv_mutations.load());
+  EXPECT_EQ(sink.stats().applied.load(), primary_commits);
+  EXPECT_EQ(sink.duplicate_applies(), 0);
+  EXPECT_EQ(sink.digest(), (*primary)->digest());
+  if (common::metrics_enabled()) {
+    auto snap = common::metrics().snapshot();
+    EXPECT_EQ(snap.counters["kv.repl_duplicate_applies"], 0);
+  }
+
+  std::printf(
+      "kv soak: %lld mutations, %lld reads (%lld hits), %lld commits, "
+      "%lld replica applies, %lld duplicate skips, %lld ship calls\n",
+      static_cast<long long>(kv_mutations.load()),
+      static_cast<long long>(kv_reads.load()),
+      static_cast<long long>(kv_hits.load()),
+      static_cast<long long>(primary_commits),
+      static_cast<long long>(sink.stats().applied.load()),
+      static_cast<long long>(sink.stats().duplicate_skips.load()),
+      static_cast<long long>(repl.stats().ship_calls.load()));
+
+  primary_rt.stop();
+  replica_rt.stop();
 }
 
 }  // namespace

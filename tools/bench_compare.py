@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
-"""Compare two bench_concurrent JSON artifacts point-by-point.
+"""Compare two bench JSON artifacts point-by-point.
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json \
-        [--max-drop-pct 15] [--max-rise-pct 15] [--label text]
+        [--max-drop-pct 15] [--max-rise-pct 15] [--label text] \
+        [--key-fields f1,f2,...]
 
-Points are matched on the full configuration key (runtime, workers,
-clients, reactors, workers_per_shard, tcp_depth, queue); for each
-matched pair the script flags
+Points are matched on the configuration key — by default the
+bench_concurrent fields (runtime, workers, clients, reactors,
+workers_per_shard, tcp_depth, queue); other benches pass --key-fields
+(e.g. bench_kv uses mode,writers,value_bytes).  For each matched pair
+the script flags
 
   * calls_per_sec dropping by more than --max-drop-pct, and
   * p99_us rising by more than --max-rise-pct (only when both sides
@@ -24,25 +27,16 @@ import json
 import sys
 
 
-def config_key(point):
-    return tuple(
-        point.get(f)
-        for f in (
-            "runtime",
-            "workers",
-            "clients",
-            "reactors",
-            "workers_per_shard",
-            "tcp_depth",
-            "queue",
-        )
-    )
+DEFAULT_KEY_FIELDS = ("runtime", "workers", "clients", "reactors",
+                      "workers_per_shard", "tcp_depth", "queue")
 
 
-def fmt_key(key):
-    names = ("runtime", "workers", "clients", "reactors",
-             "workers_per_shard", "tcp_depth", "queue")
-    return " ".join(f"{n}={v}" for n, v in zip(names, key))
+def config_key(point, fields):
+    return tuple(point.get(f) for f in fields)
+
+
+def fmt_key(key, fields):
+    return " ".join(f"{n}={v}" for n, v in zip(fields, key))
 
 
 def main():
@@ -55,7 +49,11 @@ def main():
                     help="tolerated p99_us rise (percent)")
     ap.add_argument("--label", default="bench",
                     help="prefix for warning messages")
+    ap.add_argument("--key-fields", default=",".join(DEFAULT_KEY_FIELDS),
+                    help="comma-separated point fields forming the "
+                         "configuration key")
     args = ap.parse_args()
+    fields = tuple(f for f in args.key_fields.split(",") if f)
 
     with open(args.baseline) as f:
         base = json.load(f)
@@ -68,8 +66,8 @@ def main():
               f"{cur.get('schema_version')}); refusing to compare")
         return 0
 
-    base_points = {config_key(p): p for p in base.get("points", [])}
-    cur_keys = {config_key(p) for p in cur.get("points", [])}
+    base_points = {config_key(p, fields): p for p in base.get("points", [])}
+    cur_keys = {config_key(p, fields) for p in cur.get("points", [])}
     warnings = 0
     compared = 0
     # A baseline point with no current counterpart means coverage was
@@ -78,16 +76,16 @@ def main():
     # that configuration would otherwise go unnoticed.
     for key in base_points:
         if key not in cur_keys:
-            print(f"::warning::{args.label}: baseline point {fmt_key(key)} "
-                  f"has no matching point in the current run; "
-                  f"coverage lost")
+            print(f"::warning::{args.label}: baseline point "
+                  f"{fmt_key(key, fields)} has no matching point in the "
+                  f"current run; coverage lost")
             warnings += 1
     for point in cur.get("points", []):
-        ref = base_points.get(config_key(point))
+        ref = base_points.get(config_key(point, fields))
         if ref is None:
             continue
         compared += 1
-        key = fmt_key(config_key(point))
+        key = fmt_key(config_key(point, fields), fields)
 
         ref_rate, cur_rate = ref.get("calls_per_sec", 0), point.get(
             "calls_per_sec", 0)
