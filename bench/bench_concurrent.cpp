@@ -86,7 +86,10 @@ struct Point {
   int workers_per_shard = 0;  // 0 = derived from workers
   int tcp_depth = 0;          // 0 = UDP workload
   bool shared_queue = false;
-  std::string backend;  // "threads", "epoll" or "poll"
+  std::string backend;  // "threads", "epoll", "poll" or "uring"
+  // io_uring_enter syscalls across the measurement (0 on other
+  // backends) — the bench's "syscalls per burst" evidence.
+  std::int64_t uring_enters = 0;
   double calls_per_sec = 0.0;
   // Server-side end-to-end latency (recv to reply-send), read from the
   // runtime's per-shard histograms before stop().  count == 0 when
@@ -117,6 +120,9 @@ struct Options {
   bool shared_queue = false;  // reactor A/B: one global queue (PR 4 shape)
   double open_loop = 0.0;  // >0: offered calls/sec across clients (UDP)
   std::string runtime = "both";  // threaded | reactor | both
+  std::string backend = "auto";  // reactor backend: auto|epoll|poll|uring
+  bool sqpoll = false;           // uring only: IORING_SETUP_SQPOLL
+  bool pin_shards = false;       // pin shard/worker threads to CPUs
   std::string json_path;         // empty = no JSON
 };
 
@@ -152,6 +158,11 @@ Point run_point(const char* runtime_name, core::SpecCache& cache,
     cfg.workers_per_shard = opt.workers_per_shard;
     cfg.shared_queue = opt.shared_queue;
     if (opt.tcp_depth > 0) cfg.tcp_pipeline_depth = opt.tcp_depth;
+    if (opt.backend == "epoll") cfg.backend = rpc::EventBackend::kEpoll;
+    if (opt.backend == "poll") cfg.backend = rpc::EventBackend::kPoll;
+    if (opt.backend == "uring") cfg.backend = rpc::EventBackend::kUring;
+    cfg.sqpoll = opt.sqpoll;
+    cfg.pin_shards = opt.pin_shards;
   }
   RuntimeT runtime(reg, cfg);
   if (!runtime.start().is_ok()) {
@@ -417,8 +428,10 @@ Point run_point(const char* runtime_name, core::SpecCache& cache,
   // Read while the runtime is live: stop() tears the shards down and
   // backend() honestly reports "none" afterwards.
   std::string backend = "threads";
+  std::int64_t uring_enters = 0;
   if constexpr (std::is_same_v<RuntimeT, rpc::EventServerRuntime>) {
     backend = runtime.backend();
+    uring_enters = runtime.uring_enter_calls();
   }
   // Server-side end-to-end distribution, merged across shards and both
   // transports.  Empty (count 0) when TEMPO_METRICS=0.
@@ -442,6 +455,7 @@ Point run_point(const char* runtime_name, core::SpecCache& cache,
     p.workers_per_shard = opt.workers_per_shard;
     p.shared_queue = opt.shared_queue;
     p.backend = backend;
+    p.uring_enters = uring_enters;
   } else {
     p.reactors = 1;
     p.backend = "threads";
@@ -525,9 +539,11 @@ void run(const Options& opt) {
   std::printf(
       "bench_concurrent: echo-array n=%u over loopback %s, "
       "dwell=%dus, %dms per point, cache shards=%zu, reactors=%d, "
-      "workers/shard=%d, queue=%s, %s\n\n",
+      "backend=%s%s%s, workers/shard=%d, queue=%s, %s\n\n",
       kArraySize, opt.tcp_depth > 0 ? "TCP" : "UDP", opt.dwell_us,
-      opt.duration_ms, kCacheShards, opt.reactors, opt.workers_per_shard,
+      opt.duration_ms, kCacheShards, opt.reactors, opt.backend.c_str(),
+      opt.sqpoll ? "+sqpoll" : "", opt.pin_shards ? "+pin" : "",
+      opt.workers_per_shard,
       opt.shared_queue ? "shared" : "shard-local",
       opt.tcp_depth > 0
           ? "pipelined TCP"
@@ -647,6 +663,7 @@ void run(const Options& opt) {
       jw.field("tcp_depth", p.tcp_depth);
       jw.field("queue", p.shared_queue ? "shared" : "shard-local");
       jw.field("backend", p.backend);
+      jw.field("uring_enters", p.uring_enters);
       jw.field("calls_per_sec", p.calls_per_sec);
       jw.field("lat_count", p.lat_count);
       jw.field("p50_us", p.p50_us);
@@ -700,6 +717,21 @@ int main(int argc, char** argv) {
       opt.runtime = argv[++i];
     } else if (std::strncmp(argv[i], "--runtime=", 10) == 0) {
       opt.runtime = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      opt.backend = argv[++i];
+    } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      opt.backend = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--sqpoll") == 0) {
+      opt.sqpoll = true;
+    } else if (std::strcmp(argv[i], "--pin-shards") == 0) {
+      opt.pin_shards = true;
+    } else if (std::strcmp(argv[i], "--probe-uring") == 0) {
+      // CI gate: exit 0 when the uring backend can run here, 3 when the
+      // kernel (or TEMPO_URING=0) rules it out — lets workflows skip
+      // the uring A/B leg without parsing bench output.
+      const bool ok = tempo::rpc::EventServerRuntime::uring_supported();
+      std::printf("uring %s\n", ok ? "supported" : "unsupported");
+      return ok ? 0 : 3;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       opt.json_path = argv[++i];
     } else {
@@ -707,7 +739,9 @@ int main(int argc, char** argv) {
                    "usage: %s [--duration-ms N] [--dwell-us N] "
                    "[--window N] [--reactors N] [--workers-per-shard N] "
                    "[--shared-queue] [--tcp-depth N] [--open-loop RATE] "
-                   "[--runtime threaded|reactor|both] [--json PATH|-]\n",
+                   "[--runtime threaded|reactor|both] "
+                   "[--backend auto|epoll|poll|uring] [--sqpoll] "
+                   "[--pin-shards] [--probe-uring] [--json PATH|-]\n",
                    argv[0]);
       return 2;
     }
@@ -716,6 +750,16 @@ int main(int argc, char** argv) {
       opt.runtime != "both") {
     std::fprintf(stderr, "unknown --runtime %s\n", opt.runtime.c_str());
     return 2;
+  }
+  if (opt.backend != "auto" && opt.backend != "epoll" &&
+      opt.backend != "poll" && opt.backend != "uring") {
+    std::fprintf(stderr, "unknown --backend %s\n", opt.backend.c_str());
+    return 2;
+  }
+  if (opt.backend == "uring" &&
+      !tempo::rpc::EventServerRuntime::uring_supported()) {
+    std::fprintf(stderr, "--backend uring: not supported on this kernel\n");
+    return 3;
   }
   tempo::bench::run(opt);
   return 0;

@@ -4,12 +4,15 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdint>
+#include <cstring>
 #include <utility>
 
 #include "net/transport.h"
 
 #if defined(__linux__)
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #define TEMPO_HAVE_EPOLL 1
 #else
 #define TEMPO_HAVE_EPOLL 0
@@ -51,9 +54,29 @@ short to_poll_mask(unsigned interest) {
   return m;
 }
 
+// Poll-CQE user_data payload: generation (24 bits, wrap-around is fine
+// — a stale CQE colliding needs 2^24 re-arms while one completion sits
+// unreaped) above the fd (32 bits).
+constexpr unsigned kGenMask = 0xFFFFFFu;
+
+std::uint64_t poll_user_data(int fd, unsigned gen) {
+  return uring_user_data(kUringTagPoll,
+                         (static_cast<std::uint64_t>(gen & kGenMask) << 32) |
+                             static_cast<std::uint32_t>(fd));
+}
+
 }  // namespace
 
-Reactor::Reactor(bool force_poll) {
+void Reactor::init_wakeup() {
+#if defined(__linux__)
+  // eventfd: one fd per reactor instead of a pipe pair, and draining is
+  // a single 8-byte counter read.
+  int efd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (efd >= 0) {
+    wake_read_fd_ = wake_write_fd_ = efd;
+    return;
+  }
+#endif
   int fds[2];
   if (::pipe(fds) != 0) return;
   wake_read_fd_ = fds[0];
@@ -63,17 +86,13 @@ Reactor::Reactor(bool force_poll) {
     ::close(wake_read_fd_);
     ::close(wake_write_fd_);
     wake_read_fd_ = wake_write_fd_ = -1;
-    return;
   }
+}
+
+void Reactor::init_epoll() {
 #if TEMPO_HAVE_EPOLL
-  if (!force_poll) {
-    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-    use_epoll_ = epoll_fd_ >= 0;
-  }
-#else
-  (void)force_poll;
-#endif
-#if TEMPO_HAVE_EPOLL
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  use_epoll_ = epoll_fd_ >= 0;
   if (use_epoll_) {
     epoll_event ev{};
     ev.events = EPOLLIN;
@@ -87,15 +106,59 @@ Reactor::Reactor(bool force_poll) {
 #endif
 }
 
+Reactor::Reactor(ReactorBackend backend, bool sqpoll) {
+  init_wakeup();
+  if (!ok()) return;
+  if (backend == ReactorBackend::kUring && Uring::supported()) {
+    auto ring = std::make_unique<Uring>(256, sqpoll);
+    if (ring->ok()) {
+      uring_ = std::move(ring);
+      // Arm the wakeup poll before the loop thread exists so the first
+      // blocking wait can already be popped.
+      uring_->prep_poll_add(wake_read_fd_, POLLIN,
+                            uring_user_data(kUringTagWake, 0));
+      wake_armed_ = true;
+      uring_->submit();
+      return;
+    }
+  }
+  if (backend != ReactorBackend::kPoll) init_epoll();
+}
+
 Reactor::~Reactor() {
+  // Close the ring (cancelling any in-flight SQEs) before the fds they
+  // reference.
+  uring_.reset();
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
-  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  if (wake_write_fd_ >= 0 && wake_write_fd_ != wake_read_fd_) {
+    ::close(wake_write_fd_);
+  }
 }
 
 bool Reactor::ok() const { return wake_read_fd_ >= 0; }
 
-const char* Reactor::backend() const { return use_epoll_ ? "epoll" : "poll"; }
+const char* Reactor::backend() const {
+  if (uring_) return "uring";
+  return use_epoll_ ? "epoll" : "poll";
+}
+
+void Reactor::uring_arm_poll(int fd, Entry& e) {
+  if (e.armed) return;
+  const short mask = to_poll_mask(e.interest);
+  if (mask == 0) return;
+  uring_->prep_poll_add(fd, static_cast<unsigned>(mask),
+                        poll_user_data(fd, e.gen));
+  e.armed = true;
+}
+
+void Reactor::uring_disarm_poll(int fd, Entry& e) {
+  if (!e.armed) return;
+  uring_->prep_poll_remove(poll_user_data(fd, e.gen),
+                           uring_user_data(kUringTagIgnore, 0));
+  e.gen = (e.gen + 1) & kGenMask;  // stale CQEs no longer match
+  e.armed = false;
+}
 
 bool Reactor::add(int fd, unsigned interest, EventFn fn) {
   if (fd < 0 || handlers_.count(fd) != 0) return false;
@@ -107,7 +170,10 @@ bool Reactor::add(int fd, unsigned interest, EventFn fn) {
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
   }
 #endif
-  handlers_[fd] = Entry{interest, std::move(fn)};
+  Entry& e = handlers_[fd];
+  e.interest = interest;
+  e.fn = std::move(fn);
+  if (uring_) uring_arm_poll(fd, e);
   return true;
 }
 
@@ -122,6 +188,12 @@ bool Reactor::set_interest(int fd, unsigned interest) {
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) return false;
   }
 #endif
+  if (uring_ && it->second.interest != interest) {
+    uring_disarm_poll(fd, it->second);
+    it->second.interest = interest;
+    uring_arm_poll(fd, it->second);
+    return true;
+  }
   it->second.interest = interest;
   return true;
 }
@@ -136,6 +208,7 @@ bool Reactor::remove(int fd) {
     (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   }
 #endif
+  if (uring_) uring_disarm_poll(fd, it->second);
   handlers_.erase(it);
   return true;
 }
@@ -149,13 +222,20 @@ void Reactor::post(std::function<void()> fn) {
 }
 
 void Reactor::wakeup() {
-  // Collapse storms: one pending byte is enough to pop poll_once.
+  // Collapse storms: one pending signal is enough to pop poll_once.
   if (wake_pending_.exchange(true, std::memory_order_acq_rel)) return;
-  const char b = 1;
   ssize_t n;
-  do {
-    n = ::write(wake_write_fd_, &b, 1);
-  } while (n < 0 && errno == EINTR);
+  if (wake_write_fd_ == wake_read_fd_) {
+    const std::uint64_t one = 1;  // eventfd counter increment
+    do {
+      n = ::write(wake_write_fd_, &one, sizeof(one));
+    } while (n < 0 && errno == EINTR);
+  } else {
+    const char b = 1;
+    do {
+      n = ::write(wake_write_fd_, &b, 1);
+    } while (n < 0 && errno == EINTR);
+  }
 }
 
 void Reactor::drain_posted() {
@@ -176,14 +256,62 @@ void Reactor::drain_wakeup_pipe() {
   // racer that observes the still-true flag skips the write, and its
   // posted closure is picked up by the drain_posted() that follows
   // every backend_wait().
+  //
+  // For the eventfd the first read returns the whole 8-byte counter and
+  // resets it, so the loop exits after one iteration.
   char buf[64];
   while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
   }
   wake_pending_.store(false, std::memory_order_release);
 }
 
+int Reactor::uring_wait(int timeout_ms,
+                        std::vector<std::pair<int, unsigned>>* out) {
+  cqe_scratch_.clear();
+  const int n = uring_->submit_and_wait(timeout_ms, cqe_scratch_);
+  for (const UringCqe& c : cqe_scratch_) {
+    switch (uring_tag(c.user_data)) {
+      case kUringTagWake:
+        wake_armed_ = false;
+        drain_wakeup_pipe();
+        break;
+      case kUringTagPoll: {
+        const int fd = static_cast<int>(c.user_data & 0xFFFFFFFFu);
+        const unsigned gen =
+            static_cast<unsigned>(uring_payload(c.user_data) >> 32);
+        auto it = handlers_.find(fd);
+        if (it == handlers_.end() || (it->second.gen & kGenMask) != gen) {
+          break;  // stale: fd removed or interest replaced since arming
+        }
+        it->second.armed = false;
+        const unsigned ev = c.res >= 0
+                                ? from_poll_mask(static_cast<short>(c.res))
+                                : (kEventRead | kEventError);
+        if (ev != 0) out->emplace_back(fd, ev);
+        break;
+      }
+      case kUringTagIgnore:
+        break;
+      default:
+        if (cqe_handler_) cqe_handler_(c.user_data, c.res, c.flags);
+        break;
+    }
+  }
+  if (!wake_armed_) {
+    // Re-arm the wakeup poll; submitted before the next blocking wait.
+    // A wakeup() racing the unarmed window leaves the eventfd counter
+    // nonzero, so the fresh (level-triggered) poll completes instantly.
+    uring_->prep_poll_add(wake_read_fd_, POLLIN,
+                          uring_user_data(kUringTagWake, 0));
+    wake_armed_ = true;
+  }
+  if (cqe_drain_hook_) cqe_drain_hook_();
+  return n;
+}
+
 int Reactor::backend_wait(int timeout_ms,
                           std::vector<std::pair<int, unsigned>>* out) {
+  if (uring_) return uring_wait(timeout_ms, out);
 #if TEMPO_HAVE_EPOLL
   if (use_epoll_) {
     epoll_event events[64];
@@ -229,7 +357,7 @@ int Reactor::poll_once(int timeout_ms) {
 
   std::vector<std::pair<int, unsigned>> ready;
   const int n = backend_wait(timeout_ms, &ready);
-  if (n <= 0) {
+  if (n <= 0 && ready.empty()) {
     // A wakeup() may have carried posted closures.
     drain_posted();
     return 0;
@@ -248,6 +376,16 @@ int Reactor::poll_once(int timeout_ms) {
     EventFn fn = it->second.fn;
     fn(events);
     ++dispatched;
+  }
+  if (uring_) {
+    // One-shot polls consumed this batch are re-armed only now, after
+    // their handlers ran: a handler that read the fd dry re-arms a
+    // quiet poll, one that left bytes behind gets an immediate
+    // completion — level-triggered semantics, one SQE per burst.
+    for (const auto& [fd, events] : ready) {
+      auto it = handlers_.find(fd);
+      if (it != handlers_.end()) uring_arm_poll(fd, it->second);
+    }
   }
   return dispatched;
 }

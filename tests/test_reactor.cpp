@@ -55,18 +55,31 @@ core::SpecConfig cfg_for(std::uint32_t n) {
 
 // ---------------------------------------------------- Reactor basics ---
 
-class ReactorBackends : public ::testing::TestWithParam<bool> {};
+class ReactorBackends
+    : public ::testing::TestWithParam<net::ReactorBackend> {};
 
 TEST_P(ReactorBackends, PipeReadinessAndCrossThreadPost) {
-  net::Reactor r(/*force_poll=*/GetParam());
+  if (GetParam() == net::ReactorBackend::kUring &&
+      !net::Reactor::uring_supported()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+  net::Reactor r(GetParam());
   ASSERT_TRUE(r.ok());
-  if (!GetParam()) {
-    // On Linux the default backend must be epoll.
+  switch (GetParam()) {
+    case net::ReactorBackend::kAuto:
+      // On Linux the default backend must be epoll.
 #if defined(__linux__)
-    EXPECT_STREQ(r.backend(), "epoll");
+      EXPECT_STREQ(r.backend(), "epoll");
 #endif
-  } else {
-    EXPECT_STREQ(r.backend(), "poll");
+      break;
+    case net::ReactorBackend::kPoll:
+      EXPECT_STREQ(r.backend(), "poll");
+      break;
+    case net::ReactorBackend::kUring:
+      EXPECT_STREQ(r.backend(), "uring");
+      break;
+    default:
+      break;
   }
 
   int fds[2];
@@ -105,13 +118,27 @@ TEST_P(ReactorBackends, PipeReadinessAndCrossThreadPost) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, ReactorBackends,
-                         ::testing::Values(false, true));
+                         ::testing::Values(net::ReactorBackend::kAuto,
+                                           net::ReactorBackend::kPoll,
+                                           net::ReactorBackend::kUring),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case net::ReactorBackend::kPoll: return "poll";
+                             case net::ReactorBackend::kUring: return "uring";
+                             default: return "auto";
+                           }
+                         });
 
 // ------------------------------------------- event runtime e2e (UDP) ---
 
-class EventRuntimeBackends : public ::testing::TestWithParam<bool> {};
+class EventRuntimeBackends
+    : public ::testing::TestWithParam<rpc::EventBackend> {};
 
 TEST_P(EventRuntimeBackends, CachedServiceOverLoopbackUdp) {
+  if (GetParam() == rpc::EventBackend::kUring &&
+      !rpc::EventServerRuntime::uring_supported()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
   core::SpecCache cache(32, /*shards=*/4);
 
   rpc::SvcRegistry reg;
@@ -126,10 +153,14 @@ TEST_P(EventRuntimeBackends, CachedServiceOverLoopbackUdp) {
 
   rpc::EventServerRuntimeConfig cfg;
   cfg.workers = 4;
-  cfg.force_poll_backend = GetParam();
+  cfg.backend = GetParam();
   rpc::EventServerRuntime runtime(reg, cfg);
   ASSERT_TRUE(runtime.start().is_ok());
-  if (GetParam()) EXPECT_STREQ(runtime.backend(), "poll");
+  if (GetParam() == rpc::EventBackend::kPoll) {
+    EXPECT_STREQ(runtime.backend(), "poll");
+  } else if (GetParam() == rpc::EventBackend::kUring) {
+    EXPECT_STREQ(runtime.backend(), "uring");
+  }
 
   const std::vector<std::uint32_t> sizes = {25, 50, 100};
   constexpr int kCallsPerClient = 30;
@@ -172,7 +203,73 @@ TEST_P(EventRuntimeBackends, CachedServiceOverLoopbackUdp) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, EventRuntimeBackends,
-                         ::testing::Values(false, true));
+                         ::testing::Values(rpc::EventBackend::kAuto,
+                                           rpc::EventBackend::kPoll,
+                                           rpc::EventBackend::kUring),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case rpc::EventBackend::kPoll: return "poll";
+                             case rpc::EventBackend::kUring: return "uring";
+                             default: return "auto";
+                           }
+                         });
+
+// Work stealing must be wakeup-driven: with the periodic re-sweep tick
+// stretched far past the test's lifetime, a sharded runtime still
+// completes an imbalanced workload promptly (idle shards are woken
+// explicitly when a sibling's queue grows a backlog), and zero steals
+// are attributed to the tick.
+TEST(EventServerRuntime, StealingIsWakeupDrivenNotTickDriven) {
+  core::SpecCache cache(32, /*shards=*/4);
+  rpc::SvcRegistry reg;
+  core::CachedSpecService service(
+      cache, echo_array_proc(), kProg, kVers,
+      [](std::span<const std::uint32_t>, std::span<const std::uint32_t> args,
+         std::span<std::uint32_t> results) {
+        std::copy(args.begin(), args.end(), results.begin());
+        return true;
+      });
+  service.install(reg);
+
+  rpc::EventServerRuntimeConfig cfg;
+  cfg.reactors = 4;
+  cfg.workers_per_shard = 1;
+  cfg.steal_tick_ms = 5000;  // far beyond the test: the tick cannot help
+  rpc::EventServerRuntime runtime(reg, cfg);
+  ASSERT_TRUE(runtime.start().is_ok());
+
+  constexpr std::uint32_t kN = 50;
+  constexpr int kClients = 4;
+  constexpr int kCalls = 40;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      auto iface = core::SpecializedInterface::build(echo_array_proc(), kProg,
+                                                     kVers, cfg_for(kN));
+      net::UdpSocket sock;
+      if (!iface.is_ok() || !sock.ok()) {
+        ++bad;
+        return;
+      }
+      core::SpecializedClient client(sock, runtime.udp_addr(), *iface);
+      std::vector<std::uint32_t> args(kN), results(kN, 0);
+      for (std::uint32_t i = 0; i < kN; ++i) args[i] = i;
+      for (int round = 0; round < kCalls; ++round) {
+        if (!client.call(args, results).is_ok() || results != args) {
+          ++bad;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GE(runtime.stats().udp_datagrams.load(), kClients * kCalls);
+  EXPECT_EQ(runtime.stats().tick_steals.load(), 0);
+  runtime.stop();
+}
 
 // ------------------------------------------- event runtime e2e (TCP) ---
 

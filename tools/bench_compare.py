@@ -28,7 +28,7 @@ import sys
 
 
 DEFAULT_KEY_FIELDS = ("runtime", "workers", "clients", "reactors",
-                      "workers_per_shard", "tcp_depth", "queue")
+                      "workers_per_shard", "tcp_depth", "queue", "backend")
 
 
 def config_key(point, fields):
